@@ -1,0 +1,255 @@
+//! Exact privacy audits.
+//!
+//! An `ε`-LDP claim is an inequality over *all* input pairs and outputs;
+//! for the randomizers in this workspace the worst case is computable
+//! exactly, so the audits below return the **realized** privacy loss —
+//! the exact LDP parameter of the implemented algorithm — to compare
+//! against the nominal budget. Lemmas 5.2 / Theorem 4.5 promise
+//! `realized ≤ ε`; the audits also expose how much slack the analysis
+//! leaves (≈ 2× for FutureRand; exactly 2× for Erlingsson as restated in
+//! Section 6).
+
+use crate::distribution::{
+    composed_per_string_probs, enumerate_sparse_ternary, futurerand_output_pmf,
+};
+use rtf_primitives::sign::Ternary;
+
+/// Exact realized ε of the composed randomizer `R̃(k, ε̃)` — the
+/// linear-space re-derivation (cross-checks
+/// `rtf_core::gap::WeightClassLaw::realized_epsilon`).
+///
+/// Any Hamming-weight pair `(w, w')` is attainable by some `(b, b', s)`,
+/// so the realized ε is `ln(max_w q(w) / min_w q(w))`.
+pub fn realized_epsilon_composed(k: usize, eps_tilde: f64) -> f64 {
+    let q = composed_per_string_probs(k, eps_tilde);
+    let max = q.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = q.iter().copied().fold(f64::INFINITY, f64::min);
+    (max / min).ln()
+}
+
+/// Result of a brute-force sequence audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequenceAudit {
+    /// The exact realized LDP parameter over all input pairs & outputs.
+    pub realized_epsilon: f64,
+    /// Number of input sequences enumerated.
+    pub inputs: usize,
+    /// Number of output sequences enumerated.
+    pub outputs: usize,
+}
+
+/// Brute-force end-to-end audit of the *online FutureRand* over all
+/// `≤ k`-sparse inputs of length `l` and all `2^l` outputs — the
+/// client-side guarantee of Theorem 4.5 at one fixed order.
+///
+/// Exponential in `l`; keep `l ≤ 10`.
+pub fn futurerand_sequence_audit(l: usize, k: usize, epsilon: f64) -> SequenceAudit {
+    assert!(l <= 10, "brute force is exponential in l; keep l ≤ 10");
+    let inputs = enumerate_sparse_ternary(l, k);
+    let pmfs: Vec<Vec<f64>> = inputs
+        .iter()
+        .map(|v| futurerand_output_pmf(l, k, epsilon, v))
+        .collect();
+    SequenceAudit {
+        realized_epsilon: worst_ratio(&pmfs),
+        inputs: inputs.len(),
+        outputs: 1 << l,
+    }
+}
+
+/// Brute-force audit of the Example 4.2 *independent* randomizer
+/// (per-coordinate `ε/k` randomized response, uniform zeros).
+pub fn independent_sequence_audit(l: usize, k: usize, epsilon: f64) -> SequenceAudit {
+    assert!(l <= 10, "brute force is exponential in l; keep l ≤ 10");
+    let p = 1.0 / ((epsilon / k as f64).exp() + 1.0);
+    let inputs = enumerate_sparse_ternary(l, k);
+    let pmfs: Vec<Vec<f64>> = inputs
+        .iter()
+        .map(|v| {
+            (0u32..(1 << l))
+                .map(|omega| {
+                    let mut prob = 1.0;
+                    for (j, &vj) in v.iter().enumerate() {
+                        let omega_j = if omega & (1 << j) != 0 { 1i8 } else { -1i8 };
+                        prob *= match vj {
+                            Ternary::Zero => 0.5,
+                            nz if nz.value() == omega_j => 1.0 - p,
+                            _ => p,
+                        };
+                    }
+                    prob
+                })
+                .collect()
+        })
+        .collect();
+    SequenceAudit {
+        realized_epsilon: worst_ratio(&pmfs),
+        inputs: inputs.len(),
+        outputs: 1 << l,
+    }
+}
+
+/// Exact audit of the Erlingsson et al. client (Section 6): the input
+/// space is "which change survived sampling" — nothing (`None`) or a
+/// `(position, sign)` pair; the output sequence is uniform except for one
+/// randomized-response coordinate.
+pub fn erlingsson_sequence_audit(l: usize, epsilon: f64) -> SequenceAudit {
+    assert!(l <= 16, "brute force is exponential in l; keep l ≤ 16");
+    let p = 1.0 / ((epsilon / 2.0).exp() + 1.0);
+    // Inputs: None, or (pos ∈ [0..l), sign ∈ {−1,+1}).
+    let mut pmfs: Vec<Vec<f64>> = Vec::with_capacity(2 * l + 1);
+    let uniform = vec![0.5f64.powi(l as i32); 1 << l];
+    pmfs.push(uniform);
+    for pos in 0..l {
+        for sign in [-1i8, 1i8] {
+            let pmf: Vec<f64> = (0u32..(1 << l))
+                .map(|omega| {
+                    let omega_pos = if omega & (1 << pos) != 0 { 1i8 } else { -1i8 };
+                    let coord = if omega_pos == sign { 1.0 - p } else { p };
+                    coord * 0.5f64.powi((l - 1) as i32)
+                })
+                .collect();
+            pmfs.push(pmf);
+        }
+    }
+    SequenceAudit {
+        realized_epsilon: worst_ratio(&pmfs),
+        inputs: 2 * l + 1,
+        outputs: 1 << l,
+    }
+}
+
+/// `max_ω max_{v,v'} ln(P_v(ω)/P_{v'}(ω))` over a family of pmfs sharing
+/// one output space.
+fn worst_ratio(pmfs: &[Vec<f64>]) -> f64 {
+    let outputs = pmfs[0].len();
+    let mut worst = 0.0f64;
+    for omega in 0..outputs {
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for pmf in pmfs {
+            let v = pmf[omega];
+            max = max.max(v);
+            min = min.min(v);
+        }
+        worst = worst.max((max / min).ln());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf_core::gap::WeightClassLaw;
+
+    #[test]
+    fn composed_audit_matches_core_law() {
+        for k in [1usize, 4, 16, 64, 256] {
+            for eps in [0.25, 1.0] {
+                let et = eps / (5.0 * (k as f64).sqrt());
+                let independent = realized_epsilon_composed(k, et);
+                let core = WeightClassLaw::for_protocol(k, eps).realized_epsilon();
+                assert!(
+                    (independent - core).abs() < 1e-9,
+                    "k={k} ε={eps}: {independent} vs {core}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_5_2_holds_exactly() {
+        // realized ε ≤ nominal ε over the audit grid.
+        for k in [1usize, 2, 3, 8, 32, 128, 512] {
+            for eps in [0.1, 0.5, 1.0] {
+                let et = eps / (5.0 * (k as f64).sqrt());
+                let realized = realized_epsilon_composed(k, et);
+                assert!(realized <= eps + 1e-9, "k={k} ε={eps}: {realized}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_5_futurerand_client_audit() {
+        // End-to-end online client audit at small (L, k): realized ≤ ε,
+        // including the bounded-support case |supp| < k (Section 5.4).
+        for (l, k) in [(4usize, 1usize), (4, 2), (6, 2), (6, 3), (8, 2)] {
+            for eps in [0.5, 1.0] {
+                let audit = futurerand_sequence_audit(l, k, eps);
+                assert!(
+                    audit.realized_epsilon <= eps + 1e-9,
+                    "L={l} k={k} ε={eps}: realized {}",
+                    audit.realized_epsilon
+                );
+                assert!(audit.realized_epsilon > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn futurerand_audit_matches_composed_realized_eps() {
+        // With |supp| forced up to k the sequence-level worst case equals
+        // the composed randomizer's weight-class worst case: the zero
+        // coordinates are input-independent, so they cancel in every
+        // ratio, and any (w, w') class pair is attainable by sign
+        // patterns.
+        let (l, k, eps) = (5usize, 2usize, 1.0);
+        let seq = futurerand_sequence_audit(l, k, eps).realized_epsilon;
+        let et = eps / (5.0 * (k as f64).sqrt());
+        let comp = realized_epsilon_composed(k, et);
+        assert!(
+            (seq - comp).abs() < 1e-9,
+            "sequence {seq} vs composed {comp}"
+        );
+    }
+
+    #[test]
+    fn independent_randomizer_saturates_budget() {
+        // The Example 4.2 randomizer's worst case is exactly ε (k flips of
+        // budget ε/k each).
+        for (l, k) in [(4usize, 2usize), (5, 3)] {
+            let audit = independent_sequence_audit(l, k, 1.0);
+            assert!(
+                (audit.realized_epsilon - 1.0).abs() < 1e-9,
+                "L={l} k={k}: {}",
+                audit.realized_epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn erlingsson_realizes_half_budget() {
+        // As restated in Section 6, the Erlingsson client's exact LDP
+        // parameter is ε/2 (one RR(ε/2) coordinate; position and value
+        // differences both bound by the same factor). Recorded in
+        // EXPERIMENTS.md as analysis slack.
+        for l in [2usize, 4, 8] {
+            let audit = erlingsson_sequence_audit(l, 1.0);
+            assert!(
+                (audit.realized_epsilon - 0.5) < 1e-9,
+                "L={l}: {}",
+                audit.realized_epsilon
+            );
+            assert!(audit.realized_epsilon <= 1.0);
+        }
+    }
+
+    #[test]
+    fn futurerand_slack_is_substantial() {
+        // The paper's ε̃ = ε/(5√k) leaves ≈ 2× slack at moderate k: the
+        // realized ε sits near 0.47·ε (measured; see EXPERIMENTS.md).
+        let realized = realized_epsilon_composed(64, 1.0 / (5.0 * 8.0));
+        assert!(realized < 0.6, "realized {realized}");
+        assert!(realized > 0.3, "realized {realized}");
+    }
+
+    #[test]
+    fn audit_input_output_counts() {
+        let a = futurerand_sequence_audit(4, 2, 1.0);
+        // Σ_{m≤2} C(4,m)2^m = 1 + 8 + 24 = 33.
+        assert_eq!(a.inputs, 33);
+        assert_eq!(a.outputs, 16);
+        let e = erlingsson_sequence_audit(4, 1.0);
+        assert_eq!(e.inputs, 9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Analysis toolkit: exact distributions, privacy audits, error metrics
+//! and statistical tests.
+//!
+//! Where `rtf-core` computes quantities *for the protocol* (log-domain,
+//! `O(k)`), this crate re-derives them *independently* — linear-space
+//! brute force over small instances — and audits the implemented
+//! randomizers against the paper's privacy and utility lemmas:
+//!
+//! * [`metrics`] — ℓ∞/ℓ1/ℓ2 error metrics over estimate streams;
+//! * [`distribution`] — first-principles output laws of the composed
+//!   randomizer and of the *online* FutureRand (full `2^L` output pmf),
+//!   used to prove online ≡ offline (Sections 5.3–5.4) and to
+//!   cross-check `rtf-core`'s log-domain math;
+//! * [`audit`] — exact realized-ε audits: weight-class audit of `R̃`
+//!   (Lemma 5.2), brute-force end-to-end sequence audits of FutureRand,
+//!   the independent randomizer, and the Erlingsson client (Theorem 4.5
+//!   and Section 6);
+//! * [`stats`] — chi-square goodness of fit (with Wilson–Hilferty
+//!   critical values), total-variation distance, Hoeffding intervals.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod audit;
+pub mod distribution;
+pub mod metrics;
+pub mod postprocess;
+pub mod stats;
+pub mod variance;
+
+pub use audit::{
+    erlingsson_sequence_audit, futurerand_sequence_audit, independent_sequence_audit,
+    realized_epsilon_composed,
+};
+pub use distribution::{composed_per_string_probs, futurerand_output_pmf};
+pub use metrics::{l1_error, l2_error, linf_error, mean_abs_error};
+pub use stats::{chi_square_stat, chi_square_critical_999, hoeffding_radius, tv_distance};

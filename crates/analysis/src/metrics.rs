@@ -1,0 +1,106 @@
+//! Error metrics over estimate streams.
+//!
+//! The paper's accuracy notion is the ℓ∞ error
+//! `max_t |â[t] − a[t]|` (Definition 2.1); the other norms are reported by
+//! some of the benches for completeness.
+
+/// `max_t |â[t] − a[t]|` — the paper's `(α, β)`-accuracy metric.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn linf_error(estimates: &[f64], truth: &[f64]) -> f64 {
+    check(estimates, truth);
+    estimates
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .fold(0.0, f64::max)
+}
+
+/// `Σ_t |â[t] − a[t]|`.
+pub fn l1_error(estimates: &[f64], truth: &[f64]) -> f64 {
+    check(estimates, truth);
+    estimates.iter().zip(truth).map(|(e, t)| (e - t).abs()).sum()
+}
+
+/// `√(Σ_t (â[t] − a[t])²)`.
+pub fn l2_error(estimates: &[f64], truth: &[f64]) -> f64 {
+    check(estimates, truth);
+    estimates
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// `(1/d) Σ_t |â[t] − a[t]|`.
+pub fn mean_abs_error(estimates: &[f64], truth: &[f64]) -> f64 {
+    l1_error(estimates, truth) / estimates.len() as f64
+}
+
+/// The per-period signed errors `â[t] − a[t]` (for bias inspection).
+pub fn signed_errors(estimates: &[f64], truth: &[f64]) -> Vec<f64> {
+    check(estimates, truth);
+    estimates.iter().zip(truth).map(|(e, t)| e - t).collect()
+}
+
+fn check(estimates: &[f64], truth: &[f64]) {
+    assert!(!estimates.is_empty(), "empty estimate stream");
+    assert_eq!(
+        estimates.len(),
+        truth.len(),
+        "estimate/truth length mismatch: {} vs {}",
+        estimates.len(),
+        truth.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let est = [1.0, 2.0, 3.0];
+        let truth = [0.0, 4.0, 3.0];
+        assert_eq!(linf_error(&est, &truth), 2.0);
+        assert_eq!(l1_error(&est, &truth), 3.0);
+        assert!((l2_error(&est, &truth) - 5f64.sqrt()).abs() < 1e-12);
+        assert!((mean_abs_error(&est, &truth) - 1.0).abs() < 1e-12);
+        assert_eq!(signed_errors(&est, &truth), vec![1.0, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_error_when_equal() {
+        let v = [5.0, 6.0, 7.0];
+        assert_eq!(linf_error(&v, &v), 0.0);
+        assert_eq!(l1_error(&v, &v), 0.0);
+        assert_eq!(l2_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn norm_ordering() {
+        // ℓ∞ ≤ ℓ2 ≤ ℓ1 for any vector.
+        let est = [0.5, -1.5, 2.0, 0.0];
+        let truth = [0.0; 4];
+        let (inf, two, one) = (
+            linf_error(&est, &truth),
+            l2_error(&est, &truth),
+            l1_error(&est, &truth),
+        );
+        assert!(inf <= two && two <= one);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_rejected() {
+        let _ = linf_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        let _ = linf_error(&[], &[]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Estimate post-processing.
+//!
+//! Differential privacy is closed under post-processing: any function of
+//! the released estimates is released for free. Three standard,
+//! provably-harmless cleanups for count streams:
+//!
+//! * [`clip`] — counts live in `[0, n]`; projecting onto the box can only
+//!   reduce every per-period error (the truth is inside the box);
+//! * isotonic projection is *not* applicable here (counts are not
+//!   monotone), but windows are: [`moving_average`] trades temporal
+//!   resolution for noise reduction when the underlying counts drift
+//!   slowly (`k ≪ d` means most users are constant over short windows);
+//! * [`round_counts`] — counts are integers; rounding never increases
+//!   the error by more than ½ and usually reduces it.
+
+/// Projects every estimate onto `[0, n]`.
+///
+/// Never increases `|â[t] − a[t]|` for any `t`, since `a[t] ∈ [0, n]`.
+pub fn clip(estimates: &[f64], n: usize) -> Vec<f64> {
+    estimates
+        .iter()
+        .map(|&e| e.clamp(0.0, n as f64))
+        .collect()
+}
+
+/// Centered moving average with window `w` (odd), shrinking the window at
+/// the boundaries. Reduces noise variance by ≈ `w` when the truth is
+/// locally constant; biased when the truth moves within the window.
+pub fn moving_average(estimates: &[f64], w: usize) -> Vec<f64> {
+    assert!(w >= 1, "window must be ≥ 1");
+    assert!(w % 2 == 1, "window must be odd for a centered average");
+    let half = w / 2;
+    let n = estimates.len();
+    (0..n)
+        .map(|t| {
+            let lo = t.saturating_sub(half);
+            let hi = (t + half).min(n - 1);
+            estimates[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+        })
+        .collect()
+}
+
+/// Rounds every estimate to the nearest integer (counts are integral).
+pub fn round_counts(estimates: &[f64]) -> Vec<f64> {
+    estimates.iter().map(|&e| e.round()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::linf_error;
+
+    #[test]
+    fn clip_never_hurts() {
+        let truth = [3.0, 5.0, 0.0, 10.0];
+        let est = [-4.0, 5.5, 2.0, 13.0];
+        let clipped = clip(&est, 10);
+        assert_eq!(clipped, vec![0.0, 5.5, 2.0, 10.0]);
+        assert!(linf_error(&clipped, &truth) <= linf_error(&est, &truth));
+        // Per-period: every coordinate error must be ≤ the raw one.
+        for i in 0..truth.len() {
+            assert!((clipped[i] - truth[i]).abs() <= (est[i] - truth[i]).abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn clip_is_idempotent() {
+        let est = [-1.0, 3.0, 12.0];
+        let once = clip(&est, 10);
+        assert_eq!(clip(&once, 10), once);
+    }
+
+    #[test]
+    fn moving_average_flattens_noise() {
+        // Constant truth + alternating noise: the w=3 average cancels
+        // most of it.
+        let est = [10.0, 14.0, 6.0, 14.0, 6.0, 14.0, 6.0, 10.0];
+        let truth = [10.0; 8];
+        let smoothed = moving_average(&est, 3);
+        assert!(linf_error(&smoothed, &truth) < linf_error(&est, &truth));
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let est = [1.0, 2.0, 3.0];
+        assert_eq!(moving_average(&est, 1), est.to_vec());
+    }
+
+    #[test]
+    fn moving_average_boundaries_shrink() {
+        let est = [0.0, 10.0, 20.0];
+        let s = moving_average(&est, 3);
+        // Left edge averages [0,10], right edge [10,20].
+        assert_eq!(s, vec![5.0, 10.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_window_rejected() {
+        let _ = moving_average(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn rounding_counts() {
+        assert_eq!(round_counts(&[1.2, -0.4, 7.5]), vec![1.0, -0.0, 8.0]);
+    }
+}

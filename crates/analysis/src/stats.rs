@@ -1,0 +1,163 @@
+//! Statistical test helpers: chi-square goodness of fit, total-variation
+//! distance, Hoeffding intervals (Corollary A.2 of the paper).
+
+/// Pearson chi-square statistic of observed counts against an expected
+/// pmf, merging adjacent cells until every merged cell has expected count
+/// at least `min_expected` (the usual ≥ 5 rule).
+///
+/// Returns `(statistic, degrees_of_freedom)`; `dof = cells − 1`.
+///
+/// # Panics
+/// Panics on length mismatch, or if the expectation vector doesn't sum to
+/// ≈ the observation total (caller should scale `expected` to counts).
+pub fn chi_square_stat(observed: &[u64], expected: &[f64], min_expected: f64) -> (f64, usize) {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    let total_obs: u64 = observed.iter().sum();
+    let total_exp: f64 = expected.iter().sum();
+    assert!(
+        (total_exp - total_obs as f64).abs() < 0.01 * total_obs as f64 + 1.0,
+        "expected counts sum {total_exp} far from observed total {total_obs}"
+    );
+    let mut chi2 = 0.0;
+    let mut cells = 0usize;
+    let mut pend_obs = 0.0;
+    let mut pend_exp = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        pend_obs += o as f64;
+        pend_exp += e;
+        if pend_exp >= min_expected {
+            chi2 += (pend_obs - pend_exp).powi(2) / pend_exp;
+            cells += 1;
+            pend_obs = 0.0;
+            pend_exp = 0.0;
+        }
+    }
+    if pend_exp > 0.0 {
+        if cells > 0 {
+            // Fold the remainder into the last cell by recomputing: add as
+            // its own cell (slightly conservative) only if it has mass.
+            chi2 += (pend_obs - pend_exp).powi(2) / pend_exp;
+            cells += 1;
+        } else {
+            chi2 = (pend_obs - pend_exp).powi(2) / pend_exp.max(f64::MIN_POSITIVE);
+            cells = 1;
+        }
+    }
+    (chi2, cells.saturating_sub(1))
+}
+
+/// The 99.9% critical value of the chi-square distribution with `dof`
+/// degrees of freedom, via the Wilson–Hilferty cube approximation
+/// (`z_{0.999} = 3.0902`). Accurate to a few percent for `dof ≥ 3`, which
+/// is ample for pass/fail testing.
+pub fn chi_square_critical_999(dof: usize) -> f64 {
+    assert!(dof >= 1, "dof must be ≥ 1");
+    let d = dof as f64;
+    let z = 3.0902;
+    let inner = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+    d * inner.powi(3)
+}
+
+/// Total-variation distance `½ Σ |p_i − q_i|` between two pmfs.
+///
+/// # Panics
+/// Panics on length mismatch or if either argument is far from a pmf.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    for pmf in [p, q] {
+        let s: f64 = pmf.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6, "not a pmf: sums to {s}");
+    }
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Hoeffding radius (Corollary A.2): a sum of `n` independent `[−1,1]`
+/// variables deviates from its mean by more than `√(2n·ln(2/β))` with
+/// probability at most `β`.
+pub fn hoeffding_radius(n: usize, beta: f64) -> f64 {
+    assert!(beta > 0.0 && beta < 1.0, "β must be in (0,1)");
+    (2.0 * n as f64 * (2.0 / beta).ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chi_square_accepts_true_distribution() {
+        // Sample from a known pmf; the statistic should be below the
+        // 99.9% critical value.
+        let pmf = [0.1, 0.2, 0.3, 0.4];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            let mut acc = 0.0;
+            for (i, &p) in pmf.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    counts[i] += 1;
+                    break;
+                }
+            }
+        }
+        let expected: Vec<f64> = pmf.iter().map(|p| p * n as f64).collect();
+        let (chi2, dof) = chi_square_stat(&counts, &expected, 5.0);
+        assert!(chi2 < chi_square_critical_999(dof), "chi2 {chi2} dof {dof}");
+    }
+
+    #[test]
+    fn chi_square_rejects_wrong_distribution() {
+        // Observations from uniform, expectation heavily skewed.
+        let n = 10_000u64;
+        let observed = [2500u64, 2500, 2500, 2500];
+        let expected = [100.0, 100.0, 100.0, 9700.0];
+        let (chi2, dof) = chi_square_stat(&observed, &expected, 5.0);
+        assert!(chi2 > chi_square_critical_999(dof));
+        let _ = n;
+    }
+
+    #[test]
+    fn chi_square_merges_sparse_cells() {
+        // Tail cells with tiny expectations must merge, not divide by ~0.
+        let observed = [9000u64, 990, 9, 1, 0, 0];
+        let expected = [9000.0, 990.0, 9.0, 0.9, 0.09, 0.01];
+        let (chi2, dof) = chi_square_stat(&observed, &expected, 5.0);
+        assert!(chi2.is_finite());
+        assert!(dof >= 1);
+    }
+
+    #[test]
+    fn critical_values_are_sane() {
+        // Known reference points: χ²_{0.999}(10) ≈ 29.59, (30) ≈ 59.70.
+        assert!((chi_square_critical_999(10) - 29.59).abs() < 1.0);
+        assert!((chi_square_critical_999(30) - 59.70).abs() < 1.5);
+        // Monotone in dof.
+        assert!(chi_square_critical_999(20) > chi_square_critical_999(10));
+    }
+
+    #[test]
+    fn tv_distance_properties() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!((tv_distance(&p, &q) - 0.5).abs() < 1e-12);
+        assert_eq!(tv_distance(&p, &p), 0.0);
+        // Symmetry.
+        assert_eq!(tv_distance(&p, &q), tv_distance(&q, &p));
+    }
+
+    #[test]
+    fn hoeffding_radius_matches_formula() {
+        let r = hoeffding_radius(1000, 0.05);
+        assert!((r - (2.0f64 * 1000.0 * (2.0 / 0.05f64).ln()).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pmf")]
+    fn tv_rejects_non_pmf() {
+        let _ = tv_distance(&[0.5, 0.2], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Comparison protocols for longitudinal LDP frequency estimation.
+//!
+//! Everything the paper compares against (Sections 1 and 6), implemented
+//! from scratch so the benches can reproduce the "who wins, by what
+//! factor" claims:
+//!
+//! * [`erlingsson`] — the online protocol of Erlingsson et al. (2020):
+//!   keep one uniformly sampled change, basic randomized response with
+//!   `ε̃ = ε/2`, server rescales by an extra factor `k`. Error linear in
+//!   `k` — the bound the paper improves to `√k`;
+//! * [`bun`] — the Bun–Nelson–Stemmer (2019) composed randomizer
+//!   (Algorithm 4 / Appendix A.2), whose annulus is parameterised by `λ`
+//!   and whose gap is `O(ε/√(k·ln(k/ε)))` — a `√ln(k/ε)` factor worse
+//!   than FutureRand;
+//! * [`naive`] — repeated one-shot randomized response, both with the
+//!   privacy budget split `ε/d` per period and with fixed per-period `ε`
+//!   (linear privacy decay);
+//! * [`central`] — the central-model binary-tree mechanism (Dwork et al.
+//!   2010 / Chan et al. 2011), the non-local reference point;
+//! * [`independent`] — the paper's own hierarchical framework with the
+//!   naive Example 4.2 randomizer instead of FutureRand: the ablation
+//!   isolating the composed randomizer's contribution;
+//! * [`registry`] — a uniform [`registry::LongitudinalProtocol`] trait so
+//!   benches can sweep protocols generically.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bun;
+pub mod calibrated;
+pub mod central;
+pub mod erlingsson;
+pub mod independent;
+pub mod naive;
+pub mod registry;
+
+pub use bun::BunRandomizer;
+pub use calibrated::run_calibrated;
+pub use central::run_central_tree;
+pub use erlingsson::run_erlingsson;
+pub use independent::run_independent;
+pub use naive::{run_naive_decay, run_naive_split};
+pub use registry::{LongitudinalProtocol, ProtocolKind};

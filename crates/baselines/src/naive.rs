@@ -1,0 +1,165 @@
+//! Naive repeated randomized response — the strawman of Section 1.
+//!
+//! Each period, every user reports their *current* Boolean value through
+//! one-shot randomized response; the server unbiases the count. Two
+//! variants:
+//!
+//! * [`run_naive_split`] — the per-report budget is `ε/d`, so the whole
+//!   horizon composes to `ε`-LDP. Utility collapses: per-period error is
+//!   `Θ((d/ε)·√n)`.
+//! * [`run_naive_decay`] — the per-report budget stays `ε`, so utility is
+//!   good but the *realized* privacy budget grows to `ε·d` (the "rapid
+//!   degradation of privacy" the paper quotes from its reference \[7\]); the function
+//!   returns that realized budget alongside the estimates.
+
+use rand::Rng;
+use rtf_core::params::ProtocolParams;
+use rtf_core::protocol::ProtocolOutcome;
+use rtf_primitives::rr::BasicRandomizer;
+use rtf_primitives::seeding::SeedSequence;
+use rtf_primitives::sign::Sign;
+use rtf_streams::population::Population;
+
+/// Shared driver: repeated RR with a given per-report budget.
+fn run_repeated_rr(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    per_report_eps: f64,
+) -> ProtocolOutcome {
+    assert_eq!(population.n(), params.n(), "population/params n mismatch");
+    assert_eq!(population.d(), params.d(), "population/params d mismatch");
+    let rr = BasicRandomizer::new(per_report_eps);
+    let root = SeedSequence::new(seed);
+    let n = params.n();
+    let d = params.d();
+    // Unbiasing: report r ∈ {−1,+1} encodes value v ∈ {0,1} as sign
+    // s = 2v−1 kept w.p. 1−p. E[r] = s·(1−2p) ⇒ v̂ = (r/(1−2p) + 1)/2.
+    let gap = rr.gap();
+    let mut estimates = Vec::with_capacity(d as usize);
+    let mut rngs: Vec<rand::rngs::StdRng> =
+        (0..n).map(|u| root.child(u as u64).rng()).collect();
+    for t in 1..=d {
+        let mut sum = 0.0;
+        for (u, rng) in rngs.iter_mut().enumerate() {
+            let v = population.stream(u).value_at(t);
+            let s = if v { Sign::Plus } else { Sign::Minus };
+            let r = if rng.random::<f64>() < rr.p_flip() {
+                s.flipped()
+            } else {
+                s
+            };
+            sum += r.as_f64();
+        }
+        // â[t] = (Σ r / gap + n) / 2.
+        estimates.push((sum / gap + n as f64) / 2.0);
+    }
+    ProtocolOutcome::from_parts(estimates, vec![n], (n as u64) * d)
+}
+
+/// Repeated RR with the privacy budget split `ε/d` per period — the
+/// `ε`-LDP strawman with `Θ(d/ε·√n)` error.
+pub fn run_naive_split(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+) -> ProtocolOutcome {
+    run_repeated_rr(
+        params,
+        population,
+        seed,
+        params.epsilon() / params.d() as f64,
+    )
+}
+
+/// Repeated RR with fixed per-period budget `ε` — good utility, but the
+/// realized privacy budget is `ε·d` (returned as the second element).
+pub fn run_naive_decay(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+) -> (ProtocolOutcome, f64) {
+    let outcome = run_repeated_rr(params, population, seed, params.epsilon());
+    let realized = params.epsilon() * params.d() as f64;
+    (outcome, realized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf_streams::generator::UniformChanges;
+
+    fn linf(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn setup(n: usize, d: u64, k: usize) -> (ProtocolParams, Population) {
+        let params = ProtocolParams::new(n, d, k, 1.0, 0.05).unwrap();
+        let mut rng = SeedSequence::new(5).rng();
+        let pop = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
+        (params, pop)
+    }
+
+    #[test]
+    fn decay_variant_tracks_truth_closely() {
+        // With per-report ε = 1 the estimator is accurate: error ≈
+        // √(n·ln d)/gap ≪ n.
+        let (params, pop) = setup(4_000, 16, 3);
+        let (o, realized) = run_naive_decay(&params, &pop, 11);
+        assert_eq!(realized, 16.0);
+        let err = linf(o.estimates(), pop.true_counts());
+        let gap = 0.5f64.tanh();
+        let envelope = (2.0 * 4_000.0 * (2.0 * 16.0 / 0.05f64).ln()).sqrt() / (2.0 * gap) * 2.0;
+        assert!(err < envelope, "err {err} vs envelope {envelope}");
+    }
+
+    #[test]
+    fn split_variant_is_much_worse() {
+        let (params, pop) = setup(4_000, 64, 3);
+        let (decay, _) = run_naive_decay(&params, &pop, 13);
+        let split = run_naive_split(&params, &pop, 13);
+        let err_decay = linf(decay.estimates(), pop.true_counts());
+        let err_split = linf(split.estimates(), pop.true_counts());
+        assert!(
+            err_split > 10.0 * err_decay,
+            "split {err_split} vs decay {err_decay}"
+        );
+    }
+
+    #[test]
+    fn unbiasedness_of_repeated_rr() {
+        let (params, pop) = setup(500, 8, 2);
+        let trials = 400;
+        let mut mean = vec![0.0; 8];
+        for s in 0..trials {
+            let o = run_naive_split(&params, &pop, 100 + s);
+            for (m, &e) in mean.iter_mut().zip(o.estimates()) {
+                *m += e / trials as f64;
+            }
+        }
+        // Per-trial sd ≈ √n/(2·gap(ε/d)); gap(1/8) ≈ 1/16.
+        let gap = (1.0f64 / 8.0 / 2.0).tanh();
+        let per_trial_sd = (500f64).sqrt() / (2.0 * gap);
+        let tol = 5.0 * per_trial_sd / (trials as f64).sqrt();
+        let bias = linf(&mean, pop.true_counts());
+        assert!(bias < tol, "bias {bias} vs tol {tol}");
+    }
+
+    #[test]
+    fn communication_is_one_bit_per_period() {
+        let (params, pop) = setup(100, 16, 2);
+        let o = run_naive_split(&params, &pop, 1);
+        assert_eq!(o.reports_sent(), 100 * 16);
+    }
+
+    #[test]
+    fn determinism() {
+        let (params, pop) = setup(200, 16, 2);
+        let a = run_naive_split(&params, &pop, 42);
+        let b = run_naive_split(&params, &pop, 42);
+        assert_eq!(a.estimates(), b.estimates());
+    }
+}

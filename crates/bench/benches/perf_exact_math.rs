@@ -1,0 +1,28 @@
+//! P4 — cost of the exact log-domain mathematics.
+//!
+//! The server needs `c_gap` (and the audits need the full weight-class
+//! law) once per `(k, ε)`; both are `O(k)` log-domain sweeps. This bench
+//! tracks that cost up to `k = 2^20` to show the exact computation is
+//! never a bottleneck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtf_core::gap::WeightClassLaw;
+use std::hint::black_box;
+
+fn bench_exact_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_math");
+    group.sample_size(15);
+    for &k in &[1_000usize, 10_000, 100_000, 1_048_576] {
+        group.bench_with_input(BenchmarkId::new("weight_class_law", k), &k, |b, &k| {
+            b.iter(|| black_box(WeightClassLaw::for_protocol(black_box(k), 1.0)));
+        });
+        let law = WeightClassLaw::for_protocol(k, 1.0);
+        group.bench_with_input(BenchmarkId::new("realized_epsilon", k), &k, |b, _| {
+            b.iter(|| black_box(law.realized_epsilon()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_math);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! P1 — cost of the client-side pre-computation.
+//!
+//! `FutureRand::init` draws `b̃ = R̃(1^k)` — the "randomize the future"
+//! step — from shared per-`(k, ε̃)` tables. Measures both the one-off
+//! table construction (`ComposedRandomizer::for_protocol`, `O(k)`) and
+//! the per-user draw (`FutureRand::init`, `O(k)` with small constants),
+//! across three orders of magnitude of `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rtf_core::composed::ComposedRandomizer;
+use rtf_core::randomizer::FutureRand;
+use std::hint::black_box;
+
+fn bench_randomizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomizer");
+    group.sample_size(20);
+    for &k in &[16usize, 256, 4096, 65_536] {
+        group.bench_with_input(BenchmarkId::new("composed_build", k), &k, |b, &k| {
+            b.iter(|| black_box(ComposedRandomizer::for_protocol(black_box(k), 1.0)));
+        });
+        let composed = ComposedRandomizer::for_protocol(k, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("future_rand_init", k), &k, |b, _| {
+            b.iter(|| black_box(FutureRand::init(k * 2, &composed, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("sample_all_ones", k), &k, |b, _| {
+            b.iter(|| black_box(composed.sample_for_all_ones(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_randomizer);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! The Hamming-weight annulus of the composed randomizer (Definition 5.1,
+//! Equation 15).
+//!
+//! For input `b ∈ {−1,1}^k`, `Ann(b)` is the set of strings whose Hamming
+//! distance to `b` lies in `[LB..UB]` with
+//!
+//! ```text
+//! LB = k·p − 2√k            UB = (k/ε̃) · ln( 2e^{ε̃} / (e^{ε̃}+1) )
+//! ```
+//!
+//! where `p = 1/(e^{ε̃}+1)`. The choices are engineered so that
+//! `g(LB) = e^{2ε̃√k}·p_avg` and `g(UB) = 2^{−k}` (Section 5.5). The paper
+//! treats the bounds as reals; we round *inward* (`⌈LB⌉`, `⌊UB⌋`), which
+//! preserves every inequality in the privacy and utility proofs — see the
+//! faithfulness notes in the crate docs and DESIGN.md.
+
+/// Integer Hamming-weight annulus `[lb..ub] ⊆ [0..k]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Annulus {
+    k: usize,
+    lb: usize,
+    ub: usize,
+}
+
+impl Annulus {
+    /// Computes the annulus for sparsity `k` and per-coordinate budget
+    /// `ε̃ > 0` per Equation (15).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `ε̃` is not a positive finite number.
+    pub fn for_parameters(k: usize, eps_tilde: f64) -> Self {
+        assert!(k >= 1, "annulus needs k ≥ 1");
+        assert!(
+            eps_tilde.is_finite() && eps_tilde > 0.0,
+            "ε̃ must be positive and finite, got {eps_tilde}"
+        );
+        let kf = k as f64;
+        let p = 1.0 / (eps_tilde.exp() + 1.0);
+        let lb_real = kf * p - 2.0 * kf.sqrt();
+        // UB = (k/ε̃)·ln(2e^ε̃/(e^ε̃+1)); the argument of ln is 2(1−p).
+        let ub_real = (kf / eps_tilde) * (2.0 * (1.0 - p)).ln();
+        let lb = lb_real.ceil().max(0.0) as usize;
+        let ub = (ub_real.floor() as i64).clamp(lb as i64, k as i64 - 1) as usize;
+        // ub < k always: g(k) = p^k < 2^{-k} = g(UB_real) and g decreasing
+        // force UB_real < k; the clamp just encodes that the complement
+        // must stay non-empty even under adversarial rounding.
+        debug_assert!(lb <= ub);
+        Annulus { k, lb, ub }
+    }
+
+    /// Constructs an annulus from explicit integer bounds (used by the
+    /// Bun et al. baseline which sets different bounds).
+    ///
+    /// # Panics
+    /// Panics unless `lb ≤ ub < k` (the complement `{w > ub}` must be
+    /// non-empty for the resampling branch to be well-defined).
+    pub fn from_bounds(k: usize, lb: usize, ub: usize) -> Self {
+        assert!(lb <= ub, "annulus bounds inverted: [{lb}..{ub}]");
+        assert!(
+            ub < k,
+            "annulus [{lb}..{ub}] must leave a non-empty complement below k = {k}"
+        );
+        Annulus { k, lb, ub }
+    }
+
+    /// The sparsity `k` (strings live in `{−1,1}^k`).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Inclusive lower bound `LB` on Hamming distance.
+    #[inline]
+    pub fn lb(&self) -> usize {
+        self.lb
+    }
+
+    /// Inclusive upper bound `UB` on Hamming distance.
+    #[inline]
+    pub fn ub(&self) -> usize {
+        self.ub
+    }
+
+    /// Whether Hamming weight `w` lies inside the annulus.
+    #[inline]
+    pub fn contains(&self, w: usize) -> bool {
+        (self.lb..=self.ub).contains(&w)
+    }
+
+    /// The weight classes inside the annulus.
+    pub fn inside(&self) -> impl Iterator<Item = usize> {
+        self.lb..=self.ub
+    }
+
+    /// The weight classes outside the annulus
+    /// (`[0..LB−1] ∪ [UB+1..k]`, the paper's `[LB..UB]` complement).
+    pub fn outside(&self) -> impl Iterator<Item = usize> {
+        let low = 0..self.lb;
+        let high = (self.ub + 1)..=self.k;
+        low.chain(high)
+    }
+
+    /// Number of weight classes outside the annulus.
+    pub fn outside_len(&self) -> usize {
+        self.lb + (self.k - self.ub)
+    }
+}
+
+impl std::fmt::Display for Annulus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ann(k={}) = [{}..{}]", self.k, self.lb, self.ub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ε̃ as the protocol sets it: ε/(5√k).
+    fn protocol_eps_tilde(k: usize, eps: f64) -> f64 {
+        eps / (5.0 * (k as f64).sqrt())
+    }
+
+    #[test]
+    fn bounds_bracket_expected_noise_weight() {
+        // For large k, [LB..UB] must contain kp (Section 5.5 proves
+        // UB ∈ [kp, k/2], LB < kp).
+        for k in [16usize, 64, 256, 1024, 4096] {
+            for eps in [0.25, 0.5, 1.0] {
+                let et = protocol_eps_tilde(k, eps);
+                let ann = Annulus::for_parameters(k, et);
+                let kp = k as f64 / (et.exp() + 1.0);
+                assert!(
+                    (ann.lb() as f64) <= kp,
+                    "k={k} ε={eps}: LB {} above kp {kp}",
+                    ann.lb()
+                );
+                assert!(
+                    (ann.ub() as f64) >= kp.floor(),
+                    "k={k} ε={eps}: UB {} below kp {kp}",
+                    ann.ub()
+                );
+                assert!(
+                    ann.ub() as f64 <= k as f64 / 2.0,
+                    "k={k} ε={eps}: UB {} above k/2",
+                    ann.ub()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complement_always_non_empty() {
+        for k in 1..200usize {
+            let ann = Annulus::for_parameters(k, protocol_eps_tilde(k, 1.0));
+            assert!(ann.ub() < k, "k={k}");
+            assert!(ann.outside_len() >= 1);
+        }
+    }
+
+    #[test]
+    fn tiny_k_degenerates_gracefully() {
+        // k = 1, ε = 1: ε̃ = 0.2; LB = 0, UB = 0, outside = {1}.
+        let ann = Annulus::for_parameters(1, 0.2);
+        assert_eq!((ann.lb(), ann.ub()), (0, 0));
+        let outside: Vec<usize> = ann.outside().collect();
+        assert_eq!(outside, vec![1]);
+    }
+
+    #[test]
+    fn inside_outside_partition() {
+        for k in [1usize, 2, 7, 33, 500] {
+            let ann = Annulus::for_parameters(k, protocol_eps_tilde(k, 0.7));
+            let mut all: Vec<usize> = ann.inside().chain(ann.outside()).collect();
+            all.sort_unstable();
+            let expect: Vec<usize> = (0..=k).collect();
+            assert_eq!(all, expect, "k={k}");
+            assert_eq!(ann.outside_len(), ann.outside().count());
+            for w in 0..=k {
+                assert_eq!(ann.contains(w), (ann.lb()..=ann.ub()).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn lb_hits_zero_for_small_k() {
+        // kp − 2√k < 0 whenever k p² < 4, i.e. all small k.
+        for k in 1..=16usize {
+            let ann = Annulus::for_parameters(k, protocol_eps_tilde(k, 1.0));
+            assert_eq!(ann.lb(), 0, "k={k}");
+        }
+    }
+
+    #[test]
+    fn g_at_bounds_matches_design_targets() {
+        // The real-valued bounds satisfy g(UB) = 2^{-k}; integer flooring
+        // makes g(ub) ≥ 2^{-k} ≥ g(ub+1). Verify via ln g(w) = k ln p + ε̃(k−w).
+        for k in [32usize, 128, 1024] {
+            let et = protocol_eps_tilde(k, 1.0);
+            let ann = Annulus::for_parameters(k, et);
+            let p = 1.0 / (et.exp() + 1.0);
+            let ln_g = |w: f64| (k as f64) * p.ln() + et * (k as f64 - w);
+            let target = -(k as f64) * 2f64.ln();
+            assert!(ln_g(ann.ub() as f64) >= target - 1e-9, "k={k}");
+            assert!(ln_g(ann.ub() as f64 + 1.0) <= target + 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn from_bounds_validates() {
+        let a = Annulus::from_bounds(10, 2, 5);
+        assert_eq!((a.lb(), a.ub()), (2, 5));
+        assert!(std::panic::catch_unwind(|| Annulus::from_bounds(10, 6, 5)).is_err());
+        assert!(std::panic::catch_unwind(|| Annulus::from_bounds(10, 0, 10)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_rejected() {
+        let _ = Annulus::for_parameters(0, 0.1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Audit-calibrated parameterisation of the composed randomizer.
+//!
+//! Lemma 5.2 *proves* that `ε̃ = ε/(5√k)` keeps the composed randomizer
+//! `ε`-LDP, but the exact audit (the `realized_epsilon` of
+//! [`WeightClassLaw`]) shows the bound is loose: at moderate `k` the
+//! realized privacy loss is only ≈ `0.47·ε`. Since the realized loss of
+//! the *implemented* randomizer is computable exactly in `O(k)`, we can
+//! turn the analysis around: **search for the largest `ε̃` whose exact
+//! realized loss still fits the budget**, and certify the result by
+//! re-auditing. This roughly doubles the preservation gap `c_gap` — i.e.
+//! halves the estimation error — at the *same* exact privacy level.
+//!
+//! This is an extension beyond the paper (enabled by the exact
+//! weight-class law); the `exp_ablation` bench quantifies the gain and
+//! `exp_privacy_audit`-style tests certify safety on a broad grid.
+
+use crate::gap::WeightClassLaw;
+
+/// Outcome of calibrating `ε̃` for a `(k, ε)` pair.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// The calibrated per-coordinate budget (≥ the paper's `ε/(5√k)`).
+    pub eps_tilde: f64,
+    /// The exact realized privacy loss at that `ε̃` (certified `≤ ε`).
+    pub realized_epsilon: f64,
+    /// The law at the calibrated `ε̃` (carries `c_gap`, annulus, …).
+    pub law: WeightClassLaw,
+}
+
+/// Finds, by bisection plus exact verification, the largest
+/// `ε̃ ∈ [ε/(5√k), ε]` whose exact realized privacy loss is at most `ε`.
+///
+/// The realized loss is monotone in `ε̃` in practice; because every
+/// candidate is *verified exactly*, monotonicity is not assumed for
+/// soundness — if the search misbehaves the paper's `ε/(5√k)` is the
+/// fallback, which Lemma 5.2 guarantees safe (and the final result is
+/// asserted safe regardless).
+///
+/// # Panics
+/// Panics if `k == 0` or `ε ∉ (0, 1]`.
+pub fn calibrate(k: usize, epsilon: f64) -> Calibration {
+    assert!(k >= 1, "k must be ≥ 1");
+    assert!(
+        epsilon > 0.0 && epsilon <= 1.0,
+        "ε must be in (0,1], got {epsilon}"
+    );
+    let paper = epsilon / (5.0 * (k as f64).sqrt());
+    let mut lo = paper; // known-safe by Lemma 5.2 (verified below anyway)
+    let mut hi = epsilon; // surely unsafe for k > 1; loose upper anchor
+    // ~45 halvings: eps_tilde resolved to ~1e-15 relative.
+    for _ in 0..45 {
+        let mid = 0.5 * (lo + hi);
+        let realized = WeightClassLaw::new(k, mid).realized_epsilon();
+        if realized <= epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Final exact verification with a small safety margin; fall back to
+    // the paper's parameterisation if anything went sideways.
+    let candidate = lo * (1.0 - 1e-9);
+    let law = WeightClassLaw::new(k, candidate.max(paper));
+    let (eps_tilde, law) = if law.realized_epsilon() <= epsilon {
+        (candidate.max(paper), law)
+    } else {
+        (paper, WeightClassLaw::new(k, paper))
+    };
+    let realized = law.realized_epsilon();
+    assert!(
+        realized <= epsilon + 1e-9,
+        "calibration produced an unsafe ε̃ (realized {realized} > {epsilon})"
+    );
+    Calibration {
+        eps_tilde,
+        realized_epsilon: realized,
+        law,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_is_certified_safe_on_grid() {
+        for k in [1usize, 2, 3, 5, 8, 16, 33, 64, 129, 256, 777, 2048] {
+            for eps in [0.1, 0.25, 0.5, 1.0] {
+                let cal = calibrate(k, eps);
+                assert!(
+                    cal.realized_epsilon <= eps + 1e-9,
+                    "k={k} eps={eps}: realized {}",
+                    cal.realized_epsilon
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_beats_paper_parameterisation() {
+        for k in [4usize, 16, 64, 256, 1024] {
+            let eps = 1.0;
+            let cal = calibrate(k, eps);
+            let paper = WeightClassLaw::for_protocol(k, eps);
+            assert!(
+                cal.law.c_gap() > 1.5 * paper.c_gap(),
+                "k={k}: calibrated gap {} vs paper {}",
+                cal.law.c_gap(),
+                paper.c_gap()
+            );
+            assert!(cal.eps_tilde > paper.eps_tilde());
+        }
+    }
+
+    #[test]
+    fn calibration_nearly_exhausts_the_budget() {
+        // The whole point: realized ε should be ≈ ε, not ≈ 0.47 ε.
+        for k in [8usize, 64, 512] {
+            let cal = calibrate(k, 1.0);
+            assert!(
+                cal.realized_epsilon > 0.999,
+                "k={k}: realized only {}",
+                cal.realized_epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_one_caps_at_epsilon() {
+        // For k = 1 the composed randomizer is plain conditioned RR whose
+        // realized loss equals ε̃; calibration should drive ε̃ → ε.
+        let cal = calibrate(1, 0.5);
+        assert!((cal.eps_tilde - 0.5).abs() < 1e-6, "got {}", cal.eps_tilde);
+        assert!((cal.realized_epsilon - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_budget_usage() {
+        // Larger ε ⇒ larger calibrated ε̃ and larger gap.
+        let mut last_gap = 0.0;
+        for eps in [0.125, 0.25, 0.5, 1.0] {
+            let cal = calibrate(64, eps);
+            assert!(cal.law.c_gap() > last_gap);
+            last_gap = cal.law.c_gap();
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Online sequence randomizers: the paper's **FutureRand** (Algorithm 3)
+//! and the naive independent randomizer of Example 4.2.
+//!
+//! Both implement [`LocalRandomizer`], the interface Algorithm 1 consumes:
+//! a stateful perturbation of a `{−1,0,1}` sequence of length `L` with at
+//! most `k` non-zeros, emitting one `{−1,+1}` bit per element, online.
+//! Properties I–III of Section 4.2 are what make a type a valid
+//! implementation; the tests and `rtf-analysis` audits verify them.
+
+use crate::composed::ComposedRandomizer;
+use rand::{Rng, RngCore};
+use rtf_primitives::rr::BasicRandomizer;
+use rtf_primitives::sign::{Sign, Ternary};
+
+/// Errors from feeding a randomizer an invalid sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RandomizerError {
+    /// More non-zero inputs than the sparsity bound `k` the randomizer was
+    /// initialised with — the protocol's precondition was violated
+    /// upstream.
+    TooManyNonZeros {
+        /// The sparsity bound.
+        k: usize,
+    },
+    /// More inputs than the declared sequence length `L`.
+    SequenceExhausted {
+        /// The declared length.
+        l: usize,
+    },
+}
+
+impl std::fmt::Display for RandomizerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RandomizerError::TooManyNonZeros { k } => {
+                write!(f, "input sequence has more than k = {k} non-zero elements")
+            }
+            RandomizerError::SequenceExhausted { l } => {
+                write!(f, "input sequence longer than declared L = {l}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RandomizerError {}
+
+/// A stateful online randomizer for one user's length-`L`, `k`-sparse
+/// report sequence (the `M` of Section 4.2).
+pub trait LocalRandomizer {
+    /// The declared sequence length `L`.
+    fn sequence_len(&self) -> usize;
+
+    /// How many elements have been consumed so far.
+    fn position(&self) -> usize;
+
+    /// The preservation gap `c_gap` of Property II — the server divides by
+    /// this to unbias estimates (Observation 4.3).
+    fn c_gap(&self) -> f64;
+
+    /// Perturbs the next element `v_j`, returning the report bit
+    /// `M^{(j)}(v_j)`.
+    fn try_next(&mut self, v: Ternary, rng: &mut dyn RngCore) -> Result<Sign, RandomizerError>;
+
+    /// Like [`try_next`](Self::try_next) but panicking on protocol
+    /// violations.
+    fn next(&mut self, v: Ternary, rng: &mut dyn RngCore) -> Sign {
+        self.try_next(v, rng)
+            .unwrap_or_else(|e| panic!("randomizer protocol violation: {e}"))
+    }
+}
+
+/// The **FutureRand** randomizer (Algorithm 3).
+///
+/// `init` pre-computes `b̃ = R̃(1^k)` — "randomizing the future": by the
+/// symmetry of the input space, the correlated noise for all `k` potential
+/// non-zero elements can be drawn before any input arrives. The online
+/// step `M^{(j)}(v_j)` then emits
+///
+/// * a uniform `±1` when `v_j = 0` (Property III), and
+/// * `v_j · b̃_nnz` when `v_j ≠ 0`, consuming the next pre-computed bit
+///   (Section 5.3).
+#[derive(Debug, Clone)]
+pub struct FutureRand {
+    l: usize,
+    k: usize,
+    b_tilde: Vec<Sign>,
+    nnz: usize,
+    position: usize,
+    c_gap: f64,
+}
+
+impl FutureRand {
+    /// `M.init(L, k, ε)`: draws the pre-computed vector from a shared
+    /// [`ComposedRandomizer`] (one per `(k, ε̃)`, reused across users).
+    pub fn init<R: Rng + ?Sized>(l: usize, composed: &ComposedRandomizer, rng: &mut R) -> Self {
+        FutureRand {
+            l,
+            k: composed.k(),
+            b_tilde: composed.sample_for_all_ones(rng),
+            nnz: 0,
+            position: 0,
+            c_gap: composed.c_gap(),
+        }
+    }
+
+    /// Convenience: builds its own composed randomizer with the protocol
+    /// parameterisation `ε̃ = ε/(5√k)`. Prefer sharing a
+    /// [`ComposedRandomizer`] across users — its tables cost `O(k)` to
+    /// build.
+    pub fn init_standalone<R: Rng + ?Sized>(l: usize, k: usize, epsilon: f64, rng: &mut R) -> Self {
+        let composed = ComposedRandomizer::for_protocol(k, epsilon);
+        Self::init(l, &composed, rng)
+    }
+
+    /// The sparsity bound `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// How many non-zero elements have been consumed.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The pre-computed vector `b̃` (exposed for the online-vs-offline
+    /// equivalence tests).
+    #[inline]
+    pub fn b_tilde(&self) -> &[Sign] {
+        &self.b_tilde
+    }
+}
+
+impl LocalRandomizer for FutureRand {
+    fn sequence_len(&self) -> usize {
+        self.l
+    }
+
+    fn position(&self) -> usize {
+        self.position
+    }
+
+    fn c_gap(&self) -> f64 {
+        self.c_gap
+    }
+
+    fn try_next(&mut self, v: Ternary, rng: &mut dyn RngCore) -> Result<Sign, RandomizerError> {
+        if self.position >= self.l {
+            return Err(RandomizerError::SequenceExhausted { l: self.l });
+        }
+        self.position += 1;
+        match v {
+            Ternary::Zero => Ok(Sign::uniform(rng)),
+            nonzero => {
+                if self.nnz >= self.k {
+                    // Roll back the position so the state stays consistent
+                    // if the caller recovers.
+                    self.position -= 1;
+                    return Err(RandomizerError::TooManyNonZeros { k: self.k });
+                }
+                let bit = nonzero.mul_sign(self.b_tilde[self.nnz]);
+                self.nnz += 1;
+                Ok(bit)
+            }
+        }
+    }
+}
+
+/// The naive independent randomizer of Example 4.2: each non-zero element
+/// gets an independent basic randomized response with budget `ε/k`; zeros
+/// are uniform.
+///
+/// Satisfies Properties I–III with `c_gap = (e^{ε/k}−1)/(e^{ε/k}+1) ∈
+/// Θ(ε/k)` — a factor `√k` worse than FutureRand, which is exactly the gap
+/// the paper's Theorem 4.4 closes. Kept as the in-crate ablation baseline.
+#[derive(Debug, Clone)]
+pub struct IndependentRand {
+    l: usize,
+    k: usize,
+    basic: BasicRandomizer,
+    nnz: usize,
+    position: usize,
+}
+
+impl IndependentRand {
+    /// Builds the Example 4.2 randomizer for length `L`, sparsity `k`,
+    /// budget `ε` (per-element budget `ε/k`).
+    pub fn new(l: usize, k: usize, epsilon: f64) -> Self {
+        assert!(k >= 1, "k must be ≥ 1");
+        IndependentRand {
+            l,
+            k,
+            basic: BasicRandomizer::new(epsilon / k as f64),
+            nnz: 0,
+            position: 0,
+        }
+    }
+}
+
+impl LocalRandomizer for IndependentRand {
+    fn sequence_len(&self) -> usize {
+        self.l
+    }
+
+    fn position(&self) -> usize {
+        self.position
+    }
+
+    fn c_gap(&self) -> f64 {
+        self.basic.gap()
+    }
+
+    fn try_next(&mut self, v: Ternary, rng: &mut dyn RngCore) -> Result<Sign, RandomizerError> {
+        if self.position >= self.l {
+            return Err(RandomizerError::SequenceExhausted { l: self.l });
+        }
+        self.position += 1;
+        match v {
+            Ternary::Zero => Ok(Sign::uniform(rng)),
+            nonzero => {
+                if self.nnz >= self.k {
+                    self.position -= 1;
+                    return Err(RandomizerError::TooManyNonZeros { k: self.k });
+                }
+                self.nnz += 1;
+                let sign = nonzero.sign().expect("non-zero");
+                Ok(self.basic.randomize(sign, rng))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn future_rand_consumes_b_tilde_in_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let composed = ComposedRandomizer::for_protocol(4, 1.0);
+        let mut m = FutureRand::init(8, &composed, &mut rng);
+        let b_tilde = m.b_tilde().to_vec();
+        // Feed +1, 0, −1, 0, +1, +1: non-zeros use b̃ entries 0,1,2,3.
+        let inputs = [
+            Ternary::Plus,
+            Ternary::Zero,
+            Ternary::Minus,
+            Ternary::Zero,
+            Ternary::Plus,
+            Ternary::Plus,
+        ];
+        let mut nz_seen = 0;
+        for v in inputs {
+            let out = m.next(v, &mut rng);
+            if v.is_nonzero() {
+                assert_eq!(out, v.mul_sign(b_tilde[nz_seen]));
+                nz_seen += 1;
+            }
+        }
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.position(), 6);
+    }
+
+    #[test]
+    fn property_iii_zeros_are_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let composed = ComposedRandomizer::for_protocol(2, 1.0);
+        let trials = 40_000;
+        let mut plus = 0usize;
+        for _ in 0..trials {
+            let mut m = FutureRand::init(1, &composed, &mut rng);
+            if m.next(Ternary::Zero, &mut rng) == Sign::Plus {
+                plus += 1;
+            }
+        }
+        let f = plus as f64 / trials as f64;
+        assert!((f - 0.5).abs() < 0.01, "zero-coordinate bias: {f}");
+    }
+
+    #[test]
+    fn property_ii_empirical_gap_matches_exact() {
+        // Pr[out = v] − Pr[out = −v] must equal c_gap for non-zero v of
+        // either sign and any position among the non-zeros.
+        let mut rng = StdRng::seed_from_u64(3);
+        let composed = ComposedRandomizer::for_protocol(3, 1.0);
+        let exact = composed.c_gap();
+        for v in [Ternary::Plus, Ternary::Minus] {
+            let trials = 300_000;
+            let mut acc = 0i64;
+            for _ in 0..trials {
+                let mut m = FutureRand::init(4, &composed, &mut rng);
+                // Consume one non-zero before the measured one to test a
+                // non-first position as well.
+                let _ = m.next(Ternary::Minus, &mut rng);
+                let out = m.next(v, &mut rng);
+                acc += if out == v.mul_sign(Sign::Plus) { 1 } else { -1 };
+            }
+            let emp = acc as f64 / trials as f64;
+            let tol = 6.0 / (trials as f64).sqrt();
+            assert!(
+                (emp - exact).abs() < tol,
+                "v={v:?}: empirical {emp} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_many_nonzeros_rejected_then_recoverable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let composed = ComposedRandomizer::for_protocol(2, 1.0);
+        let mut m = FutureRand::init(8, &composed, &mut rng);
+        let _ = m.next(Ternary::Plus, &mut rng);
+        let _ = m.next(Ternary::Minus, &mut rng);
+        let err = m.try_next(Ternary::Plus, &mut rng).unwrap_err();
+        assert_eq!(err, RandomizerError::TooManyNonZeros { k: 2 });
+        // Zeros still work after the rejected call.
+        assert!(m.try_next(Ternary::Zero, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn sequence_exhaustion_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let composed = ComposedRandomizer::for_protocol(2, 1.0);
+        let mut m = FutureRand::init(2, &composed, &mut rng);
+        let _ = m.next(Ternary::Zero, &mut rng);
+        let _ = m.next(Ternary::Zero, &mut rng);
+        assert_eq!(
+            m.try_next(Ternary::Zero, &mut rng).unwrap_err(),
+            RandomizerError::SequenceExhausted { l: 2 }
+        );
+    }
+
+    #[test]
+    fn independent_rand_gap_is_theta_eps_over_k() {
+        for k in [1usize, 4, 16, 64] {
+            let m = IndependentRand::new(10, k, 1.0);
+            let expect = (1.0f64 / k as f64 / 2.0).tanh();
+            assert!((m.c_gap() - expect).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn future_rand_gap_beats_independent_by_sqrt_k() {
+        // The whole point of the paper: c_gap ratio grows like √k.
+        for k in [16usize, 64, 256] {
+            let fr = ComposedRandomizer::for_protocol(k, 1.0).c_gap();
+            let ind = IndependentRand::new(10, k, 1.0).c_gap();
+            let ratio = fr / ind;
+            let sqrt_k = (k as f64).sqrt();
+            assert!(
+                ratio > 0.1 * sqrt_k,
+                "k={k}: ratio {ratio} not ≈ √k = {sqrt_k}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_rand_zeros_uniform_and_errors_match() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m = IndependentRand::new(2, 1, 1.0);
+        let _ = m.next(Ternary::Zero, &mut rng);
+        let _ = m.next(Ternary::Plus, &mut rng);
+        assert_eq!(
+            m.try_next(Ternary::Zero, &mut rng).unwrap_err(),
+            RandomizerError::SequenceExhausted { l: 2 }
+        );
+        let mut m2 = IndependentRand::new(8, 1, 1.0);
+        let _ = m2.next(Ternary::Plus, &mut rng);
+        assert_eq!(
+            m2.try_next(Ternary::Minus, &mut rng).unwrap_err(),
+            RandomizerError::TooManyNonZeros { k: 1 }
+        );
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e1 = RandomizerError::TooManyNonZeros { k: 3 };
+        let e2 = RandomizerError::SequenceExhausted { l: 7 };
+        assert!(format!("{e1}").contains("k = 3"));
+        assert!(format!("{e2}").contains("L = 7"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the core randomizer mathematics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtf_core::annulus::Annulus;
+use rtf_core::composed::ComposedRandomizer;
+use rtf_core::gap::WeightClassLaw;
+use rtf_core::params::ProtocolParams;
+use rtf_core::randomizer::{FutureRand, IndependentRand, LocalRandomizer};
+use rtf_primitives::sign::{Sign, Ternary};
+
+proptest! {
+    /// The annulus always satisfies 0 ≤ LB ≤ UB < k, and inside/outside
+    /// partition [0..k].
+    #[test]
+    fn annulus_invariants(k in 1usize..5_000, eps in 0.01f64..1.0) {
+        let et = eps / (5.0 * (k as f64).sqrt());
+        let ann = Annulus::for_parameters(k, et);
+        prop_assert!(ann.lb() <= ann.ub());
+        prop_assert!(ann.ub() < k);
+        let total = ann.inside().count() + ann.outside().count();
+        prop_assert_eq!(total, k + 1);
+        prop_assert_eq!(ann.outside_len(), ann.outside().count());
+    }
+
+    /// Lemma 5.2 as a property: realized ε ≤ ε over arbitrary (k, ε).
+    #[test]
+    fn lemma_5_2_privacy(k in 1usize..3_000, eps in 0.01f64..=1.0) {
+        let law = WeightClassLaw::for_protocol(k, eps);
+        prop_assert!(law.realized_epsilon() <= eps + 1e-9,
+            "k={} eps={}: realized {}", k, eps, law.realized_epsilon());
+    }
+
+    /// The law is a probability distribution and its gap is in (0, 1).
+    #[test]
+    fn law_is_distribution(k in 1usize..2_000, eps in 0.01f64..=1.0) {
+        let law = WeightClassLaw::for_protocol(k, eps);
+        prop_assert!((law.total_probability() - 1.0).abs() < 1e-8);
+        prop_assert!(law.c_gap() > 0.0 && law.c_gap() < 1.0);
+    }
+
+    /// Lemma 5.3's scaling as a property: c_gap·√k/ε stays in a fixed
+    /// band across all (k, ε).
+    #[test]
+    fn lemma_5_3_gap_band(k in 1usize..3_000, eps in 0.05f64..=1.0) {
+        let law = WeightClassLaw::for_protocol(k, eps);
+        let normalized = law.c_gap() * (k as f64).sqrt() / eps;
+        prop_assert!((0.05..=0.12).contains(&normalized),
+            "k={} eps={}: normalized gap {}", k, eps, normalized);
+    }
+
+    /// P*_out ≤ 2^{-k} ≤ g(UB) (Inequalities 20/22), with integer bounds.
+    #[test]
+    fn p_star_out_inequalities(k in 1usize..2_000, eps in 0.05f64..=1.0) {
+        let law = WeightClassLaw::for_protocol(k, eps);
+        let neg_k_ln2 = -(k as f64) * 2f64.ln();
+        prop_assert!(law.ln_p_star_out() <= neg_k_ln2 + 1e-9);
+        prop_assert!(law.ln_g(law.annulus().ub()) >= neg_k_ln2 - 1e-9);
+    }
+
+    /// The composed randomizer emits ±1 vectors of the right length whose
+    /// Hamming distance matches a legal weight class.
+    #[test]
+    fn composed_output_wellformed(k in 1usize..64, seed in 0u64..200, input_bits in 0u64..u64::MAX) {
+        let r = ComposedRandomizer::for_protocol(k, 1.0);
+        let b: Vec<Sign> = (0..k)
+            .map(|i| if (input_bits >> (i % 64)) & 1 == 1 { Sign::Plus } else { Sign::Minus })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = r.randomize(&b, &mut rng);
+        prop_assert_eq!(out.len(), k);
+        let w = b.iter().zip(&out).filter(|(x, y)| x != y).count();
+        prop_assert!(w <= k);
+    }
+
+    /// FutureRand accounting: positions advance, nnz counts non-zeros,
+    /// and outputs on zero inputs never consume b̃.
+    #[test]
+    fn futurerand_accounting(
+        k in 1usize..8,
+        inputs in prop::collection::vec(-1i8..=1, 1..24),
+        seed in 0u64..200,
+    ) {
+        let l = inputs.len();
+        let composed = ComposedRandomizer::for_protocol(k, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = FutureRand::init(l, &composed, &mut rng);
+        let mut fed_nonzero = 0usize;
+        let mut accepted = 0usize;
+        for &v in &inputs {
+            let t = Ternary::from_i8(v);
+            match m.try_next(t, &mut rng) {
+                Ok(_) => {
+                    accepted += 1;
+                    if t.is_nonzero() { fed_nonzero += 1; }
+                    prop_assert_eq!(m.position(), accepted);
+                    prop_assert_eq!(m.nnz(), fed_nonzero);
+                }
+                Err(e) => {
+                    // Only the sparsity violation can occur mid-sequence
+                    // (l matches the input length, so exhaustion cannot).
+                    prop_assert!(t.is_nonzero());
+                    prop_assert_eq!(
+                        e,
+                        rtf_core::randomizer::RandomizerError::TooManyNonZeros { k }
+                    );
+                    prop_assert_eq!(m.nnz(), k);
+                }
+            }
+        }
+    }
+
+    /// IndependentRand's gap formula.
+    #[test]
+    fn independent_gap(k in 1usize..500, eps in 0.01f64..=1.0) {
+        let m = IndependentRand::new(10, k, eps);
+        let expect = (eps / k as f64 / 2.0).tanh();
+        prop_assert!((m.c_gap() - expect).abs() < 1e-12);
+    }
+
+    /// Parameter validation never accepts garbage, and always accepts
+    /// well-formed inputs.
+    #[test]
+    fn params_validation(
+        n in 1usize..1_000_000,
+        log_d in 0u32..20,
+        k_frac in 0.0f64..=1.0,
+        eps in 0.001f64..=1.0,
+        beta in 0.0001f64..0.9999,
+    ) {
+        let d = 1u64 << log_d;
+        let k = ((d as f64 * k_frac) as usize).max(1);
+        let p = ProtocolParams::new(n, d, k, eps, beta);
+        prop_assert!(p.is_ok(), "rejected valid params n={n} d={d} k={k}");
+        let p = p.unwrap();
+        // Derived quantities are internally consistent.
+        prop_assert_eq!(p.num_orders(), log_d + 1);
+        for h in 0..=log_d {
+            prop_assert!(p.k_for_order(h) >= 1);
+            prop_assert!(p.k_for_order(h) <= k.max(1));
+            prop_assert_eq!(p.sequence_len(h) as u64, d >> h);
+        }
+        // Invalid mutations are rejected.
+        prop_assert!(ProtocolParams::new(n, d + 1, k, eps, beta).is_err() || (d + 1).is_power_of_two());
+        prop_assert!(ProtocolParams::new(n, d, k, eps + 1.0, beta).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Workload generators for categorical longitudinal data.
+
+use crate::population::CategoricalPopulation;
+use crate::stream::CategoricalStream;
+use rand::Rng;
+use rtf_primitives::alias::AliasTable;
+use rtf_primitives::subset::sample_subset;
+
+/// Users pick items from a Zipf(`s`) distribution and churn at uniformly
+/// random times — the "list of frequently visited URLs changes little
+/// every day" regime with a realistic popularity skew.
+#[derive(Debug, Clone)]
+pub struct ZipfChurn {
+    d: u64,
+    domain: u32,
+    k: usize,
+    item_law: AliasTable,
+}
+
+impl ZipfChurn {
+    /// Creates the generator with Zipf exponent `s ≥ 0` (0 = uniform).
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or exceeds `d`, or the domain is empty.
+    pub fn new(d: u64, domain: u32, k: usize, s: f64) -> Self {
+        assert!(domain >= 1, "domain must be non-empty");
+        assert!(k >= 1 && k as u64 <= d, "need 1 ≤ k ≤ d");
+        assert!(s >= 0.0, "Zipf exponent must be ≥ 0");
+        let weights: Vec<f64> = (1..=domain as usize)
+            .map(|r| 1.0 / (r as f64).powf(s))
+            .collect();
+        ZipfChurn {
+            d,
+            domain,
+            k,
+            item_law: AliasTable::new(&weights),
+        }
+    }
+
+    /// The horizon.
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u32 {
+        self.domain
+    }
+
+    /// The transition bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Draws one user stream: `c ∈ [1..k]` transitions at uniform times,
+    /// each to a fresh Zipf-drawn item (resampled if equal to the current
+    /// one and `D > 1`).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> CategoricalStream {
+        let c = rng.random_range(1..=self.k);
+        let times: Vec<u64> = sample_subset(self.d as usize, c, rng)
+            .into_iter()
+            .map(|i| (i + 1) as u64)
+            .collect();
+        let mut transitions = Vec::with_capacity(c);
+        let mut current: Option<u32> = None;
+        for t in times {
+            let mut item = self.item_law.sample(rng) as u32;
+            if self.domain > 1 {
+                while Some(item) == current {
+                    item = self.item_law.sample(rng) as u32;
+                }
+            } else if Some(item) == current {
+                continue; // D = 1: no legal transition target
+            }
+            transitions.push((t, item));
+            current = Some(item);
+        }
+        CategoricalStream::from_transitions(self.d, self.domain, transitions)
+    }
+
+    /// Draws a whole population.
+    pub fn population<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> CategoricalPopulation {
+        CategoricalPopulation::from_streams((0..n).map(|_| self.generate(rng)).collect())
+    }
+}
+
+/// A background Zipf population in which one designated item surges
+/// mid-horizon: users increasingly switch to it after `t₀` — the
+/// heavy-hitter-emergence scenario.
+#[derive(Debug, Clone)]
+pub struct TrendingItem {
+    base: ZipfChurn,
+    hot_item: u32,
+    surge_start: u64,
+    adoption: f64,
+}
+
+impl TrendingItem {
+    /// Creates the generator: after `surge_start`, each user's *last*
+    /// transition switches to `hot_item` with probability `adoption`.
+    ///
+    /// # Panics
+    /// Panics if the hot item is outside the domain or `adoption ∉ [0,1]`.
+    pub fn new(base: ZipfChurn, hot_item: u32, surge_start: u64, adoption: f64) -> Self {
+        assert!(hot_item < base.domain(), "hot item outside domain");
+        assert!((0.0..=1.0).contains(&adoption), "adoption must be in [0,1]");
+        TrendingItem {
+            base,
+            hot_item,
+            surge_start,
+            adoption,
+        }
+    }
+
+    /// Draws one user stream.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> CategoricalStream {
+        let s = self.base.generate(rng);
+        let d = s.d();
+        let domain = s.domain();
+        let mut transitions = s.transitions().to_vec();
+        // Post-surge adoption: append/replace the final move with the hot
+        // item when the user is active after the surge starts.
+        if rng.random::<f64>() < self.adoption {
+            if let Some(&(last_t, last_item)) = transitions.last() {
+                if last_t >= self.surge_start && last_item != self.hot_item {
+                    transitions.pop();
+                    // Re-validate: previous item must differ from hot.
+                    if transitions.last().map(|&(_, i)| i) != Some(self.hot_item) {
+                        transitions.push((last_t, self.hot_item));
+                    } else {
+                        transitions.push((last_t, last_item));
+                    }
+                }
+            }
+        }
+        CategoricalStream::from_transitions(d, domain, transitions)
+    }
+
+    /// Draws a whole population.
+    pub fn population<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> CategoricalPopulation {
+        CategoricalPopulation::from_streams((0..n).map(|_| self.generate(rng)).collect())
+    }
+
+    /// The designated hot item.
+    pub fn hot_item(&self) -> u32 {
+        self.hot_item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_respects_bounds() {
+        let g = ZipfChurn::new(64, 10, 5, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let s = g.generate(&mut rng);
+            assert!(s.transition_count() <= 5);
+            assert!(s.transition_count() >= 1 || s.transitions().is_empty());
+            assert_eq!(s.d(), 64);
+            assert_eq!(s.domain(), 10);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_shows_in_popularity() {
+        // With s = 1.5, element 0 should end up far more popular than the
+        // tail element.
+        let g = ZipfChurn::new(32, 20, 3, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = g.population(3_000, &mut rng);
+        let final_counts: Vec<f64> = (0..20)
+            .map(|e| pop.true_counts()[e][31])
+            .collect();
+        assert!(
+            final_counts[0] > 5.0 * final_counts[19].max(1.0),
+            "head {} vs tail {}",
+            final_counts[0],
+            final_counts[19]
+        );
+    }
+
+    #[test]
+    fn uniform_zipf_is_balanced() {
+        let g = ZipfChurn::new(32, 8, 3, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = g.population(4_000, &mut rng);
+        let final_counts: Vec<f64> = (0..8).map(|e| pop.true_counts()[e][31]).collect();
+        let mean: f64 = final_counts.iter().sum::<f64>() / 8.0;
+        for (e, &c) in final_counts.iter().enumerate() {
+            assert!(
+                (c - mean).abs() < 0.25 * mean,
+                "element {e}: {c} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn trending_item_surges() {
+        let base = ZipfChurn::new(64, 12, 4, 1.0);
+        let g = TrendingItem::new(base, 7, 32, 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let pop = g.population(2_000, &mut rng);
+        let hot = &pop.true_counts()[7];
+        // Popularity at the end should far exceed the pre-surge level.
+        assert!(
+            hot[63] > 3.0 * hot[15].max(1.0),
+            "hot item did not surge: start {} end {}",
+            hot[15],
+            hot[63]
+        );
+        // Streams remain valid (validation would have panicked otherwise).
+        assert!(pop.max_transition_count() <= 4);
+    }
+
+    #[test]
+    fn single_element_domain_works() {
+        let g = ZipfChurn::new(16, 1, 2, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert!(s.transition_count() <= 1, "only the initial acquisition");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Categorical-domain longitudinal frequency estimation.
+//!
+//! Section 1 of the paper notes that the Boolean protocol "can be adapted
+//! to solve frequency estimation and heavy hitter problems in richer
+//! domains via existing techniques". This crate implements the simplest
+//! such adaptation, **element sampling**: each user samples one domain
+//! element uniformly, tracks the Boolean indicator "do I currently hold
+//! this element?" with the full-budget FutureRand protocol, and the
+//! server rescales each element's estimate by the domain size `D`.
+//!
+//! Privacy is inherited: a user's reports are an `ε`-LDP function of one
+//! indicator stream, which is itself a function of the user's item
+//! sequence — by post-processing/data-processing the whole client remains
+//! `ε`-LDP with respect to the item sequence. Utility: each element is
+//! estimated from `≈ n/D` users and rescaled by `D`, so per-element error
+//! scales as `√(D·n)` (measured in `exp_domain`).
+//!
+//! Modules:
+//! * [`stream`] — categorical user streams (`≤ k` item transitions) and
+//!   their per-element Boolean indicators;
+//! * [`population`] — `n` categorical users plus dense ground-truth
+//!   per-element counts;
+//! * [`generator`] — Zipf-churn and trending-item workloads (the
+//!   "popular URLs" motivation);
+//! * [`protocol`] — the element-sampled tracker returning per-element
+//!   online estimates;
+//! * [`heavy`] — heavy-hitter extraction and quality metrics.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod generator;
+pub mod heavy;
+pub mod population;
+pub mod protocol;
+pub mod stream;
+
+pub use generator::{TrendingItem, ZipfChurn};
+pub use heavy::{precision_at_r, top_r};
+pub use population::CategoricalPopulation;
+pub use protocol::{run_domain_tracker, DomainOutcome, DomainParams};
+pub use stream::CategoricalStream;

@@ -1,0 +1,152 @@
+//! A population of categorical users and its per-element ground truth.
+
+use crate::stream::CategoricalStream;
+
+/// `n` categorical streams plus the dense true counts
+/// `a_e[t] = |{u : item_u(t) = e}|`.
+#[derive(Debug, Clone)]
+pub struct CategoricalPopulation {
+    d: u64,
+    domain: u32,
+    streams: Vec<CategoricalStream>,
+    /// `true_counts[e][t−1] = a_e[t]`.
+    true_counts: Vec<Vec<f64>>,
+}
+
+impl CategoricalPopulation {
+    /// Builds a population from explicit streams.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or streams disagree on `(d, domain)`.
+    pub fn from_streams(streams: Vec<CategoricalStream>) -> Self {
+        assert!(!streams.is_empty(), "population must have at least one user");
+        let d = streams[0].d();
+        let domain = streams[0].domain();
+        assert!(
+            streams.iter().all(|s| s.d() == d && s.domain() == domain),
+            "all streams must share (d, domain)"
+        );
+        // Difference arrays per element over transitions.
+        let mut diff = vec![vec![0i64; d as usize + 1]; domain as usize];
+        for s in &streams {
+            let mut prev: Option<u32> = None;
+            for &(t, item) in s.transitions() {
+                if let Some(p) = prev {
+                    diff[p as usize][t as usize] -= 1;
+                }
+                diff[item as usize][t as usize] += 1;
+                prev = Some(item);
+            }
+        }
+        let true_counts = diff
+            .into_iter()
+            .map(|de| {
+                let mut acc = 0i64;
+                (1..=d as usize)
+                    .map(|t| {
+                        acc += de[t];
+                        debug_assert!(acc >= 0);
+                        acc as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        CategoricalPopulation {
+            d,
+            domain,
+            streams,
+            true_counts,
+        }
+    }
+
+    /// The horizon `d`.
+    #[inline]
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The domain size `D`.
+    #[inline]
+    pub fn domain(&self) -> u32 {
+        self.domain
+    }
+
+    /// The number of users.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The user streams.
+    #[inline]
+    pub fn streams(&self) -> &[CategoricalStream] {
+        &self.streams
+    }
+
+    /// `a_e[t]` for all elements (`[e][t−1]`).
+    #[inline]
+    pub fn true_counts(&self) -> &[Vec<f64>] {
+        &self.true_counts
+    }
+
+    /// The largest transition count across users.
+    pub fn max_transition_count(&self) -> usize {
+        self.streams
+            .iter()
+            .map(CategoricalStream::transition_count)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_brute_force() {
+        let streams = vec![
+            CategoricalStream::from_transitions(8, 3, vec![(1, 0), (4, 2)]),
+            CategoricalStream::from_transitions(8, 3, vec![(2, 2)]),
+            CategoricalStream::from_transitions(8, 3, vec![]),
+        ];
+        let pop = CategoricalPopulation::from_streams(streams.clone());
+        for e in 0..3u32 {
+            for t in 1..=8u64 {
+                let expect = streams
+                    .iter()
+                    .filter(|s| s.item_at(t) == Some(e))
+                    .count() as f64;
+                assert_eq!(
+                    pop.true_counts()[e as usize][(t - 1) as usize],
+                    expect,
+                    "e={e} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_period_counts_sum_to_holders() {
+        // Σ_e a_e[t] = number of users currently holding anything.
+        let streams = vec![
+            CategoricalStream::from_transitions(8, 4, vec![(3, 1)]),
+            CategoricalStream::from_transitions(8, 4, vec![(1, 0), (5, 3)]),
+        ];
+        let pop = CategoricalPopulation::from_streams(streams.clone());
+        for t in 1..=8u64 {
+            let total: f64 = (0..4).map(|e| pop.true_counts()[e][(t - 1) as usize]).sum();
+            let holders = streams.iter().filter(|s| s.item_at(t).is_some()).count() as f64;
+            assert_eq!(total, holders, "t={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share (d, domain)")]
+    fn mixed_domains_rejected() {
+        let _ = CategoricalPopulation::from_streams(vec![
+            CategoricalStream::from_transitions(8, 2, vec![]),
+            CategoricalStream::from_transitions(8, 3, vec![]),
+        ]);
+    }
+}

@@ -1,0 +1,187 @@
+//! One user's categorical item sequence and its Boolean indicators.
+//!
+//! A categorical stream holds, at each period, exactly one item from
+//! `[0..D)` — or nothing before its first acquisition, matching the
+//! Boolean convention `st_u[0] = 0`. The stream is stored as its
+//! *transitions* `(time, item)`: at most `k` of them, strictly increasing
+//! in time. Each transition toggles at most two per-element indicators
+//! (the old item off, the new item on), so every indicator stream is a
+//! valid `≤ k`-sparse `BoolStream` and the Boolean protocol applies
+//! unchanged.
+
+use rtf_streams::stream::BoolStream;
+
+/// A user's item history over `[1..d]`: holds nothing before the first
+/// transition, then the item of the most recent transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoricalStream {
+    d: u64,
+    domain: u32,
+    /// `(time, item)` pairs, strictly increasing times, items in
+    /// `[0..domain)`, consecutive items distinct.
+    transitions: Vec<(u64, u32)>,
+}
+
+impl CategoricalStream {
+    /// Builds a stream from transitions.
+    ///
+    /// # Panics
+    /// Panics if times are not strictly increasing / in `[1..d]`, an item
+    /// is out of domain, or two consecutive transitions carry the same
+    /// item (not a real transition).
+    pub fn from_transitions(d: u64, domain: u32, transitions: Vec<(u64, u32)>) -> Self {
+        assert!(d >= 1, "horizon must be non-empty");
+        assert!(domain >= 1, "domain must be non-empty");
+        let mut prev_t = 0u64;
+        let mut prev_item: Option<u32> = None;
+        for &(t, item) in &transitions {
+            assert!(t >= 1 && t <= d, "transition time {t} outside [1..{d}]");
+            assert!(t > prev_t, "transition times must strictly increase");
+            assert!(item < domain, "item {item} outside domain [0..{domain})");
+            assert!(
+                prev_item != Some(item),
+                "consecutive transitions must change the item"
+            );
+            prev_t = t;
+            prev_item = Some(item);
+        }
+        CategoricalStream {
+            d,
+            domain,
+            transitions,
+        }
+    }
+
+    /// The horizon `d`.
+    #[inline]
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The domain size `D`.
+    #[inline]
+    pub fn domain(&self) -> u32 {
+        self.domain
+    }
+
+    /// Number of transitions (the categorical `k`).
+    #[inline]
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The transitions.
+    #[inline]
+    pub fn transitions(&self) -> &[(u64, u32)] {
+        &self.transitions
+    }
+
+    /// The item held at time `t` (`None` before the first acquisition).
+    ///
+    /// # Panics
+    /// Panics if `t > d`.
+    pub fn item_at(&self, t: u64) -> Option<u32> {
+        assert!(t <= self.d, "time {t} beyond horizon {}", self.d);
+        let idx = self.transitions.partition_point(|&(tt, _)| tt <= t);
+        idx.checked_sub(1).map(|i| self.transitions[i].1)
+    }
+
+    /// The Boolean indicator stream for element `e`:
+    /// `st^e_u[t] = 1[item_u(t) = e]`.
+    ///
+    /// The indicator's change count is at most the transition count, so
+    /// any `k` bounding the categorical stream bounds the indicator too.
+    pub fn indicator(&self, e: u32) -> BoolStream {
+        assert!(e < self.domain, "element {e} outside domain");
+        let mut change_times = Vec::new();
+        let mut holding = false;
+        for &(t, item) in &self.transitions {
+            let now = item == e;
+            if now != holding {
+                change_times.push(t);
+                holding = now;
+            }
+        }
+        BoolStream::from_change_times(self.d, change_times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CategoricalStream {
+        // Holds nothing, then item 2 from t=3, item 0 from t=5, item 2
+        // again from t=9.
+        CategoricalStream::from_transitions(16, 3, vec![(3, 2), (5, 0), (9, 2)])
+    }
+
+    #[test]
+    fn item_at_follows_transitions() {
+        let s = sample();
+        assert_eq!(s.item_at(0), None);
+        assert_eq!(s.item_at(2), None);
+        assert_eq!(s.item_at(3), Some(2));
+        assert_eq!(s.item_at(4), Some(2));
+        assert_eq!(s.item_at(5), Some(0));
+        assert_eq!(s.item_at(8), Some(0));
+        assert_eq!(s.item_at(9), Some(2));
+        assert_eq!(s.item_at(16), Some(2));
+    }
+
+    #[test]
+    fn indicators_match_item_at() {
+        let s = sample();
+        for e in 0..3u32 {
+            let ind = s.indicator(e);
+            for t in 1..=16u64 {
+                assert_eq!(
+                    ind.value_at(t),
+                    s.item_at(t) == Some(e),
+                    "element {e} at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indicator_change_count_bounded_by_transitions() {
+        let s = sample();
+        for e in 0..3u32 {
+            assert!(s.indicator(e).change_count() <= s.transition_count());
+        }
+    }
+
+    #[test]
+    fn untouched_element_has_empty_indicator() {
+        let s = sample();
+        assert_eq!(s.indicator(1).change_count(), 0);
+    }
+
+    #[test]
+    fn empty_stream_holds_nothing() {
+        let s = CategoricalStream::from_transitions(8, 4, vec![]);
+        assert_eq!(s.item_at(8), None);
+        for e in 0..4 {
+            assert_eq!(s.indicator(e).change_count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_increasing_times_rejected() {
+        let _ = CategoricalStream::from_transitions(8, 2, vec![(3, 0), (3, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must change the item")]
+    fn self_transition_rejected() {
+        let _ = CategoricalStream::from_transitions(8, 2, vec![(2, 1), (5, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_item_rejected() {
+        let _ = CategoricalStream::from_transitions(8, 2, vec![(2, 2)]);
+    }
+}

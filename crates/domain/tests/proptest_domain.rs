@@ -1,0 +1,84 @@
+//! Property-based tests for the categorical domain layer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtf_domain::generator::ZipfChurn;
+use rtf_domain::population::CategoricalPopulation;
+use rtf_domain::stream::CategoricalStream;
+
+/// Strategy: a valid transition list on horizon `d` over `domain`
+/// elements.
+fn transitions(d: u64, domain: u32) -> impl Strategy<Value = Vec<(u64, u32)>> {
+    prop::collection::btree_map(1..=d, 0..domain, 0..8).prop_map(|m| {
+        // Strictly increasing times from the map keys; drop repeated
+        // items so consecutive transitions always change the item.
+        let mut out: Vec<(u64, u32)> = Vec::new();
+        for (t, item) in m {
+            if out.last().map(|&(_, i)| i) != Some(item) {
+                out.push((t, item));
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    /// Indicators partition the user's time: at every t, exactly one
+    /// element's indicator is on (or none before the first acquisition).
+    #[test]
+    fn indicators_partition_time(trs in transitions(32, 5)) {
+        let s = CategoricalStream::from_transitions(32, 5, trs);
+        for t in 1..=32u64 {
+            let on: Vec<u32> = (0..5).filter(|&e| s.indicator(e).value_at(t)).collect();
+            match s.item_at(t) {
+                Some(item) => prop_assert_eq!(on, vec![item]),
+                None => prop_assert!(on.is_empty()),
+            }
+        }
+    }
+
+    /// Every indicator's change count is bounded by the transition count.
+    #[test]
+    fn indicator_sparsity(trs in transitions(64, 4)) {
+        let s = CategoricalStream::from_transitions(64, 4, trs);
+        for e in 0..4u32 {
+            prop_assert!(s.indicator(e).change_count() <= s.transition_count());
+        }
+    }
+
+    /// Population ground truth: per-period element counts sum to the
+    /// number of active (holding) users, and match brute force.
+    #[test]
+    fn population_truth(seed in 0u64..300, n in 1usize..30) {
+        let g = ZipfChurn::new(16, 4, 3, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = g.population(n, &mut rng);
+        for t in 1..=16u64 {
+            let mut total = 0.0;
+            for e in 0..4u32 {
+                let expect = pop
+                    .streams()
+                    .iter()
+                    .filter(|s| s.item_at(t) == Some(e))
+                    .count() as f64;
+                prop_assert_eq!(pop.true_counts()[e as usize][(t - 1) as usize], expect);
+                total += expect;
+            }
+            let active = pop.streams().iter().filter(|s| s.item_at(t).is_some()).count() as f64;
+            prop_assert_eq!(total, active);
+        }
+    }
+
+    /// Round trip: a stream rebuilt from (d, domain, transitions) is
+    /// identical.
+    #[test]
+    fn stream_round_trip(trs in transitions(32, 6)) {
+        let s = CategoricalStream::from_transitions(32, 6, trs.clone());
+        let s2 = CategoricalStream::from_transitions(s.d(), s.domain(), s.transitions().to_vec());
+        prop_assert_eq!(s, s2);
+        let _ = CategoricalPopulation::from_streams(vec![
+            CategoricalStream::from_transitions(32, 6, trs),
+        ]);
+    }
+}

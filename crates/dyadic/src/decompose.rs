@@ -1,0 +1,186 @@
+//! Minimal dyadic decompositions (Fact 3.8).
+//!
+//! A prefix `[1..t]` decomposes into at most `⌈log t⌉ + 1` disjoint dyadic
+//! intervals with *distinct orders* — one per set bit of `t`. A general
+//! range `[ℓ..r]` decomposes into at most `2·⌈log(r−ℓ+1)⌉ + 2` dyadic
+//! intervals (orders may repeat), which the paper notes in passing after
+//! Fact 3.8.
+
+use crate::interval::DyadicInterval;
+
+/// The canonical decomposition `C(t)` of the prefix `[1..t]` into disjoint
+/// dyadic intervals with distinct orders, highest order first (Fact 3.8).
+///
+/// The construction reads the binary expansion of `t`: each set bit at
+/// position `h` contributes the order-`h` interval ending at the cumulative
+/// position reached so far. For example `C(3) = {I_{1,1}, I_{0,3}} =
+/// {{1,2},{3}}` as in Figure 1.
+///
+/// Returns the empty vector for `t = 0` (the empty prefix).
+pub fn decompose_prefix(t: u64) -> Vec<DyadicInterval> {
+    let mut parts = Vec::with_capacity(t.count_ones() as usize);
+    let mut covered: u64 = 0;
+    // Walk the set bits from most to least significant.
+    let mut remaining = t;
+    while remaining != 0 {
+        let h = 63 - remaining.leading_zeros(); // highest set bit
+        let len = 1u64 << h;
+        covered += len;
+        parts.push(DyadicInterval::new(h, covered >> h));
+        remaining ^= len;
+    }
+    parts
+}
+
+/// Decomposes an arbitrary range `[l..r]` (inclusive, 1-based) into a
+/// minimal sequence of disjoint dyadic intervals, left to right.
+///
+/// This is the classic segment-tree cover: repeatedly take the largest
+/// dyadic interval that starts at the current position and fits inside the
+/// remainder.
+///
+/// # Panics
+/// Panics if `l == 0` or `l > r`.
+pub fn decompose_range(l: u64, r: u64) -> Vec<DyadicInterval> {
+    assert!(l >= 1, "times are 1-based");
+    assert!(l <= r, "empty or inverted range [{l}..{r}]");
+    let mut parts = Vec::new();
+    let mut pos = l;
+    while pos <= r {
+        // Largest order aligned at `pos`: the interval of order h starts at
+        // pos iff 2^h divides pos−1.
+        let align = if pos == 1 { 63 } else { (pos - 1).trailing_zeros() };
+        // Largest order that still fits into [pos..r].
+        let space = 63 - (r - pos + 1).leading_zeros();
+        let h = align.min(space);
+        let len = 1u64 << h;
+        parts.push(DyadicInterval::new(h, (pos - 1 + len) >> h));
+        pos += len;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: check that a list of intervals tiles [l..r] exactly.
+    fn assert_tiles(parts: &[DyadicInterval], l: u64, r: u64) {
+        let mut pos = l;
+        for p in parts {
+            assert_eq!(p.start(), pos, "gap or overlap before {p}");
+            pos = p.end() + 1;
+        }
+        assert_eq!(pos, r + 1, "cover must end exactly at {r}");
+    }
+
+    #[test]
+    fn figure_1_c3() {
+        // Figure 1 / Fact 3.8 example: C(3) = {{1,2}, {3}}.
+        let c3 = decompose_prefix(3);
+        assert_eq!(
+            c3,
+            vec![DyadicInterval::new(1, 1), DyadicInterval::new(0, 3)]
+        );
+    }
+
+    #[test]
+    fn prefix_edge_cases() {
+        assert!(decompose_prefix(0).is_empty());
+        assert_eq!(decompose_prefix(1), vec![DyadicInterval::new(0, 1)]);
+        // Power of two: a single interval.
+        assert_eq!(decompose_prefix(8), vec![DyadicInterval::new(3, 1)]);
+        // All-ones: one interval per order.
+        let c7 = decompose_prefix(7);
+        assert_eq!(c7.len(), 3);
+        assert_eq!(
+            c7,
+            vec![
+                DyadicInterval::new(2, 1),
+                DyadicInterval::new(1, 3),
+                DyadicInterval::new(0, 7)
+            ]
+        );
+    }
+
+    #[test]
+    fn prefix_tiles_and_has_distinct_orders() {
+        for t in 1..=4096u64 {
+            let parts = decompose_prefix(t);
+            assert_tiles(&parts, 1, t);
+            // Distinct orders, strictly decreasing (Fact 3.8).
+            assert!(parts.windows(2).all(|w| w[0].order() > w[1].order()));
+            // Size bound: number of set bits ≤ ⌈log t⌉ + 1.
+            assert_eq!(parts.len(), t.count_ones() as usize);
+        }
+    }
+
+    #[test]
+    fn prefix_interval_ends_match_truncated_t() {
+        // The order-h part of C(t) must end at (t >> h) << h — the property
+        // the streaming frontier relies on (see `frontier`).
+        for t in 1..=1024u64 {
+            for p in decompose_prefix(t) {
+                let h = p.order();
+                assert_eq!(p.end(), (t >> h) << h);
+            }
+        }
+    }
+
+    #[test]
+    fn range_example_2_to_3() {
+        // The paper's example after Fact 3.8: [2..3] = {{2},{3}} (two
+        // order-0 intervals; orders may repeat).
+        let parts = decompose_range(2, 3);
+        assert_eq!(
+            parts,
+            vec![DyadicInterval::new(0, 2), DyadicInterval::new(0, 3)]
+        );
+    }
+
+    #[test]
+    fn range_tiles_exactly() {
+        for l in 1..=128u64 {
+            for r in l..=128u64 {
+                let parts = decompose_range(l, r);
+                assert_tiles(&parts, l, r);
+            }
+        }
+    }
+
+    #[test]
+    fn range_is_minimal_size() {
+        // Minimality bound: ≤ 2·(⌊log₂ len⌋ + 1) parts.
+        for l in 1..=256u64 {
+            for r in l..=256u64 {
+                let len = r - l + 1;
+                let bound = 2 * ((64 - len.leading_zeros()) as usize);
+                let parts = decompose_range(l, r);
+                assert!(
+                    parts.len() <= bound,
+                    "[{l}..{r}]: {} parts > bound {bound}",
+                    parts.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_prefix_agrees_with_decompose_prefix() {
+        for t in 1..=512u64 {
+            assert_eq!(decompose_range(1, t), decompose_prefix(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn range_zero_start_rejected() {
+        let _ = decompose_range(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn range_inverted_rejected() {
+        let _ = decompose_range(5, 4);
+    }
+}

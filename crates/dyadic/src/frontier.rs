@@ -1,0 +1,213 @@
+//! The streaming frontier: `O(log d)` server state sufficient for every
+//! online prefix query.
+//!
+//! At time `t`, the prefix decomposition `C(t)` contains, for each set bit
+//! `h` of `t`, the order-`h` interval ending at `(t >> h) << h` — which is
+//! exactly the *most recently completed* order-`h` interval. So the server
+//! never needs more than the latest completed value per order: record each
+//! interval's aggregate as it completes, and any prefix estimate
+//! `â[t] = Σ_{I ∈ C(t)} Ŝ(I)` (Algorithm 2, line 6) is a sum over the set
+//! bits of `t`.
+
+use crate::interval::{DyadicInterval, Horizon};
+
+/// Per-order storage of the most recently completed interval value.
+#[derive(Debug, Clone)]
+pub struct Frontier<T> {
+    horizon: Horizon,
+    /// `slots[h]` = (index j of the last completed order-h interval, value).
+    slots: Vec<Option<(u64, T)>>,
+}
+
+impl<T> Frontier<T> {
+    /// An empty frontier over `[1..d]`.
+    pub fn new(horizon: Horizon) -> Self {
+        let mut slots = Vec::with_capacity(horizon.num_orders() as usize);
+        slots.resize_with(horizon.num_orders() as usize, || None);
+        Frontier { horizon, slots }
+    }
+
+    /// The horizon this frontier lives on.
+    pub fn horizon(&self) -> Horizon {
+        self.horizon
+    }
+
+    /// Records the aggregate `value` of a completed interval.
+    ///
+    /// Intervals of each order must be recorded in left-to-right temporal
+    /// order (the natural order in which they complete).
+    ///
+    /// # Panics
+    /// Panics if the interval's order is off-horizon, or if it does not
+    /// strictly follow the previously recorded interval of the same order.
+    pub fn record(&mut self, interval: DyadicInterval, value: T) {
+        let h = interval.order();
+        assert!(
+            h <= self.horizon.log_d(),
+            "order {h} exceeds log d = {}",
+            self.horizon.log_d()
+        );
+        assert!(
+            interval.index() <= self.horizon.intervals_at_order(h),
+            "interval {interval} beyond horizon d = {}",
+            self.horizon.d()
+        );
+        let slot = &mut self.slots[h as usize];
+        if let Some((prev_j, _)) = slot {
+            assert!(
+                interval.index() > *prev_j,
+                "interval {interval} recorded out of order (previous index {prev_j})"
+            );
+        }
+        *slot = Some((interval.index(), value));
+    }
+
+    /// The latest recorded value of order `h`, if any.
+    pub fn latest(&self, h: u32) -> Option<(DyadicInterval, &T)> {
+        self.slots[h as usize]
+            .as_ref()
+            .map(|(j, v)| (DyadicInterval::new(h, *j), v))
+    }
+
+    /// Visits the value of every interval in `C(t)`, i.e. the decomposition
+    /// of the prefix `[1..t]`.
+    ///
+    /// Returns `Err(interval)` for the first required interval that has not
+    /// been recorded yet (or whose recorded index is stale), which signals
+    /// a protocol-ordering bug in the caller.
+    pub fn visit_prefix<'a>(
+        &'a self,
+        t: u64,
+        mut visit: impl FnMut(DyadicInterval, &'a T),
+    ) -> Result<(), DyadicInterval> {
+        assert!(
+            self.horizon.contains_time(t),
+            "time {t} outside horizon [1..{}]",
+            self.horizon.d()
+        );
+        let mut remaining = t;
+        while remaining != 0 {
+            let h = remaining.trailing_zeros();
+            remaining &= remaining - 1;
+            // The order-h interval in C(t) ends at (t >> h) << h, so its
+            // index is t >> h.
+            let j = t >> h;
+            match &self.slots[h as usize] {
+                Some((stored_j, v)) if *stored_j == j => {
+                    visit(DyadicInterval::new(h, j), v);
+                }
+                _ => return Err(DyadicInterval::new(h, j)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: sums `f(value)` over the prefix decomposition `C(t)`.
+    ///
+    /// # Panics
+    /// Panics if some required interval is missing (see
+    /// [`visit_prefix`](Self::visit_prefix) for the non-panicking form).
+    pub fn prefix_sum(&self, t: u64, mut f: impl FnMut(&T) -> f64) -> f64 {
+        let mut acc = 0.0;
+        self.visit_prefix(t, |_, v| acc += f(v))
+            .unwrap_or_else(|missing| {
+                panic!("prefix query at t={t} requires unrecorded interval {missing}")
+            });
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose_prefix;
+
+    /// Drives a frontier through the full horizon, recording interval sums
+    /// of a known per-period series, and checks every prefix.
+    #[test]
+    fn frontier_prefix_sums_match_direct_sums() {
+        let d = 64u64;
+        let hz = Horizon::new(d);
+        // Period values 1, 2, 3, … so prefix sums are t(t+1)/2.
+        let mut frontier = Frontier::new(hz);
+        for t in 1..=d {
+            // Every interval ending at t completes now: orders 0..=ν₂(t).
+            for h in 0..=t.trailing_zeros() {
+                let i = DyadicInterval::new(h, t >> h);
+                let sum: f64 = i.times().map(|x| x as f64).sum();
+                frontier.record(i, sum);
+            }
+            let got = frontier.prefix_sum(t, |&v| v);
+            let expect = (t * (t + 1) / 2) as f64;
+            assert_eq!(got, expect, "prefix sum at t={t}");
+        }
+    }
+
+    #[test]
+    fn frontier_agrees_with_decompose_prefix() {
+        let d = 32u64;
+        let hz = Horizon::new(d);
+        let mut frontier = Frontier::new(hz);
+        for t in 1..=d {
+            for h in 0..=t.trailing_zeros() {
+                frontier.record(DyadicInterval::new(h, t >> h), ());
+            }
+            let mut seen = Vec::new();
+            frontier
+                .visit_prefix(t, |i, _| seen.push(i))
+                .expect("all parts recorded");
+            let mut expect = decompose_prefix(t);
+            // visit_prefix iterates low bit to high bit; sort both.
+            seen.sort();
+            expect.sort();
+            assert_eq!(seen, expect, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn missing_interval_reported() {
+        let hz = Horizon::new(8);
+        let mut frontier: Frontier<f64> = Frontier::new(hz);
+        frontier.record(DyadicInterval::new(0, 1), 1.0);
+        // t = 3 needs I_{1,1} (unrecorded) and I_{0,3} (stale slot).
+        let err = frontier.visit_prefix(3, |_, _| {}).unwrap_err();
+        assert_eq!(err.order(), 0); // lowest bit visited first: I_{0,3} index 3 ≠ stored 1
+        assert_eq!(err.index(), 3);
+    }
+
+    #[test]
+    fn latest_tracks_most_recent() {
+        let hz = Horizon::new(8);
+        let mut f = Frontier::new(hz);
+        assert!(f.latest(0).is_none());
+        f.record(DyadicInterval::new(0, 1), 'a');
+        f.record(DyadicInterval::new(0, 2), 'b');
+        let (i, v) = f.latest(0).unwrap();
+        assert_eq!((i.index(), *v), (2, 'b'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_record_rejected() {
+        let hz = Horizon::new(8);
+        let mut f = Frontier::new(hz);
+        f.record(DyadicInterval::new(0, 3), 0.0);
+        f.record(DyadicInterval::new(0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond horizon")]
+    fn off_horizon_interval_rejected() {
+        let hz = Horizon::new(8);
+        let mut f = Frontier::new(hz);
+        f.record(DyadicInterval::new(0, 9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside horizon")]
+    fn off_horizon_query_rejected() {
+        let hz = Horizon::new(8);
+        let f: Frontier<f64> = Frontier::new(hz);
+        let _ = f.visit_prefix(9, |_, _| {});
+    }
+}

@@ -1,0 +1,338 @@
+//! Dyadic intervals (Definition 3.2) and the time horizon they live on.
+
+/// The time horizon `[1..d]` with `d` a power of two.
+///
+/// Owns the global constants every dyadic computation needs: `d`,
+/// `log₂ d`, and the set of valid orders `[0..log d]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Horizon {
+    d: u64,
+    log_d: u32,
+}
+
+impl Horizon {
+    /// Creates the horizon `[1..d]`.
+    ///
+    /// # Panics
+    /// Panics unless `d` is a power of two and `d ≥ 1`.
+    pub fn new(d: u64) -> Self {
+        assert!(d >= 1 && d.is_power_of_two(), "horizon d must be a power of two ≥ 1, got {d}");
+        Horizon {
+            d,
+            log_d: d.trailing_zeros(),
+        }
+    }
+
+    /// The number of time periods `d`.
+    #[inline]
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// `log₂ d`.
+    #[inline]
+    pub fn log_d(&self) -> u32 {
+        self.log_d
+    }
+
+    /// The number of distinct orders, `1 + log₂ d` — also the support size
+    /// of the client's order-sampling distribution (Algorithm 1, line 1).
+    #[inline]
+    pub fn num_orders(&self) -> u32 {
+        self.log_d + 1
+    }
+
+    /// Iterator over valid orders `h ∈ [0..log d]`.
+    pub fn orders(&self) -> impl Iterator<Item = u32> {
+        0..=self.log_d
+    }
+
+    /// The number of dyadic intervals of order `h`, i.e. `d / 2^h`
+    /// (`|ISet[h]|` in the paper's notation).
+    ///
+    /// # Panics
+    /// Panics if `h > log d`.
+    #[inline]
+    pub fn intervals_at_order(&self, h: u32) -> u64 {
+        assert!(h <= self.log_d, "order {h} exceeds log d = {}", self.log_d);
+        self.d >> h
+    }
+
+    /// Iterator over all dyadic intervals of order `h` (the paper's
+    /// `ISet[h]`), in left-to-right order.
+    pub fn iset_at_order(&self, h: u32) -> impl Iterator<Item = DyadicInterval> {
+        let count = self.intervals_at_order(h);
+        (1..=count).map(move |j| DyadicInterval::new(h, j))
+    }
+
+    /// Iterator over the full `ISet = ∪_h ISet[h]`, order by order.
+    pub fn iset(&self) -> impl Iterator<Item = DyadicInterval> + '_ {
+        self.orders().flat_map(move |h| self.iset_at_order(h))
+    }
+
+    /// Total number of dyadic intervals, `Σ_h d/2^h = 2d − 1`.
+    pub fn iset_len(&self) -> u64 {
+        2 * self.d - 1
+    }
+
+    /// Whether `t` is a valid time on this horizon.
+    #[inline]
+    pub fn contains_time(&self, t: u64) -> bool {
+        (1..=self.d).contains(&t)
+    }
+
+    /// The unique order-`h` interval containing time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is off-horizon or `h > log d`.
+    pub fn interval_containing(&self, h: u32, t: u64) -> DyadicInterval {
+        assert!(self.contains_time(t), "time {t} outside [1..{}]", self.d);
+        assert!(h <= self.log_d, "order {h} exceeds log d = {}", self.log_d);
+        DyadicInterval::new(h, t.div_ceil(1 << h))
+    }
+}
+
+/// A dyadic interval `I_{h,j} = {(j−1)·2^h + 1, …, j·2^h}` (Definition 3.2).
+///
+/// `h` is the *order*, `j ≥ 1` the 1-based index within that order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DyadicInterval {
+    order: u32,
+    index: u64,
+}
+
+impl DyadicInterval {
+    /// Creates `I_{h,j}`.
+    ///
+    /// # Panics
+    /// Panics if `index == 0` (indices are 1-based).
+    pub fn new(order: u32, index: u64) -> Self {
+        assert!(index >= 1, "dyadic interval indices are 1-based");
+        DyadicInterval { order, index }
+    }
+
+    /// The order `h` (the interval covers `2^h` time periods).
+    #[inline]
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// The 1-based index `j` within its order.
+    #[inline]
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The interval length `2^h`.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        1u64 << self.order
+    }
+
+    /// Always `false`; dyadic intervals are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First covered time, `(j−1)·2^h + 1`.
+    #[inline]
+    pub fn start(&self) -> u64 {
+        (self.index - 1) * self.len() + 1
+    }
+
+    /// Last covered time, `j·2^h` — also the first time at which a client
+    /// has all the data needed to compute this interval's partial sum
+    /// (Section 4.2).
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.index * self.len()
+    }
+
+    /// Whether time `t` lies inside the interval.
+    #[inline]
+    pub fn contains(&self, t: u64) -> bool {
+        (self.start()..=self.end()).contains(&t)
+    }
+
+    /// Iterator over the covered times.
+    pub fn times(&self) -> impl Iterator<Item = u64> {
+        self.start()..=self.end()
+    }
+
+    /// The parent interval (order `h+1`) in the dyadic tree.
+    #[must_use]
+    pub fn parent(&self) -> DyadicInterval {
+        DyadicInterval::new(self.order + 1, self.index.div_ceil(2))
+    }
+
+    /// The two children (order `h−1`), or `None` for leaves (order 0).
+    pub fn children(&self) -> Option<(DyadicInterval, DyadicInterval)> {
+        if self.order == 0 {
+            return None;
+        }
+        let h = self.order - 1;
+        Some((
+            DyadicInterval::new(h, 2 * self.index - 1),
+            DyadicInterval::new(h, 2 * self.index),
+        ))
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn covers(&self, other: &DyadicInterval) -> bool {
+        self.start() <= other.start() && other.end() <= self.end()
+    }
+
+    /// Whether the two intervals share any time period. Dyadic intervals
+    /// are laminar: they either nest or are disjoint.
+    pub fn overlaps(&self, other: &DyadicInterval) -> bool {
+        self.start() <= other.end() && other.start() <= self.end()
+    }
+}
+
+impl std::fmt::Display for DyadicInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "I[{},{}]=({}..={})",
+            self.order,
+            self.index,
+            self.start(),
+            self.end()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_3_all_intervals_on_d4() {
+        // Example 3.3: the dyadic intervals on [4].
+        let h = Horizon::new(4);
+        let intervals: Vec<DyadicInterval> = h.iset().collect();
+        let expected = vec![
+            DyadicInterval::new(0, 1),
+            DyadicInterval::new(0, 2),
+            DyadicInterval::new(0, 3),
+            DyadicInterval::new(0, 4),
+            DyadicInterval::new(1, 1),
+            DyadicInterval::new(1, 2),
+            DyadicInterval::new(2, 1),
+        ];
+        assert_eq!(intervals, expected);
+        assert_eq!(h.iset_len(), 7);
+        // Spot-check the covered ranges from the example.
+        assert_eq!((intervals[4].start(), intervals[4].end()), (1, 2)); // I_{1,1} = {1,2}
+        assert_eq!((intervals[5].start(), intervals[5].end()), (3, 4)); // I_{1,2} = {3,4}
+        assert_eq!((intervals[6].start(), intervals[6].end()), (1, 4)); // I_{2,1}
+    }
+
+    #[test]
+    fn horizon_rejects_non_power_of_two() {
+        for bad in [0u64, 3, 5, 6, 7, 100] {
+            let r = std::panic::catch_unwind(|| Horizon::new(bad));
+            assert!(r.is_err(), "d = {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn horizon_d1_degenerate() {
+        let h = Horizon::new(1);
+        assert_eq!(h.log_d(), 0);
+        assert_eq!(h.num_orders(), 1);
+        assert_eq!(h.iset().count(), 1);
+    }
+
+    #[test]
+    fn interval_geometry() {
+        let i = DyadicInterval::new(3, 2); // {9..16}
+        assert_eq!(i.len(), 8);
+        assert_eq!(i.start(), 9);
+        assert_eq!(i.end(), 16);
+        assert!(i.contains(9) && i.contains(16));
+        assert!(!i.contains(8) && !i.contains(17));
+        assert_eq!(i.times().count(), 8);
+    }
+
+    #[test]
+    fn parent_child_round_trip() {
+        let h = Horizon::new(64);
+        for i in h.iset() {
+            if let Some((l, r)) = i.children() {
+                assert_eq!(l.parent(), i);
+                assert_eq!(r.parent(), i);
+                assert!(i.covers(&l) && i.covers(&r));
+                assert_eq!(l.end() + 1, r.start());
+                assert_eq!(l.start(), i.start());
+                assert_eq!(r.end(), i.end());
+            } else {
+                assert_eq!(i.order(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_of_same_order_partition_horizon() {
+        let hz = Horizon::new(32);
+        for h in hz.orders() {
+            let mut covered = [false; 33];
+            for i in hz.iset_at_order(h) {
+                for t in i.times() {
+                    assert!(!covered[t as usize], "time {t} covered twice at order {h}");
+                    covered[t as usize] = true;
+                }
+            }
+            assert!(covered[1..].iter().all(|&c| c), "order {h} must cover [1..32]");
+        }
+    }
+
+    #[test]
+    fn laminar_structure() {
+        let hz = Horizon::new(16);
+        let all: Vec<_> = hz.iset().collect();
+        for a in &all {
+            for b in &all {
+                if a.overlaps(b) {
+                    assert!(a.covers(b) || b.covers(a), "{a} and {b} overlap without nesting");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_containing_is_inverse_of_contains() {
+        let hz = Horizon::new(64);
+        for h in hz.orders() {
+            for t in 1..=64u64 {
+                let i = hz.interval_containing(h, t);
+                assert_eq!(i.order(), h);
+                assert!(i.contains(t), "{i} should contain {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn end_is_first_completion_time() {
+        // The last datum needed for I_{h,j} arrives at time j·2^h
+        // (Section 4.2): end() must be divisible by 2^h with quotient j.
+        let hz = Horizon::new(128);
+        for i in hz.iset() {
+            assert_eq!(i.end() % i.len(), 0);
+            assert_eq!(i.end() / i.len(), i.index());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_index_rejected() {
+        let _ = DyadicInterval::new(0, 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", DyadicInterval::new(1, 2));
+        assert!(s.contains("1") && s.contains("2") && s.contains("3..=4"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Dyadic interval algebra for hierarchical release of longitudinal
+//! statistics.
+//!
+//! This crate implements Section 3 of *Randomize the Future* (Ohrimenko,
+//! Wirth, Wu — PODS 2022): dyadic intervals over the time horizon `[1..d]`
+//! (Definition 3.2), the minimal prefix decomposition `C(t)` (Fact 3.8),
+//! and two aggregation containers used by the server-side algorithms —
+//! a streaming [`frontier::Frontier`] holding only the most
+//! recently completed interval per order (enough to answer every prefix
+//! query online with `O(log d)` state), and a full
+//! [`tree::DyadicTree`] used by offline analyses and the
+//! central-model baseline.
+//!
+//! # Conventions
+//!
+//! Times are **1-based**: `t ∈ [1..d]`, matching the paper. An interval of
+//! order `h` and index `j ≥ 1` covers `{(j−1)·2^h + 1, …, j·2^h}`. The
+//! horizon `d` must be a power of two (the paper assumes this w.l.o.g.).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod decompose;
+pub mod frontier;
+pub mod interval;
+pub mod tree;
+
+pub use decompose::{decompose_prefix, decompose_range};
+pub use frontier::Frontier;
+pub use interval::{DyadicInterval, Horizon};
+pub use tree::DyadicTree;

@@ -1,0 +1,179 @@
+//! A complete dyadic tree holding one value per dyadic interval.
+//!
+//! Used where the *whole* hierarchy is materialised: the central-model
+//! binary tree mechanism (every node gets independent Laplace noise) and
+//! offline analyses. The online protocol itself only needs the
+//! [`Frontier`](crate::frontier::Frontier).
+
+use crate::interval::{DyadicInterval, Horizon};
+
+/// Dense storage of one `T` per dyadic interval on a horizon.
+///
+/// Level `h` holds `d / 2^h` values; total `2d − 1`.
+#[derive(Debug, Clone)]
+pub struct DyadicTree<T> {
+    horizon: Horizon,
+    /// `levels[h][j−1]` = value of `I_{h,j}`.
+    levels: Vec<Vec<T>>,
+}
+
+impl<T: Clone + Default> DyadicTree<T> {
+    /// A tree with every node set to `T::default()`.
+    pub fn new(horizon: Horizon) -> Self {
+        let levels = horizon
+            .orders()
+            .map(|h| vec![T::default(); horizon.intervals_at_order(h) as usize])
+            .collect();
+        DyadicTree { horizon, levels }
+    }
+}
+
+impl<T> DyadicTree<T> {
+    /// The underlying horizon.
+    pub fn horizon(&self) -> Horizon {
+        self.horizon
+    }
+
+    /// Shared access to the value at `interval`.
+    ///
+    /// # Panics
+    /// Panics if the interval is off-horizon.
+    pub fn get(&self, interval: DyadicInterval) -> &T {
+        &self.levels[interval.order() as usize][(interval.index() - 1) as usize]
+    }
+
+    /// Mutable access to the value at `interval`.
+    pub fn get_mut(&mut self, interval: DyadicInterval) -> &mut T {
+        &mut self.levels[interval.order() as usize][(interval.index() - 1) as usize]
+    }
+
+    /// Iterates `(interval, &value)` over the whole tree, order by order.
+    pub fn iter(&self) -> impl Iterator<Item = (DyadicInterval, &T)> {
+        self.levels.iter().enumerate().flat_map(|(h, level)| {
+            level
+                .iter()
+                .enumerate()
+                .map(move |(j, v)| (DyadicInterval::new(h as u32, (j + 1) as u64), v))
+        })
+    }
+}
+
+impl DyadicTree<f64> {
+    /// Builds the tree of interval sums from per-period leaf values
+    /// (`leaves[t−1]` = value at time `t`): every internal node becomes the
+    /// sum of its children, i.e. node `I` holds `Σ_{t ∈ I} leaves[t−1]`.
+    ///
+    /// # Panics
+    /// Panics unless `leaves.len() == d`.
+    pub fn from_leaves(horizon: Horizon, leaves: &[f64]) -> Self {
+        assert_eq!(
+            leaves.len() as u64,
+            horizon.d(),
+            "need exactly d = {} leaves, got {}",
+            horizon.d(),
+            leaves.len()
+        );
+        let mut levels: Vec<Vec<f64>> = Vec::with_capacity(horizon.num_orders() as usize);
+        levels.push(leaves.to_vec());
+        for h in 1..=horizon.log_d() {
+            let below = &levels[(h - 1) as usize];
+            let level: Vec<f64> = below.chunks_exact(2).map(|c| c[0] + c[1]).collect();
+            levels.push(level);
+        }
+        DyadicTree { horizon, levels }
+    }
+
+    /// Applies `noise(interval)` additively to every node — the
+    /// central-model mechanism's per-node perturbation hook.
+    pub fn perturb(&mut self, mut noise: impl FnMut(DyadicInterval) -> f64) {
+        for h in 0..self.levels.len() {
+            for j in 0..self.levels[h].len() {
+                self.levels[h][j] += noise(DyadicInterval::new(h as u32, (j + 1) as u64));
+            }
+        }
+    }
+
+    /// The prefix sum `Σ_{I ∈ C(t)} node(I)` — exact if unperturbed,
+    /// the tree-mechanism estimate if perturbed.
+    pub fn prefix_sum(&self, t: u64) -> f64 {
+        assert!(
+            self.horizon.contains_time(t),
+            "time {t} outside horizon [1..{}]",
+            self.horizon.d()
+        );
+        crate::decompose::decompose_prefix(t)
+            .into_iter()
+            .map(|i| *self.get(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_leaves_builds_interval_sums() {
+        let hz = Horizon::new(8);
+        let leaves: Vec<f64> = (1..=8).map(f64::from).collect();
+        let tree = DyadicTree::from_leaves(hz, &leaves);
+        for (i, &v) in tree.iter() {
+            let expect: f64 = i.times().map(|t| t as f64).sum();
+            assert_eq!(v, expect, "node {i}");
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_direct() {
+        let hz = Horizon::new(16);
+        let leaves: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 5) as f64 - 2.0).collect();
+        let tree = DyadicTree::from_leaves(hz, &leaves);
+        let mut direct = 0.0;
+        for t in 1..=16u64 {
+            direct += leaves[(t - 1) as usize];
+            assert_eq!(tree.prefix_sum(t), direct, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn perturb_shifts_prefix_by_decomposition_noise() {
+        let hz = Horizon::new(8);
+        let leaves = vec![0.0; 8];
+        let mut tree = DyadicTree::from_leaves(hz, &leaves);
+        // Give order-h nodes noise 10^h; prefix noise at t is then the sum
+        // over set bits of t of 10^h.
+        tree.perturb(|i| 10f64.powi(i.order() as i32));
+        for t in 1..=8u64 {
+            let expect: f64 = (0..4)
+                .filter(|h| t & (1 << h) != 0)
+                .map(|h| 10f64.powi(h))
+                .sum();
+            assert_eq!(tree.prefix_sum(t), expect, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn get_mut_roundtrip() {
+        let hz = Horizon::new(4);
+        let mut tree: DyadicTree<i32> = DyadicTree::new(hz);
+        *tree.get_mut(DyadicInterval::new(1, 2)) = 42;
+        assert_eq!(*tree.get(DyadicInterval::new(1, 2)), 42);
+        assert_eq!(*tree.get(DyadicInterval::new(1, 1)), 0);
+    }
+
+    #[test]
+    fn iter_covers_all_nodes_once() {
+        let hz = Horizon::new(16);
+        let tree: DyadicTree<u8> = DyadicTree::new(hz);
+        let nodes: Vec<_> = tree.iter().map(|(i, _)| i).collect();
+        assert_eq!(nodes.len() as u64, hz.iset_len());
+        let set: std::collections::HashSet<_> = nodes.iter().collect();
+        assert_eq!(set.len(), nodes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "need exactly d")]
+    fn wrong_leaf_count_rejected() {
+        let _ = DyadicTree::from_leaves(Horizon::new(8), &[0.0; 7]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the dyadic interval algebra.
+
+use proptest::prelude::*;
+use rtf_dyadic::decompose::{decompose_prefix, decompose_range};
+use rtf_dyadic::frontier::Frontier;
+use rtf_dyadic::interval::{DyadicInterval, Horizon};
+use rtf_dyadic::tree::DyadicTree;
+
+proptest! {
+    /// C(t) tiles [1..t] exactly, with strictly decreasing distinct
+    /// orders and exactly popcount(t) parts (Fact 3.8).
+    #[test]
+    fn prefix_decomposition_fact_3_8(t in 1u64..1_000_000) {
+        let parts = decompose_prefix(t);
+        prop_assert_eq!(parts.len(), t.count_ones() as usize);
+        let mut pos = 1u64;
+        let mut last_order = u32::MAX;
+        for p in &parts {
+            prop_assert_eq!(p.start(), pos);
+            prop_assert!(p.order() < last_order, "orders must strictly decrease");
+            last_order = p.order();
+            pos = p.end() + 1;
+        }
+        prop_assert_eq!(pos, t + 1);
+    }
+
+    /// Range decomposition tiles [l..r] with at most 2·⌈log len⌉ + 2 parts.
+    #[test]
+    fn range_decomposition_tiles(l in 1u64..100_000, len in 1u64..100_000) {
+        let r = l + len - 1;
+        let parts = decompose_range(l, r);
+        let mut pos = l;
+        for p in &parts {
+            prop_assert_eq!(p.start(), pos);
+            pos = p.end() + 1;
+        }
+        prop_assert_eq!(pos, r + 1);
+        let bound = 2 * (64 - len.leading_zeros()) as usize + 2;
+        prop_assert!(parts.len() <= bound);
+    }
+
+    /// Interval geometry: start/end/len are consistent, parent covers,
+    /// children partition.
+    #[test]
+    fn interval_geometry(order in 0u32..20, index in 1u64..10_000) {
+        let i = DyadicInterval::new(order, index);
+        prop_assert_eq!(i.end() - i.start() + 1, i.len());
+        prop_assert_eq!(i.len(), 1u64 << order);
+        prop_assert!(i.parent().covers(&i));
+        if let Some((a, b)) = i.children() {
+            prop_assert_eq!(a.end() + 1, b.start());
+            prop_assert_eq!(a.start(), i.start());
+            prop_assert_eq!(b.end(), i.end());
+        }
+    }
+
+    /// The frontier answers exactly the same prefix sums as a full tree
+    /// built from the same leaves.
+    #[test]
+    fn frontier_equals_tree(
+        log_d in 1u32..8,
+        leaves_seed in prop::collection::vec(-100i32..100, 256),
+    ) {
+        let d = 1u64 << log_d;
+        let hz = Horizon::new(d);
+        let leaves: Vec<f64> = leaves_seed.iter().take(d as usize).map(|&v| v as f64).collect();
+        let tree = DyadicTree::from_leaves(hz, &leaves);
+        let mut frontier = Frontier::new(hz);
+        for t in 1..=d {
+            for h in 0..=t.trailing_zeros().min(log_d) {
+                let i = DyadicInterval::new(h, t >> h);
+                frontier.record(i, *tree.get(i));
+            }
+            let got = frontier.prefix_sum(t, |&v| v);
+            prop_assert_eq!(got, tree.prefix_sum(t), "t = {}", t);
+        }
+    }
+
+    /// The unique order-h interval containing t actually contains t, and
+    /// every other interval of that order doesn't.
+    #[test]
+    fn containing_interval_unique(log_d in 1u32..10, t_frac in 0.0f64..1.0, h_frac in 0.0f64..=1.0) {
+        let d = 1u64 << log_d;
+        let t = 1 + ((d - 1) as f64 * t_frac) as u64;
+        let h = (log_d as f64 * h_frac) as u32;
+        let hz = Horizon::new(d);
+        let i = hz.interval_containing(h, t);
+        prop_assert!(i.contains(t));
+        let hits = hz.iset_at_order(h).filter(|iv| iv.contains(t)).count();
+        prop_assert_eq!(hits, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Walker/Vose alias method for O(1) sampling from a fixed discrete
+//! distribution.
+//!
+//! The composed randomizer needs two reusable discrete distributions over
+//! Hamming-weight classes `[0..k]`: `Binomial(k, p)` restricted structure
+//! for the noise weight, and `∝ C(k, w)` over the classes outside the
+//! annulus for the resampling branch. Both are built once per `(k, ε)` and
+//! sampled many times (once per user), so an `O(k)` build with `O(1)` draws
+//! is the right trade-off.
+
+use rand::Rng;
+
+/// A pre-built alias table over `{0, …, n−1}` for O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of the home column.
+    prob: Vec<f64>,
+    /// Alias taken when the home column is rejected.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights (need not be
+    /// normalised). Entries that are zero get zero sampling probability.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN entry, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable requires at least one weight");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "AliasTable supports at most 2^32-1 outcomes"
+        );
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0, got {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        // Scaled so the average cell is exactly 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut prob = vec![1.0_f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: everything still queued is (up to rounding)
+        // exactly 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome in `{0, …, len−1}`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Builds an alias table from *log-domain* weights, normalising safely
+    /// even when the raw weights (e.g. `C(k, w)` for `k = 10^6`) overflow
+    /// linear `f64`.
+    pub fn from_log_weights(log_weights: &[f64]) -> Self {
+        assert!(
+            !log_weights.is_empty(),
+            "AliasTable requires at least one weight"
+        );
+        let max = log_weights
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max > f64::NEG_INFINITY,
+            "at least one log weight must be finite"
+        );
+        let weights: Vec<f64> = log_weights.iter().map(|&lw| (lw - max).exp()).collect();
+        Self::new(&weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 8]);
+        let freq = empirical(&t, 80_000, 1);
+        for f in freq {
+            assert!((f - 0.125).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match() {
+        let w = [0.1, 0.0, 0.6, 0.3];
+        let t = AliasTable::new(&w);
+        let freq = empirical(&t, 200_000, 2);
+        for (f, &wi) in freq.iter().zip(&w) {
+            assert!((f - wi).abs() < 0.01, "freq {f} vs {wi}");
+        }
+        // Zero-weight outcome never sampled (up to the tolerance above it
+        // must literally be zero).
+        assert_eq!(freq[1], 0.0);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn log_weights_match_linear_weights() {
+        let w = [1.0_f64, 2.0, 3.0, 4.0];
+        let lw: Vec<f64> = w.iter().map(|x| x.ln()).collect();
+        let a = AliasTable::new(&w);
+        let b = AliasTable::from_log_weights(&lw);
+        let fa = empirical(&a, 200_000, 4);
+        let fb = empirical(&b, 200_000, 5);
+        for (x, y) in fa.iter().zip(&fb) {
+            assert!((x - y).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn log_weights_survive_huge_magnitudes() {
+        // Weights like e^{5000} and e^{5001} overflow linear f64 but their
+        // ratio is well-defined.
+        let t = AliasTable::from_log_weights(&[5000.0, 5001.0]);
+        let f = empirical(&t, 100_000, 6);
+        let expect1 = std::f64::consts::E / (1.0 + std::f64::consts::E);
+        assert!((f[1] - expect1).abs() < 0.01, "freq {} vs {expect1}", f[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn all_zero_weights_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and ≥ 0")]
+    fn negative_weight_rejected() {
+        let _ = AliasTable::new(&[0.5, -0.1]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Exact binomial samplers.
+//!
+//! Two regimes matter in this workspace:
+//!
+//! * `Binomial(m, ½)` with `m` up to millions — the total of the uniformly
+//!   random ±1 bits contributed by users whose partial sum is zero
+//!   (Property III). [`sample_binomial_half`] draws this *exactly* by
+//!   popcounting `m` random bits, 64 at a time.
+//! * `Binomial(k, p)` for a fixed `(k, p)` reused across many users — the
+//!   Hamming weight of the basic-randomizer noise. [`BinomialSampler`]
+//!   builds the pmf once (log-domain) into an alias table and then samples
+//!   in O(1).
+
+use crate::alias::AliasTable;
+use crate::logspace::ln_binomial;
+use rand::Rng;
+
+/// Draws `Binomial(m, ½)` exactly, by popcounting `m` fair random bits.
+///
+/// Runs in `O(m/64)` time and allocates nothing.
+pub fn sample_binomial_half<R: Rng + ?Sized>(m: u64, rng: &mut R) -> u64 {
+    let mut remaining = m;
+    let mut total: u64 = 0;
+    while remaining >= 64 {
+        total += rng.random::<u64>().count_ones() as u64;
+        remaining -= 64;
+    }
+    if remaining > 0 {
+        let mask = (1u64 << remaining) - 1;
+        total += (rng.random::<u64>() & mask).count_ones() as u64;
+    }
+    total
+}
+
+/// Log-domain pmf of `Binomial(k, p)` at `w`:
+/// `ln C(k,w) + w ln p + (k−w) ln(1−p)`.
+pub fn ln_binomial_pmf(k: u64, p: f64, w: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if w > k {
+        return f64::NEG_INFINITY;
+    }
+    let lp = p.ln();
+    let lq = (-p).ln_1p(); // ln(1−p), accurate near p = 0
+    ln_binomial(k, w) + w as f64 * lp + (k - w) as f64 * lq
+}
+
+/// An exact `Binomial(k, p)` sampler with O(k) build and O(1) draws.
+///
+/// Internally an alias table over the weight classes `0..=k`; the pmf is
+/// computed in log space, so the construction is stable for any `k` that
+/// fits in memory.
+#[derive(Debug, Clone)]
+pub struct BinomialSampler {
+    k: u64,
+    p: f64,
+    table: AliasTable,
+}
+
+impl BinomialSampler {
+    /// Builds the sampler for `Binomial(k, p)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1` (degenerate endpoints need no sampler).
+    pub fn new(k: u64, p: f64) -> Self {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "BinomialSampler requires 0 < p < 1, got {p}"
+        );
+        let log_pmf: Vec<f64> = (0..=k).map(|w| ln_binomial_pmf(k, p, w)).collect();
+        BinomialSampler {
+            k,
+            p,
+            table: AliasTable::from_log_weights(&log_pmf),
+        }
+    }
+
+    /// The number of trials `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one `Binomial(k, p)` variate.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.table.sample(rng) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_half_zero_trials() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_binomial_half(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn binomial_half_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in [1u64, 63, 64, 65, 127, 128, 1000] {
+            for _ in 0..50 {
+                let x = sample_binomial_half(m, &mut rng);
+                assert!(x <= m, "got {x} out of {m} trials");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_half_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = 1000u64;
+        let trials = 20_000;
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| sample_binomial_half(m, &mut rng) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trials as f64;
+        // E = m/2 = 500, Var = m/4 = 250.
+        let mean_sigma = (250.0 / trials as f64).sqrt();
+        assert!((mean - 500.0).abs() < 6.0 * mean_sigma, "mean {mean}");
+        assert!((var - 250.0).abs() < 0.1 * 250.0, "var {var}");
+    }
+
+    #[test]
+    fn binomial_half_non_multiple_of_64_unbiased() {
+        // Regression guard for the tail mask: m = 3 must have mean 1.5.
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 200_000;
+        let mean = (0..trials)
+            .map(|_| sample_binomial_half(3, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 1.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (k, p) in [(10u64, 0.3), (100, 0.47), (1000, 0.05)] {
+            let total: f64 = (0..=k).map(|w| ln_binomial_pmf(k, p, w).exp()).sum();
+            assert!((total - 1.0).abs() < 1e-10, "k={k} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_out_of_support_is_zero() {
+        assert_eq!(ln_binomial_pmf(5, 0.5, 6), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sampler_matches_pmf_chi_square() {
+        let k = 20u64;
+        let p = 0.42;
+        let sampler = BinomialSampler::new(k, p);
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws = 200_000usize;
+        let mut counts = vec![0usize; (k + 1) as usize];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        // Pearson chi-square against the exact pmf; merge tiny-expectation
+        // cells into their neighbours.
+        let mut chi2 = 0.0;
+        let mut dof: i64 = -1;
+        let mut pending_obs = 0.0;
+        let mut pending_exp = 0.0;
+        for w in 0..=k {
+            pending_obs += counts[w as usize] as f64;
+            pending_exp += ln_binomial_pmf(k, p, w).exp() * draws as f64;
+            if pending_exp >= 5.0 {
+                chi2 += (pending_obs - pending_exp).powi(2) / pending_exp;
+                dof += 1;
+                pending_obs = 0.0;
+                pending_exp = 0.0;
+            }
+        }
+        if pending_exp > 0.0 {
+            chi2 += (pending_obs - pending_exp).powi(2) / pending_exp;
+            dof += 1;
+        }
+        // For dof ≈ 15–20 the 99.99% quantile is well under 60.
+        assert!(chi2 < 60.0, "chi2 {chi2} with dof {dof}");
+    }
+
+    #[test]
+    fn sampler_large_k_is_stable() {
+        // k large enough that linear-space pmf values underflow near the
+        // tails; construction must still succeed and samples concentrate.
+        let k = 100_000u64;
+        let p = 0.4999;
+        let sampler = BinomialSampler::new(k, p);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = sampler.sample(&mut rng) as f64;
+        let mean = k as f64 * p;
+        let sd = (k as f64 * p * (1.0 - p)).sqrt();
+        assert!((x - mean).abs() < 8.0 * sd, "sample {x} far from mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p < 1")]
+    fn degenerate_p_rejected() {
+        let _ = BinomialSampler::new(10, 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Laplace noise, used by the central-model binary-tree baseline
+//! (Dwork et al. 2010 / Chan et al. 2011).
+
+use rand::Rng;
+
+/// A zero-mean Laplace distribution with scale `b`
+/// (density `f(x) = e^{−|x|/b} / (2b)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with the given scale `b > 0`.
+    ///
+    /// # Panics
+    /// Panics unless `scale` is finite and positive.
+    pub fn new(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Laplace scale must be finite and > 0, got {scale}"
+        );
+        Laplace { scale }
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance, `2b²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Draws one variate by inverse-CDF sampling: with
+    /// `u ~ Uniform(−½, ½)`, `x = −b · sgn(u) · ln(1 − 2|u|)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u ∈ (−½, ½); random::<f64>() ∈ [0, 1) so u ∈ [−½, ½).
+        let u: f64 = rng.random::<f64>() - 0.5;
+        // ln_1p(−2|u|) = ln(1 − 2|u|); finite because |u| < ½ almost surely
+        // (u = −½ would give ln 0; random::<f64>() == 0 maps to u = −½, so
+        // guard it).
+        let a = (-2.0 * u.abs()).max(-1.0 + f64::EPSILON);
+        -self.scale * u.signum() * a.ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match() {
+        let lap = Laplace::new(2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| lap.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - lap.variance()).abs() < 0.1 * lap.variance(), "var {var}");
+    }
+
+    #[test]
+    fn tail_probability_matches() {
+        // Pr[|X| > t] = e^{−t/b}.
+        let lap = Laplace::new(1.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 200_000;
+        let t = 2.0;
+        let hits = (0..n).filter(|_| lap.sample(&mut rng).abs() > t).count();
+        let expect = (-t).exp();
+        let f = hits as f64 / n as f64;
+        assert!((f - expect).abs() < 0.005, "tail freq {f} vs {expect}");
+    }
+
+    #[test]
+    fn symmetric_around_zero() {
+        let lap = Laplace::new(0.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| lap.sample(&mut rng) > 0.0).count();
+        let f = pos as f64 / n as f64;
+        assert!((f - 0.5).abs() < 0.01, "positive fraction {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and > 0")]
+    fn invalid_scale_rejected() {
+        let _ = Laplace::new(-1.0);
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let lap = Laplace::new(1e6);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            assert!(lap.sample(&mut rng).is_finite());
+        }
+    }
+}

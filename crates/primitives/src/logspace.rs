@@ -1,0 +1,246 @@
+//! Log-domain probability arithmetic.
+//!
+//! The analysis of the composed randomizer manipulates quantities like
+//! `C(k, w) · p^w (1−p)^{k−w}` and `2^{−k}` for `k` up to millions; these
+//! underflow `f64` long before the *ratios* the paper cares about become
+//! ill-conditioned. Everything here therefore works with natural logarithms
+//! and converts back to linear space only at the very end.
+
+/// Natural log of `n!`.
+///
+/// Exact-table lookup for `n < 1024`; a Stirling series with three
+/// correction terms beyond that (relative error below `1e-15` in that
+/// range, far below the `f64` noise floor of the downstream sums).
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE_LEN: usize = 1024;
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = Vec::with_capacity(TABLE_LEN);
+        t.push(0.0); // ln 0! = 0
+        for i in 1..TABLE_LEN as u64 {
+            let prev = t[(i - 1) as usize];
+            t.push(prev + (i as f64).ln());
+        }
+        t
+    });
+    if (n as usize) < TABLE_LEN {
+        return table[n as usize];
+    }
+    // Stirling series: ln n! = n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360 n³)
+    //                          + 1/(1260 n⁵) − …
+    let nf = n as f64;
+    let ln2pi = (2.0 * std::f64::consts::PI).ln();
+    nf * nf.ln() - nf + 0.5 * (ln2pi + nf.ln()) + 1.0 / (12.0 * nf) - 1.0 / (360.0 * nf.powi(3))
+        + 1.0 / (1260.0 * nf.powi(5))
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is zero).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    // Use symmetry for a tiny accuracy win on the table path.
+    let k = k.min(n - k);
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(e^a + e^b)` without overflow/underflow.
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Streaming log-sum-exp accumulator.
+///
+/// Maintains `ln Σ_i e^{x_i}` over a stream of log-domain terms without ever
+/// leaving log space. Numerically this is the "online softmax" recurrence:
+/// the running maximum is tracked and the scaled sum is rebased whenever a
+/// new maximum arrives.
+#[derive(Debug, Clone, Copy)]
+pub struct LogSumExp {
+    max: f64,
+    /// Σ e^{x_i − max} over terms seen so far.
+    scaled_sum: f64,
+    count: usize,
+}
+
+impl Default for LogSumExp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogSumExp {
+    /// An empty accumulator (`ln 0 = −∞`).
+    pub fn new() -> Self {
+        LogSumExp {
+            max: f64::NEG_INFINITY,
+            scaled_sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Adds a log-domain term `x = ln v`.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if x == f64::NEG_INFINITY {
+            return;
+        }
+        if x > self.max {
+            // Rebase the existing sum onto the new maximum.
+            self.scaled_sum = self.scaled_sum * (self.max - x).exp() + 1.0;
+            self.max = x;
+        } else {
+            self.scaled_sum += (x - self.max).exp();
+        }
+    }
+
+    /// The accumulated `ln Σ e^{x_i}`; `−∞` when empty.
+    pub fn value(&self) -> f64 {
+        if self.max == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            self.max + self.scaled_sum.ln()
+        }
+    }
+
+    /// How many terms were added (including `−∞` terms).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether any term was added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// `ln Σ e^{x}` of a slice of log-domain terms.
+pub fn log_sum_exp(terms: &[f64]) -> f64 {
+    let mut acc = LogSumExp::new();
+    for &t in terms {
+        acc.add(t);
+    }
+    acc.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())),
+            "{a} vs {b} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_factorial_small_values_exact() {
+        let expected = [1.0_f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &v) in expected.iter().enumerate() {
+            assert_close(ln_factorial(n as u64), v.ln(), 1e-14);
+        }
+    }
+
+    #[test]
+    fn ln_factorial_stirling_matches_table_at_boundary() {
+        // Compare the table value at n=1023 against the Stirling series to
+        // ensure the two regimes agree where they hand over.
+        let nf = 1023.0_f64;
+        let ln2pi = (2.0 * std::f64::consts::PI).ln();
+        let stirling = nf * nf.ln() - nf + 0.5 * (ln2pi + nf.ln()) + 1.0 / (12.0 * nf)
+            - 1.0 / (360.0 * nf.powi(3))
+            + 1.0 / (1260.0 * nf.powi(5));
+        assert_close(ln_factorial(1023), stirling, 1e-13);
+        // And across the boundary itself: ln 1024! = ln 1023! + ln 1024.
+        assert_close(
+            ln_factorial(1024),
+            ln_factorial(1023) + 1024.0_f64.ln(),
+            1e-13,
+        );
+    }
+
+    #[test]
+    fn ln_binomial_matches_pascals_triangle() {
+        let mut row = vec![1.0_f64];
+        for n in 0..40u64 {
+            for (k, &val) in row.iter().enumerate() {
+                assert_close(ln_binomial(n, k as u64), val.ln(), 1e-12);
+            }
+            let mut next = vec![1.0];
+            for i in 1..row.len() {
+                next.push(row[i - 1] + row[i]);
+            }
+            next.push(1.0);
+            row = next;
+        }
+    }
+
+    #[test]
+    fn ln_binomial_out_of_range_is_neg_infinity() {
+        assert_eq!(ln_binomial(5, 6), f64::NEG_INFINITY);
+        assert_eq!(ln_binomial(0, 1), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ln_binomial_row_sums_to_2_pow_n() {
+        for n in [10u64, 100, 1000, 10_000] {
+            let mut acc = LogSumExp::new();
+            for k in 0..=n {
+                acc.add(ln_binomial(n, k));
+            }
+            assert_close(acc.value(), n as f64 * 2.0_f64.ln(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_add_exp_basics() {
+        assert_close(log_add_exp(0.0, 0.0), 2.0_f64.ln(), 1e-14);
+        assert_close(log_add_exp(-1000.0, 0.0), 0.0, 1e-14);
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, 3.0), 3.0);
+        assert_eq!(log_add_exp(3.0, f64::NEG_INFINITY), 3.0);
+        // No overflow for huge inputs.
+        assert_close(log_add_exp(1e308_f64.ln(), 1e308_f64.ln()), 1e308_f64.ln() + 2.0_f64.ln(), 1e-14);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_extreme_spread() {
+        // Terms spanning ~2000 nats: the small ones vanish but the result
+        // must still be finite and dominated by the max.
+        let v = log_sum_exp(&[-2000.0, 0.0, -1.0]);
+        assert_close(v, log_add_exp(0.0, -1.0), 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        let acc = LogSumExp::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.value(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_order_independent() {
+        let mut a = LogSumExp::new();
+        let mut b = LogSumExp::new();
+        let terms = [-3.0, 5.0, -100.0, 4.9, 0.0];
+        for &t in &terms {
+            a.add(t);
+        }
+        for &t in terms.iter().rev() {
+            b.add(t);
+        }
+        assert_close(a.value(), b.value(), 1e-13);
+        assert_eq!(a.len(), terms.len());
+    }
+}

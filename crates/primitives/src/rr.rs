@@ -1,0 +1,183 @@
+//! Warner's randomized response — the paper's *basic randomizer* `R`
+//! (Equation 14).
+//!
+//! For privacy parameter `ε̃`, the basic randomizer keeps its `{−1, +1}`
+//! input with probability `e^{ε̃}/(e^{ε̃}+1)` and flips it with probability
+//! `1/(e^{ε̃}+1)`. It is the building block of both the paper's composed
+//! randomizer and the Erlingsson et al. baseline.
+
+use crate::sign::Sign;
+use rand::Rng;
+
+/// The basic randomizer `R` of Equation (14): binary randomized response
+/// with flip probability `p = 1/(e^{ε̃}+1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasicRandomizer {
+    eps_tilde: f64,
+    p_flip: f64,
+}
+
+impl BasicRandomizer {
+    /// Creates a basic randomizer with privacy parameter `ε̃ > 0`.
+    ///
+    /// # Panics
+    /// Panics if `eps_tilde` is not a finite positive number.
+    pub fn new(eps_tilde: f64) -> Self {
+        assert!(
+            eps_tilde.is_finite() && eps_tilde > 0.0,
+            "BasicRandomizer requires a finite ε̃ > 0, got {eps_tilde}"
+        );
+        // p = 1/(e^ε̃ + 1); computed via exp_m1 for accuracy at tiny ε̃.
+        let p_flip = 1.0 / (eps_tilde.exp() + 1.0);
+        BasicRandomizer { eps_tilde, p_flip }
+    }
+
+    /// The privacy parameter `ε̃` this randomizer was built with.
+    #[inline]
+    pub fn eps_tilde(&self) -> f64 {
+        self.eps_tilde
+    }
+
+    /// The flip probability `p = 1/(e^{ε̃}+1) < ½`.
+    #[inline]
+    pub fn p_flip(&self) -> f64 {
+        self.p_flip
+    }
+
+    /// The keep probability `1 − p = e^{ε̃}/(e^{ε̃}+1)`.
+    #[inline]
+    pub fn p_keep(&self) -> f64 {
+        1.0 - self.p_flip
+    }
+
+    /// The per-invocation preservation gap
+    /// `Pr[R(ζ) = ζ] − Pr[R(ζ) = −ζ] = (e^{ε̃}−1)/(e^{ε̃}+1)`.
+    ///
+    /// Computed as `1 − 2p` through [`tanh`](f64::tanh) of `ε̃/2`, which is
+    /// the same quantity with better accuracy for small `ε̃`.
+    #[inline]
+    pub fn gap(&self) -> f64 {
+        (self.eps_tilde / 2.0).tanh()
+    }
+
+    /// Applies the randomizer to one input value.
+    #[inline]
+    pub fn randomize<R: Rng + ?Sized>(&self, zeta: Sign, rng: &mut R) -> Sign {
+        if rng.random::<f64>() < self.p_flip {
+            zeta.flipped()
+        } else {
+            zeta
+        }
+    }
+
+    /// Applies the randomizer independently to every coordinate of `b`,
+    /// i.e. the vector form `R(b) = (R(b_1), …, R(b_k))` used as the first
+    /// step of the composed randomizer (Algorithm 3, line 4).
+    pub fn randomize_vec<R: Rng + ?Sized>(&self, b: &[Sign], rng: &mut R) -> Vec<Sign> {
+        b.iter().map(|&z| self.randomize(z, rng)).collect()
+    }
+
+    /// Draws only the number of flipped coordinates a length-`k` application
+    /// of [`randomize_vec`](Self::randomize_vec) would produce, without
+    /// materialising the vector — `Binomial(k, p)` by direct Bernoulli
+    /// counting. Used by samplers that only need the Hamming weight of the
+    /// noise.
+    pub fn sample_flip_count<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> usize {
+        (0..k).filter(|_| rng.random::<f64>() < self.p_flip).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_are_consistent() {
+        for eps in [1e-6, 0.01, 0.2, 1.0, 5.0] {
+            let r = BasicRandomizer::new(eps);
+            assert!((r.p_flip() + r.p_keep() - 1.0).abs() < 1e-15);
+            assert!(r.p_flip() < 0.5, "flip probability must stay below ½");
+            // Keep/flip ratio is exactly e^ε̃.
+            let ratio = r.p_keep() / r.p_flip();
+            assert!((ratio.ln() - eps).abs() < 1e-9, "ratio ln {} vs {eps}", ratio.ln());
+            // gap = 1 − 2p.
+            assert!((r.gap() - (1.0 - 2.0 * r.p_flip())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gap_is_monotone_in_eps() {
+        let mut last = 0.0;
+        for eps in [0.1, 0.2, 0.5, 1.0, 2.0] {
+            let g = BasicRandomizer::new(eps).gap();
+            assert!(g > last);
+            last = g;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite ε̃ > 0")]
+    fn zero_eps_rejected() {
+        let _ = BasicRandomizer::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite ε̃ > 0")]
+    fn nan_eps_rejected() {
+        let _ = BasicRandomizer::new(f64::NAN);
+    }
+
+    #[test]
+    fn empirical_flip_rate_matches() {
+        let r = BasicRandomizer::new(0.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let flips = (0..n)
+            .filter(|_| r.randomize(Sign::Plus, &mut rng) == Sign::Minus)
+            .count();
+        let expect = r.p_flip() * n as f64;
+        let sigma = (n as f64 * r.p_flip() * (1.0 - r.p_flip())).sqrt();
+        assert!(
+            ((flips as f64) - expect).abs() < 6.0 * sigma,
+            "flips {flips}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn randomize_vec_length_preserved() {
+        let r = BasicRandomizer::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = vec![Sign::Plus; 257];
+        assert_eq!(r.randomize_vec(&b, &mut rng).len(), 257);
+    }
+
+    #[test]
+    fn flip_count_matches_vector_distribution() {
+        // sample_flip_count and counting flips of randomize_vec must agree
+        // in distribution; compare means over many draws.
+        let r = BasicRandomizer::new(0.3);
+        let k = 64;
+        let trials = 4000;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mean_fast: f64 = (0..trials)
+            .map(|_| r.sample_flip_count(k, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let ones = vec![Sign::Plus; k];
+        let mean_vec: f64 = (0..trials)
+            .map(|_| {
+                r.randomize_vec(&ones, &mut rng)
+                    .iter()
+                    .filter(|&&s| s == Sign::Minus)
+                    .count() as f64
+            })
+            .sum::<f64>()
+            / trials as f64;
+        let expect = k as f64 * r.p_flip();
+        let tol = 6.0 * (k as f64 * 0.25 / trials as f64).sqrt();
+        assert!((mean_fast - expect).abs() < tol);
+        assert!((mean_vec - expect).abs() < tol);
+    }
+}

@@ -1,0 +1,130 @@
+//! Deterministic hierarchical seeding.
+//!
+//! Every experiment in the workspace derives all of its randomness from one
+//! master seed through a path of labels (`master → trial → user → …`). This
+//! keeps multi-threaded trial runs exactly reproducible: a user's RNG stream
+//! depends only on `(master, trial, user)`, never on scheduling order.
+//!
+//! Mixing uses the SplitMix64 finalizer, whose avalanche properties make it
+//! a standard choice for turning structured counters into seed material.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalization step: a bijective mix with full avalanche.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A position in the seed hierarchy; children are derived by label.
+///
+/// ```
+/// use rtf_primitives::seeding::SeedSequence;
+/// let master = SeedSequence::new(42);
+/// let trial3 = master.child(3);
+/// let user7 = trial3.child(7);
+/// let mut rng = user7.rng();
+/// # let _ = &mut rng;
+/// // Same path ⇒ same stream, independent of construction order:
+/// assert_eq!(user7.seed(), SeedSequence::new(42).child(3).child(7).seed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedSequence {
+    state: u64,
+}
+
+impl SeedSequence {
+    /// Root of the hierarchy for a master seed.
+    pub fn new(master: u64) -> Self {
+        SeedSequence {
+            state: splitmix64(master ^ 0xA5A5_5A5A_C3C3_3C3C),
+        }
+    }
+
+    /// Derives the child at `label`. Distinct labels give (with
+    /// overwhelming probability) unrelated streams; the derivation is
+    /// deterministic and order-free.
+    #[must_use]
+    pub fn child(&self, label: u64) -> SeedSequence {
+        // Feed the label through the mixer twice interleaved with the
+        // parent state so that (state, label) pairs cannot collide by
+        // simple addition.
+        let mixed = splitmix64(self.state ^ splitmix64(label.wrapping_add(0x51_7C_C1_B7)));
+        SeedSequence { state: mixed }
+    }
+
+    /// The 64-bit seed at this node.
+    pub fn seed(&self) -> u64 {
+        self.state
+    }
+
+    /// A `StdRng` seeded from this node.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_path_same_seed() {
+        let a = SeedSequence::new(7).child(1).child(2).child(3);
+        let b = SeedSequence::new(7).child(1).child(2).child(3);
+        assert_eq!(a.seed(), b.seed());
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let root = SeedSequence::new(7);
+        assert_ne!(root.child(0).seed(), root.child(1).seed());
+        assert_ne!(root.child(0).child(0).seed(), root.child(0).child(1).seed());
+    }
+
+    #[test]
+    fn sibling_vs_depth_paths_do_not_collide() {
+        // child(a).child(b) must differ from child(b).child(a) and from
+        // child(a ^ b) etc. Check a batch for collisions.
+        let root = SeedSequence::new(99);
+        let mut seen = HashSet::new();
+        for a in 0..50u64 {
+            for b in 0..50u64 {
+                assert!(seen.insert(root.child(a).child(b).seed()), "collision at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn masters_decorrelate() {
+        let mut seen = HashSet::new();
+        for m in 0..10_000u64 {
+            assert!(seen.insert(SeedSequence::new(m).seed()));
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible() {
+        let mut r1 = SeedSequence::new(1).child(5).rng();
+        let mut r2 = SeedSequence::new(1).child(5).rng();
+        for _ in 0..100 {
+            assert_eq!(r1.random::<u64>(), r2.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn splitmix_is_bijective_on_samples() {
+        // Injectivity spot check (bijectivity can't be fully tested but any
+        // collision here would be a bug).
+        let mut seen = HashSet::new();
+        for x in 0..100_000u64 {
+            assert!(seen.insert(splitmix64(x)));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The `{−1, +1}` and `{−1, 0, +1}` value domains.
+//!
+//! The paper's randomizers consume values in `{−1, 0, 1}` (partial sums of a
+//! discrete derivative, Observation 3.7) and emit values in `{−1, 1}`
+//! (perturbed report bits). Using dedicated enums instead of raw `i8`s makes
+//! the state machines in `rtf-core` impossible to feed out-of-domain values.
+
+use rand::Rng;
+
+/// A value in `{−1, +1}` — the output domain of every local randomizer in
+/// the paper, and the input domain of the composed randomizer `R̃`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// `−1`.
+    Minus,
+    /// `+1`.
+    Plus,
+}
+
+impl Sign {
+    /// All values of the domain, in ascending order.
+    pub const ALL: [Sign; 2] = [Sign::Minus, Sign::Plus];
+
+    /// The numeric value, `−1` or `+1`.
+    #[inline]
+    pub fn value(self) -> i8 {
+        match self {
+            Sign::Minus => -1,
+            Sign::Plus => 1,
+        }
+    }
+
+    /// The numeric value as `f64`.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.value())
+    }
+
+    /// The opposite sign.
+    #[inline]
+    #[must_use]
+    pub fn flipped(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    /// Builds a sign from any integer: strictly negative maps to `Minus`,
+    /// strictly positive to `Plus`. Zero is not representable.
+    ///
+    /// # Panics
+    /// Panics if `v == 0`.
+    #[inline]
+    pub fn from_i8(v: i8) -> Sign {
+        match v.cmp(&0) {
+            std::cmp::Ordering::Less => Sign::Minus,
+            std::cmp::Ordering::Greater => Sign::Plus,
+            std::cmp::Ordering::Equal => panic!("Sign::from_i8: zero is not a sign"),
+        }
+    }
+
+    /// A uniformly random sign — the behaviour mandated for zero
+    /// coordinates by the paper's Property III.
+    #[inline]
+    pub fn uniform<R: Rng + ?Sized>(rng: &mut R) -> Sign {
+        if rng.random::<bool>() {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        }
+    }
+
+    /// Sign multiplication: `Plus` is the identity, `Minus` flips.
+    /// Also available through `std::ops::Mul` (`a * b`).
+    #[inline]
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // `Mul` is implemented below; the named method reads better at call sites taking `self` by value
+    pub fn mul(self, other: Sign) -> Sign {
+        if self == other {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        }
+    }
+}
+
+impl std::ops::Mul for Sign {
+    type Output = Sign;
+    #[inline]
+    fn mul(self, rhs: Sign) -> Sign {
+        Sign::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for Sign {
+    type Output = Sign;
+    #[inline]
+    fn neg(self) -> Sign {
+        self.flipped()
+    }
+}
+
+impl std::fmt::Display for Sign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:+}", self.value())
+    }
+}
+
+/// A value in `{−1, 0, +1}` — the domain of discrete-derivative entries
+/// (Definition 3.1) and of dyadic partial sums (Observation 3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Ternary {
+    /// `−1`: the user's Boolean value dropped from 1 to 0 over the interval.
+    Minus,
+    /// `0`: no net change over the interval.
+    #[default]
+    Zero,
+    /// `+1`: the user's Boolean value rose from 0 to 1 over the interval.
+    Plus,
+}
+
+impl Ternary {
+    /// All values of the domain, in ascending order.
+    pub const ALL: [Ternary; 3] = [Ternary::Minus, Ternary::Zero, Ternary::Plus];
+
+    /// The numeric value in `{−1, 0, 1}`.
+    #[inline]
+    pub fn value(self) -> i8 {
+        match self {
+            Ternary::Minus => -1,
+            Ternary::Zero => 0,
+            Ternary::Plus => 1,
+        }
+    }
+
+    /// The numeric value as `f64`.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.value())
+    }
+
+    /// Builds a ternary value from an integer in `{−1, 0, 1}`.
+    ///
+    /// # Panics
+    /// Panics if `v ∉ {−1, 0, 1}`.
+    #[inline]
+    pub fn from_i8(v: i8) -> Ternary {
+        match v {
+            -1 => Ternary::Minus,
+            0 => Ternary::Zero,
+            1 => Ternary::Plus,
+            other => panic!("Ternary::from_i8: {other} is not in {{-1, 0, 1}}"),
+        }
+    }
+
+    /// `true` iff the value is non-zero, i.e. belongs to the support of the
+    /// sparse input sequence.
+    #[inline]
+    pub fn is_nonzero(self) -> bool {
+        !matches!(self, Ternary::Zero)
+    }
+
+    /// The sign of a non-zero value.
+    ///
+    /// Returns `None` for [`Ternary::Zero`].
+    #[inline]
+    pub fn sign(self) -> Option<Sign> {
+        match self {
+            Ternary::Minus => Some(Sign::Minus),
+            Ternary::Zero => None,
+            Ternary::Plus => Some(Sign::Plus),
+        }
+    }
+
+    /// Multiplies a non-zero ternary value by a sign.
+    ///
+    /// # Panics
+    /// Panics on [`Ternary::Zero`]; the composed randomizer only ever
+    /// multiplies non-zero coordinates (Algorithm 3, line 15).
+    #[inline]
+    #[must_use]
+    pub fn mul_sign(self, s: Sign) -> Sign {
+        let own = self
+            .sign()
+            .expect("mul_sign is only defined for non-zero values");
+        own.mul(s)
+    }
+}
+
+impl std::fmt::Display for Ternary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:+}", self.value())
+    }
+}
+
+impl From<Sign> for Ternary {
+    fn from(s: Sign) -> Ternary {
+        match s {
+            Sign::Minus => Ternary::Minus,
+            Sign::Plus => Ternary::Plus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_values_round_trip() {
+        for s in Sign::ALL {
+            assert_eq!(Sign::from_i8(s.value()), s);
+            assert_eq!(s.as_f64(), f64::from(s.value()));
+        }
+    }
+
+    #[test]
+    fn sign_flip_is_involution() {
+        for s in Sign::ALL {
+            assert_eq!(s.flipped().flipped(), s);
+            assert_eq!(-(-s), s);
+            assert_ne!(s.flipped(), s);
+        }
+    }
+
+    #[test]
+    fn sign_mul_matches_integer_multiplication() {
+        for a in Sign::ALL {
+            for b in Sign::ALL {
+                assert_eq!(a.mul(b).value(), a.value() * b.value());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero is not a sign")]
+    fn sign_from_zero_panics() {
+        let _ = Sign::from_i8(0);
+    }
+
+    #[test]
+    fn uniform_sign_is_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let plus = (0..n)
+            .filter(|_| Sign::uniform(&mut rng) == Sign::Plus)
+            .count();
+        // 6-sigma band for Binomial(20000, 1/2).
+        let sigma = (n as f64 * 0.25).sqrt();
+        assert!((plus as f64 - n as f64 / 2.0).abs() < 6.0 * sigma);
+    }
+
+    #[test]
+    fn ternary_values_round_trip() {
+        for t in Ternary::ALL {
+            assert_eq!(Ternary::from_i8(t.value()), t);
+        }
+    }
+
+    #[test]
+    fn ternary_sign_and_support() {
+        assert_eq!(Ternary::Minus.sign(), Some(Sign::Minus));
+        assert_eq!(Ternary::Plus.sign(), Some(Sign::Plus));
+        assert_eq!(Ternary::Zero.sign(), None);
+        assert!(Ternary::Minus.is_nonzero());
+        assert!(Ternary::Plus.is_nonzero());
+        assert!(!Ternary::Zero.is_nonzero());
+    }
+
+    #[test]
+    fn ternary_mul_sign_matches_integer_multiplication() {
+        for t in [Ternary::Minus, Ternary::Plus] {
+            for s in Sign::ALL {
+                assert_eq!(t.mul_sign(s).value(), t.value() * s.value());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for non-zero")]
+    fn ternary_zero_mul_sign_panics() {
+        let _ = Ternary::Zero.mul_sign(Sign::Plus);
+    }
+
+    #[test]
+    fn default_ternary_is_zero() {
+        assert_eq!(Ternary::default(), Ternary::Zero);
+    }
+}

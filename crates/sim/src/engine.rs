@@ -1,0 +1,177 @@
+//! The event-driven round loop — the honest deployment schedule.
+//!
+//! At every period `t`:
+//!
+//! 1. each client observes its own new derivative value `X_u[t]` (clients
+//!    see *only* their own data, one period at a time — the online
+//!    constraint);
+//! 2. clients whose order divides `t` emit a [`ReportMsg`], which is
+//!    *serialised into bytes*, queued in the server's mailbox, decoded and
+//!    ingested — so the accounting reflects real framing;
+//! 3. the server closes the period and publishes `â[t]`.
+//!
+//! This engine is `O(n·d)` and exists to (a) prove the protocol really is
+//! online, (b) exercise the exact client state machine every period, and
+//! (c) provide ground truth for the fast aggregate path.
+
+use crate::message::{OrderAnnouncement, ReportMsg, WireStats};
+use rtf_core::client::Client;
+use rtf_core::composed::ComposedRandomizer;
+use rtf_core::params::ProtocolParams;
+use rtf_core::randomizer::FutureRand;
+use rtf_core::server::Server;
+use rtf_primitives::seeding::SeedSequence;
+use rtf_primitives::sign::Sign;
+use rtf_streams::population::Population;
+
+/// Result of an event-driven execution: estimates plus exact
+/// communication accounting.
+#[derive(Debug, Clone)]
+pub struct EventDrivenOutcome {
+    /// The online estimates `â[t]`.
+    pub estimates: Vec<f64>,
+    /// Per-order group sizes `|U_h|`.
+    pub group_sizes: Vec<usize>,
+    /// Wire accounting (announcements + reports, bytes and bits).
+    pub wire: WireStats,
+}
+
+/// Runs the FutureRand protocol through the message-level engine.
+///
+/// Produces estimates *identical in distribution* to
+/// [`rtf_core::protocol::run_in_memory`] (and identical value-for-value
+/// given the same seed, since both derive client randomness from
+/// `SeedSequence(seed).child(user)` and consume it in the same order).
+pub fn run_event_driven(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+) -> EventDrivenOutcome {
+    assert_eq!(population.n(), params.n(), "population/params n mismatch");
+    assert_eq!(population.d(), params.d(), "population/params d mismatch");
+    population.assert_k_sparse(params.k());
+
+    let composed: Vec<ComposedRandomizer> = (0..params.num_orders())
+        .map(|h| ComposedRandomizer::for_protocol(params.k_for_order(h), params.epsilon()))
+        .collect();
+
+    let mut server = Server::for_future_rand(*params);
+    let mut wire = WireStats::default();
+    let root = SeedSequence::new(seed);
+
+    // Build clients; send order announcements through the wire.
+    let mut clients: Vec<(Client<FutureRand>, rand::rngs::StdRng)> =
+        Vec::with_capacity(params.n());
+    for u in 0..params.n() {
+        let mut rng = root.child(u as u64).rng();
+        let h = Client::<FutureRand>::sample_order(params, &mut rng);
+        let ann = OrderAnnouncement {
+            user: u as u32,
+            order: h as u8,
+        };
+        let decoded = OrderAnnouncement::decode(ann.encode());
+        server.register_user(u32::from(decoded.order));
+        wire.record_announcement();
+        let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+        clients.push((Client::new(params, h, m), rng));
+    }
+
+    // Round loop with a real (serialised) mailbox per period.
+    let mut estimates = Vec::with_capacity(params.d() as usize);
+    let mut mailbox: Vec<bytes::Bytes> = Vec::new();
+    for t in 1..=params.d() {
+        mailbox.clear();
+        for (u, (client, rng)) in clients.iter_mut().enumerate() {
+            let x = population.stream(u).derivative().at(t);
+            if let Some(report) = client.observe(t, x, rng) {
+                let msg = ReportMsg {
+                    user: u as u32,
+                    t: t as u32,
+                    bit: report.bit == Sign::Plus,
+                };
+                mailbox.push(msg.encode());
+            }
+        }
+        // Server drains the mailbox: decode, attribute to the sender's
+        // order, ingest.
+        for raw in &mailbox {
+            let msg = ReportMsg::decode(raw.clone());
+            let h = clients[msg.user as usize].0.order();
+            let bit = if msg.bit { Sign::Plus } else { Sign::Minus };
+            server.ingest(h, bit);
+            wire.record_report();
+        }
+        estimates.push(server.end_of_period(t));
+    }
+
+    EventDrivenOutcome {
+        estimates,
+        group_sizes: server.group_sizes().to_vec(),
+        wire,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf_streams::generator::UniformChanges;
+
+    fn setup(n: usize, d: u64, k: usize, seed: u64) -> (ProtocolParams, Population) {
+        let params = ProtocolParams::new(n, d, k, 1.0, 0.05).unwrap();
+        let mut rng = SeedSequence::new(seed).rng();
+        let pop = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
+        (params, pop)
+    }
+
+    #[test]
+    fn matches_in_memory_fast_path_exactly() {
+        // Same seed ⇒ identical estimates: both paths consume each user's
+        // RNG stream in the same order (order draw, b̃ draw, then one draw
+        // per zero partial sum). This pins down that the in-memory path in
+        // rtf-core really is the same protocol.
+        let (params, pop) = setup(150, 32, 3, 40);
+        let ev = run_event_driven(&params, &pop, 99);
+        let mem = rtf_core::protocol::run_in_memory(&params, &pop, 99);
+        assert_eq!(ev.estimates, mem.estimates());
+        assert_eq!(ev.group_sizes, mem.group_sizes());
+    }
+
+    #[test]
+    fn wire_accounting_matches_group_structure() {
+        let (params, pop) = setup(100, 16, 2, 41);
+        let ev = run_event_driven(&params, &pop, 7);
+        let expected_reports: u64 = ev
+            .group_sizes
+            .iter()
+            .enumerate()
+            .map(|(h, &sz)| sz as u64 * (16u64 >> h))
+            .sum();
+        assert_eq!(ev.wire.payload_bits, expected_reports);
+        assert_eq!(ev.wire.messages, 100 + expected_reports);
+        assert_eq!(
+            ev.wire.wire_bytes,
+            100 * OrderAnnouncement::WIRE_BYTES as u64
+                + expected_reports * ReportMsg::WIRE_BYTES as u64
+        );
+    }
+
+    #[test]
+    fn bits_per_user_period_is_below_one() {
+        // Users at order h > 0 report less than once per period, so the
+        // average payload is < 1 bit/user/period (≈ 2/log d).
+        let (params, pop) = setup(400, 64, 3, 42);
+        let ev = run_event_driven(&params, &pop, 8);
+        let rate = ev.wire.bits_per_user_period(400, 64);
+        assert!(rate < 1.0, "rate {rate}");
+        assert!(rate > 0.1, "rate {rate} suspiciously low");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (params, pop) = setup(80, 16, 2, 43);
+        let a = run_event_driven(&params, &pop, 5);
+        let b = run_event_driven(&params, &pop, 5);
+        assert_eq!(a.estimates, b.estimates);
+        assert_eq!(a.wire, b.wire);
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic message-passing simulation of longitudinal LDP
+//! deployments.
+//!
+//! The paper assumes `n` devices reporting one bit to an untrusted server
+//! whenever one of their dyadic intervals completes. This crate simulates
+//! that deployment faithfully enough for every claim that depends on it:
+//!
+//! * [`message`] — serialisable wire formats for order announcements and
+//!   report bits, with exact byte/bit accounting (the communication-cost
+//!   experiment `exp_communication`);
+//! * [`engine`] — the event-driven round loop: at every period each client
+//!   observes its own new datum, emits any due report *as a message*, and
+//!   the server consumes the mailbox before closing the period. This is
+//!   the honest `O(n·d)` schedule, used to validate the fast paths;
+//! * [`aggregate`] — a distribution-identical `O(n·(k + d/2^h))`
+//!   aggregate sampler for the FutureRand protocol (zero partial sums
+//!   contribute an exact `Binomial(m, ½)` of uniform bits; non-zero ones
+//!   walk each user's pre-computed `b̃`), enabling million-user
+//!   experiments;
+//! * [`runner`] — a parallel, deterministically seeded trial runner
+//!   (crossbeam scoped threads) returning per-trial metrics.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aggregate;
+pub mod engine;
+pub mod message;
+pub mod runner;
+
+pub use aggregate::{run_calibrated_aggregate, run_future_rand_aggregate};
+pub use engine::{run_event_driven, EventDrivenOutcome};
+pub use message::{OrderAnnouncement, ReportMsg, WireStats};
+pub use runner::{run_future_rand, run_trials, TrialPlan, TrialResults};

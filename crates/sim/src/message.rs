@@ -1,0 +1,167 @@
+//! Wire formats and communication accounting.
+//!
+//! Two message kinds cross the wire in the paper's protocol:
+//!
+//! * one [`OrderAnnouncement`] per user before period 1 (Algorithm 1,
+//!   line 1);
+//! * one [`ReportMsg`] per completed order-`h_u` interval (one payload
+//!   *bit* each; the framing here is a compact fixed-width binary layout,
+//!   and both the framed bytes and the information-theoretic payload bits
+//!   are tracked).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// A user's one-time announcement of its sampled order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderAnnouncement {
+    /// The user id.
+    pub user: u32,
+    /// The sampled order `h_u ∈ [0..log d]`.
+    pub order: u8,
+}
+
+impl OrderAnnouncement {
+    /// Encoded size in bytes (fixed-width layout).
+    pub const WIRE_BYTES: usize = 5;
+
+    /// Encodes into the compact fixed-width layout.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
+        b.put_u32_le(self.user);
+        b.put_u8(self.order);
+        b.freeze()
+    }
+
+    /// Decodes from the compact layout.
+    ///
+    /// # Panics
+    /// Panics if the buffer is shorter than [`Self::WIRE_BYTES`].
+    pub fn decode(mut buf: impl Buf) -> Self {
+        let user = buf.get_u32_le();
+        let order = buf.get_u8();
+        OrderAnnouncement { user, order }
+    }
+}
+
+/// One report: a single perturbed bit for the interval completing at `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportMsg {
+    /// The reporting user.
+    pub user: u32,
+    /// The period at which the report is due.
+    pub t: u32,
+    /// The perturbed partial sum, `true` encoding `+1`.
+    pub bit: bool,
+}
+
+impl ReportMsg {
+    /// Encoded size in bytes (fixed-width layout).
+    pub const WIRE_BYTES: usize = 9;
+
+    /// The information-theoretic payload: a single bit.
+    pub const PAYLOAD_BITS: u64 = 1;
+
+    /// Encodes into the compact fixed-width layout.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
+        b.put_u32_le(self.user);
+        b.put_u32_le(self.t);
+        b.put_u8(u8::from(self.bit));
+        b.freeze()
+    }
+
+    /// Decodes from the compact layout.
+    ///
+    /// # Panics
+    /// Panics if the buffer is shorter than [`Self::WIRE_BYTES`].
+    pub fn decode(mut buf: impl Buf) -> Self {
+        let user = buf.get_u32_le();
+        let t = buf.get_u32_le();
+        let bit = buf.get_u8() != 0;
+        ReportMsg { user, t, bit }
+    }
+}
+
+/// Running communication totals for one protocol execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Number of messages sent (announcements + reports).
+    pub messages: u64,
+    /// Total framed bytes on the wire.
+    pub wire_bytes: u64,
+    /// Total information-theoretic payload bits (1 per report).
+    pub payload_bits: u64,
+}
+
+impl WireStats {
+    /// Accounts for one announcement.
+    pub fn record_announcement(&mut self) {
+        self.messages += 1;
+        self.wire_bytes += OrderAnnouncement::WIRE_BYTES as u64;
+    }
+
+    /// Accounts for one report.
+    pub fn record_report(&mut self) {
+        self.messages += 1;
+        self.wire_bytes += ReportMsg::WIRE_BYTES as u64;
+        self.payload_bits += ReportMsg::PAYLOAD_BITS;
+    }
+
+    /// Average payload bits per user per period.
+    pub fn bits_per_user_period(&self, n: usize, d: u64) -> f64 {
+        self.payload_bits as f64 / (n as f64 * d as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announcement_round_trip() {
+        let a = OrderAnnouncement { user: 12345, order: 7 };
+        let bytes = a.encode();
+        assert_eq!(bytes.len(), OrderAnnouncement::WIRE_BYTES);
+        assert_eq!(OrderAnnouncement::decode(bytes), a);
+    }
+
+    #[test]
+    fn report_round_trip() {
+        for bit in [false, true] {
+            let r = ReportMsg { user: u32::MAX, t: 1, bit };
+            let bytes = r.encode();
+            assert_eq!(bytes.len(), ReportMsg::WIRE_BYTES);
+            assert_eq!(ReportMsg::decode(bytes), r);
+        }
+    }
+
+    #[test]
+    fn wire_stats_accumulate() {
+        let mut s = WireStats::default();
+        s.record_announcement();
+        s.record_report();
+        s.record_report();
+        assert_eq!(s.messages, 3);
+        assert_eq!(
+            s.wire_bytes,
+            (OrderAnnouncement::WIRE_BYTES + 2 * ReportMsg::WIRE_BYTES) as u64
+        );
+        assert_eq!(s.payload_bits, 2);
+        assert!((s.bits_per_user_period(1, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_compatibility() {
+        // The wire structs are serde-serialisable for experiment dumps.
+        let r = ReportMsg { user: 3, t: 9, bit: true };
+        let json = format!(
+            "{{\"user\":{},\"t\":{},\"bit\":{}}}",
+            r.user, r.t, r.bit
+        );
+        // No serde_json offline; just check the fields are public and the
+        // struct derives Serialize (compile-time) — format the debug repr.
+        assert!(format!("{r:?}").contains("bit: true"));
+        assert!(!json.is_empty());
+    }
+}

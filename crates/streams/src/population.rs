@@ -1,0 +1,209 @@
+//! A population of users and its ground truth.
+//!
+//! The server's target quantity is `a[t] = Σ_u st_u[t]` (Equation 1). The
+//! population owns all `n` user streams, computes the true counts once in
+//! `O(n·k + d)` via a difference array over change times, and exposes the
+//! `k`-sparsity checks the protocol's preconditions need.
+
+use crate::generator::StreamGenerator;
+use crate::stream::BoolStream;
+use rand::Rng;
+
+/// `n` longitudinal Boolean user streams plus the ground-truth counts.
+#[derive(Debug, Clone)]
+pub struct Population {
+    d: u64,
+    streams: Vec<BoolStream>,
+    true_counts: Vec<f64>,
+}
+
+impl Population {
+    /// Builds a population from explicit streams.
+    ///
+    /// # Panics
+    /// Panics if the streams disagree on `d` or the list is empty.
+    pub fn from_streams(streams: Vec<BoolStream>) -> Self {
+        assert!(!streams.is_empty(), "population must have at least one user");
+        let d = streams[0].d();
+        assert!(
+            streams.iter().all(|s| s.d() == d),
+            "all streams must share the same horizon"
+        );
+        let true_counts = Self::compute_counts(d, &streams);
+        Population {
+            d,
+            streams,
+            true_counts,
+        }
+    }
+
+    /// Draws `n` users from a generator.
+    pub fn generate<G: StreamGenerator, R: Rng + ?Sized>(
+        generator: &G,
+        n: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n >= 1, "population must have at least one user");
+        let streams: Vec<BoolStream> = (0..n).map(|_| generator.generate(rng)).collect();
+        Self::from_streams(streams)
+    }
+
+    /// `a[t]` for all `t` via a difference array over change times:
+    /// each change at time `c` adds ±1 to every `a[t]` with `t ≥ c`.
+    fn compute_counts(d: u64, streams: &[BoolStream]) -> Vec<f64> {
+        let mut diff = vec![0i64; d as usize + 1];
+        for s in streams {
+            for (i, &c) in s.change_times().iter().enumerate() {
+                let sign = if i % 2 == 0 { 1 } else { -1 };
+                diff[c as usize] += sign;
+            }
+        }
+        let mut counts = Vec::with_capacity(d as usize);
+        let mut acc = 0i64;
+        for (t, &delta) in diff.iter().enumerate().skip(1) {
+            acc += delta;
+            debug_assert!(acc >= 0, "count went negative at t = {t}");
+            counts.push(acc as f64);
+        }
+        counts
+    }
+
+    /// The horizon length `d`.
+    #[inline]
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The number of users `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The user streams.
+    #[inline]
+    pub fn streams(&self) -> &[BoolStream] {
+        &self.streams
+    }
+
+    /// One user's stream.
+    pub fn stream(&self, user: usize) -> &BoolStream {
+        &self.streams[user]
+    }
+
+    /// The ground truth `a[t]` (`true_counts()[t−1] = a[t]`, Equation 1).
+    #[inline]
+    pub fn true_counts(&self) -> &[f64] {
+        &self.true_counts
+    }
+
+    /// The largest change count across users — must be `≤ k` for the
+    /// protocol's guarantees to apply.
+    pub fn max_change_count(&self) -> usize {
+        self.streams
+            .iter()
+            .map(BoolStream::change_count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Asserts every user changes at most `k` times.
+    ///
+    /// # Panics
+    /// Panics (with the offending user) if some stream exceeds the bound.
+    pub fn assert_k_sparse(&self, k: usize) {
+        for (u, s) in self.streams.iter().enumerate() {
+            assert!(
+                s.change_count() <= k,
+                "user {u} changes {} times, exceeding k = {k}",
+                s.change_count()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::UniformChanges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_match_brute_force() {
+        let streams = vec![
+            BoolStream::from_values(&[false, true, true, false]),
+            BoolStream::from_values(&[true, true, false, false]),
+            BoolStream::from_values(&[false, false, false, true]),
+        ];
+        let pop = Population::from_streams(streams.clone());
+        for t in 1..=4u64 {
+            let expect = streams.iter().filter(|s| s.value_at(t)).count() as f64;
+            assert_eq!(pop.true_counts()[(t - 1) as usize], expect, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn counts_match_brute_force_random() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = UniformChanges::new(64, 7, 0.9);
+        let pop = Population::generate(&g, 200, &mut rng);
+        for t in 1..=64u64 {
+            let expect = pop.streams().iter().filter(|s| s.value_at(t)).count() as f64;
+            assert_eq!(pop.true_counts()[(t - 1) as usize], expect, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn generate_respects_n_and_d() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = UniformChanges::new(32, 3, 0.5);
+        let pop = Population::generate(&g, 57, &mut rng);
+        assert_eq!(pop.n(), 57);
+        assert_eq!(pop.d(), 32);
+        assert_eq!(pop.true_counts().len(), 32);
+    }
+
+    #[test]
+    fn max_change_count_and_sparsity() {
+        let streams = vec![
+            BoolStream::from_change_times(8, vec![1, 2]),
+            BoolStream::from_change_times(8, vec![1, 2, 3, 4]),
+        ];
+        let pop = Population::from_streams(streams);
+        assert_eq!(pop.max_change_count(), 4);
+        pop.assert_k_sparse(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding k")]
+    fn sparsity_violation_detected() {
+        let pop = Population::from_streams(vec![BoolStream::from_change_times(8, vec![1, 2, 3])]);
+        pop.assert_k_sparse(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same horizon")]
+    fn mixed_horizons_rejected() {
+        let _ = Population::from_streams(vec![
+            BoolStream::all_zero(8),
+            BoolStream::all_zero(16),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_population_rejected() {
+        let _ = Population::from_streams(Vec::new());
+    }
+
+    #[test]
+    fn counts_are_bounded_by_n() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = UniformChanges::new(128, 10, 1.0);
+        let pop = Population::generate(&g, 50, &mut rng);
+        for (&c, t) in pop.true_counts().iter().zip(1..) {
+            assert!((0.0..=50.0).contains(&c), "a[{t}] = {c}");
+        }
+    }
+}

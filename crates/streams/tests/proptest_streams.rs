@@ -1,0 +1,107 @@
+//! Property-based tests for the longitudinal data model.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtf_dyadic::decompose::decompose_prefix;
+use rtf_dyadic::interval::Horizon;
+use rtf_streams::generator::{
+    BurstyChanges, PeriodicToggle, StreamGenerator, TrendingPopulation, UniformChanges,
+};
+use rtf_streams::population::Population;
+use rtf_streams::stream::BoolStream;
+
+/// Strategy: a sorted set of distinct change times within [1..d].
+fn change_times(d: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::btree_set(1..=d, 0..16).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    /// Values ↔ change-times round trip.
+    #[test]
+    fn stream_round_trip(times in change_times(64)) {
+        let s = BoolStream::from_change_times(64, times.clone());
+        let back = BoolStream::from_values(&s.values());
+        prop_assert_eq!(back.change_times(), &times[..]);
+    }
+
+    /// Observation 3.9 (single user): st_u[t] = Σ_{I ∈ C(t)} S_u(I).
+    #[test]
+    fn prefix_identity_obs_3_9(times in change_times(128), t in 1u64..=128) {
+        let s = BoolStream::from_change_times(128, times);
+        let x = s.derivative();
+        let sum: i64 = decompose_prefix(t)
+            .into_iter()
+            .map(|i| x.partial_sum(i).value() as i64)
+            .sum();
+        prop_assert_eq!(sum, i64::from(s.value_at(t)));
+    }
+
+    /// Observation 3.7: every partial sum is in {−1, 0, 1} and equals
+    /// st(end) − st(start−1).
+    #[test]
+    fn partial_sums_obs_3_7(times in change_times(64)) {
+        let s = BoolStream::from_change_times(64, times);
+        let x = s.derivative();
+        for i in Horizon::new(64).iset() {
+            let ps = x.partial_sum(i).value() as i64;
+            let direct = i64::from(s.value_at(i.end())) - i64::from(s.value_at(i.start() - 1));
+            prop_assert_eq!(ps, direct);
+        }
+    }
+
+    /// Observation 3.6: at most ‖X_u‖₀ non-zero partial sums per order.
+    #[test]
+    fn per_order_sparsity_obs_3_6(times in change_times(64)) {
+        let s = BoolStream::from_change_times(64, times);
+        let x = s.derivative();
+        let hz = Horizon::new(64);
+        for h in hz.orders() {
+            let nz = hz.iset_at_order(h).filter(|&i| x.partial_sum(i).is_nonzero()).count();
+            prop_assert!(nz <= s.change_count());
+        }
+    }
+
+    /// The derivative's support is exactly the change-time set, with
+    /// alternating signs summing to st_u[d] ∈ {0,1}.
+    #[test]
+    fn derivative_structure(times in change_times(64)) {
+        let s = BoolStream::from_change_times(64, times.clone());
+        let x = s.derivative();
+        prop_assert_eq!(x.support(), &times[..]);
+        let total: i64 = x.to_vec().iter().map(|t| t.value() as i64).sum();
+        prop_assert!(total == 0 || total == 1);
+        prop_assert_eq!(total, i64::from(s.value_at(64)));
+    }
+
+    /// Population ground truth equals the brute-force count at every t.
+    #[test]
+    fn population_counts(seed in 0u64..500, n in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = UniformChanges::new(32, 5, 0.7);
+        let pop = Population::generate(&gen, n, &mut rng);
+        for t in 1..=32u64 {
+            let expect = pop.streams().iter().filter(|s| s.value_at(t)).count() as f64;
+            prop_assert_eq!(pop.true_counts()[(t - 1) as usize], expect);
+        }
+    }
+
+    /// Every generator respects its own k bound and horizon.
+    #[test]
+    fn generators_respect_contracts(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = 64u64;
+        macro_rules! check {
+            ($g:expr) => {{
+                let g = $g;
+                let s = g.generate(&mut rng);
+                prop_assert_eq!(s.d(), g.d());
+                prop_assert!(s.change_count() <= g.k());
+            }};
+        }
+        check!(UniformChanges::new(d, 6, 0.9));
+        check!(BurstyChanges::new(d, 6, 16));
+        check!(PeriodicToggle::new(d, 6, 5));
+        check!(TrendingPopulation::new(d, 6, |t| t as f64 / d as f64));
+    }
+}

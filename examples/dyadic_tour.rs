@@ -1,0 +1,62 @@
+//! A tour of the dyadic machinery — reproduces Figure 1 of the paper.
+//!
+//! Figure 1 illustrates, for `d = 4` and the stream `st_u = (0,1,1,0)`:
+//! all dyadic intervals on `[4]`, the decomposition `C(3)` of the prefix
+//! `[3]`, the discrete derivative `X_u = (0,1,0,−1)`, and the partial
+//! sums associated with each interval (Examples 3.3 and 3.5).
+//!
+//! ```text
+//! cargo run --example dyadic_tour
+//! ```
+
+use randomize_future::dyadic::decompose::decompose_prefix;
+use randomize_future::dyadic::interval::Horizon;
+use randomize_future::streams::stream::BoolStream;
+
+fn main() {
+    let d = 4u64;
+    let horizon = Horizon::new(d);
+    let stream = BoolStream::from_values(&[false, true, true, false]);
+    let x = stream.derivative();
+
+    println!("Figure 1 reproduction (d = {d}, k = 2)\n");
+    println!(
+        "user stream  st_u = {:?}",
+        stream.values().iter().map(|&b| u8::from(b)).collect::<Vec<_>>()
+    );
+    println!(
+        "derivative   X_u  = {:?}   (Definition 3.1)",
+        x.to_vec().iter().map(|t| t.value()).collect::<Vec<_>>()
+    );
+
+    println!("\nAll dyadic intervals on [{d}] (Example 3.3), with partial sums (Example 3.5):");
+    println!("{:>10} {:>10} {:>12}", "interval", "covers", "S_u(I)");
+    for i in horizon.iset() {
+        println!(
+            "  I_({},{}) {:>10} {:>12}",
+            i.order(),
+            i.index(),
+            format!("[{}..{}]", i.start(), i.end()),
+            x.partial_sum(i).value()
+        );
+    }
+
+    println!("\nDyadic decompositions C(t) (Fact 3.8) and the prefix identity (Obs. 3.9):");
+    for t in 1..=d {
+        let parts = decompose_prefix(t);
+        let names: Vec<String> = parts
+            .iter()
+            .map(|i| format!("I_({},{})", i.order(), i.index()))
+            .collect();
+        let sum: i64 = parts.iter().map(|&i| x.partial_sum(i).value() as i64).sum();
+        println!(
+            "  C({t}) = {{{}}}  =>  sum of partial sums = {sum} = st_u[{t}] = {}",
+            names.join(", "),
+            u8::from(stream.value_at(t))
+        );
+        assert_eq!(sum, i64::from(stream.value_at(t)));
+    }
+
+    println!("\nThe purple path of Figure 1: C(3) = {{I_(1,1), I_(0,3)}},");
+    println!("S_u(I_(1,1)) = 1 and S_u(I_(0,3)) = 0, summing to st_u[3] = 1.");
+}

@@ -1,0 +1,97 @@
+//! Exact privacy audits of every randomizer in the workspace.
+//!
+//! LDP guarantees are usually *proved*; here they are *measured exactly*:
+//! the output law of the composed randomizer depends on inputs only
+//! through Hamming-weight classes, so its worst-case probability ratio —
+//! the realized LDP parameter — is computable in closed form, and the
+//! full online client can be brute-force audited for small `(L, k)`.
+//!
+//! ```text
+//! cargo run --release --example privacy_audit
+//! ```
+
+use randomize_future::analysis::audit::{
+    erlingsson_sequence_audit, futurerand_sequence_audit, independent_sequence_audit,
+    realized_epsilon_composed,
+};
+use randomize_future::baselines::bun::BunRandomizer;
+use randomize_future::core::gap::WeightClassLaw;
+
+fn main() {
+    println!("=== Composed randomizer R~ : realized epsilon vs nominal (Lemma 5.2) ===\n");
+    println!("{:>6} {:>8} {:>12} {:>12} {:>8}", "k", "eps", "realized", "ratio", "annulus");
+    for &eps in &[0.25f64, 0.5, 1.0] {
+        for &k in &[1usize, 4, 16, 64, 256, 1024] {
+            let law = WeightClassLaw::for_protocol(k, eps);
+            let realized = law.realized_epsilon();
+            println!(
+                "{:>6} {:>8.2} {:>12.4} {:>12.3} [{},{}]",
+                k,
+                eps,
+                realized,
+                realized / eps,
+                law.annulus().lb(),
+                law.annulus().ub()
+            );
+            assert!(realized <= eps + 1e-9, "privacy violation!");
+        }
+        println!();
+    }
+    println!("(ratio < 1 everywhere: the paper's eps~ = eps/(5*sqrt k) leaves ~2x slack)\n");
+
+    println!("=== Cross-check: independent linear-space audit ===\n");
+    for &k in &[4usize, 64] {
+        let et = 1.0 / (5.0 * (k as f64).sqrt());
+        let a = realized_epsilon_composed(k, et);
+        let b = WeightClassLaw::for_protocol(k, 1.0).realized_epsilon();
+        println!("k={k:4}: linear-space {a:.6}  log-space {b:.6}  (diff {:.2e})", (a - b).abs());
+    }
+
+    println!("\n=== End-to-end online client audits (brute force, Theorem 4.5) ===\n");
+    println!("{:<22} {:>4} {:>4} {:>10} {:>10} {:>8}", "client", "L", "k", "realized", "nominal", "inputs");
+    for (l, k) in [(4usize, 2usize), (6, 2), (6, 3), (8, 2)] {
+        let a = futurerand_sequence_audit(l, k, 1.0);
+        println!(
+            "{:<22} {:>4} {:>4} {:>10.4} {:>10.1} {:>8}",
+            "future-rand", l, k, a.realized_epsilon, 1.0, a.inputs
+        );
+    }
+    for (l, k) in [(4usize, 2usize), (6, 3)] {
+        let a = independent_sequence_audit(l, k, 1.0);
+        println!(
+            "{:<22} {:>4} {:>4} {:>10.4} {:>10.1} {:>8}",
+            "independent (Ex 4.2)", l, k, a.realized_epsilon, 1.0, a.inputs
+        );
+    }
+    for l in [4usize, 8] {
+        let a = erlingsson_sequence_audit(l, 1.0);
+        println!(
+            "{:<22} {:>4} {:>4} {:>10.4} {:>10.1} {:>8}",
+            "erlingsson20", l, 1, a.realized_epsilon, 1.0, a.inputs
+        );
+    }
+    println!(
+        "\nfindings: independent saturates the budget exactly; Erlingsson (as restated\n\
+         in Section 6) realizes only eps/2; FutureRand realizes ~0.25-0.5x of eps."
+    );
+
+    println!("\n=== Bun et al. (2019) composed randomizer (Appendix A.2) ===\n");
+    println!("{:>6} {:>10} {:>12} {:>12} {:>14}", "k", "lambda", "realized", "c_gap", "FutureRand gap");
+    for &k in &[64usize, 256, 1024] {
+        match BunRandomizer::solve(k, 1.0) {
+            Some(b) => {
+                let ours = WeightClassLaw::for_protocol(k, 1.0);
+                println!(
+                    "{:>6} {:>10.2e} {:>12.4} {:>12.6} {:>14.6}",
+                    k,
+                    b.lambda(),
+                    b.law().realized_epsilon(),
+                    b.law().c_gap(),
+                    ours.c_gap()
+                );
+            }
+            None => println!("{k:>6}  (no feasible lambda)"),
+        }
+    }
+    println!("\nFutureRand's gap beats Bun et al.'s at every k — the sqrt(ln(k/eps)) factor.");
+}

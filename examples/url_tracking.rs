@@ -1,0 +1,89 @@
+//! URL-popularity tracking — the paper's motivating scenario, run as a
+//! protocol shoot-out in the regime where data changes often.
+//!
+//! A search-engine provider tracks the daily count of users whose
+//! frequently-visited-URL list contains some URL over `d = 2048` days;
+//! user interest churns (up to `k = 64` changes). This is exactly the
+//! regime the paper targets: with many changes, protocols whose error is
+//! linear in `k` (Erlingsson et al.) or linear in `d` (naive splitting)
+//! fall behind FutureRand's `√k·log d`. All ε-LDP protocols run on the
+//! same population with the same budget.
+//!
+//! ```text
+//! cargo run --release --example url_tracking
+//! ```
+
+use randomize_future::analysis::metrics::linf_error;
+use randomize_future::baselines::registry::{LongitudinalProtocol, ProtocolKind};
+use randomize_future::core::params::ProtocolParams;
+use randomize_future::primitives::seeding::SeedSequence;
+use randomize_future::streams::generator::TrendingPopulation;
+use randomize_future::streams::population::Population;
+
+fn main() {
+    let n = 30_000usize;
+    let d = 2048u64;
+    let k = 64usize;
+    let params = ProtocolParams::new(n, d, k, 1.0, 0.05).expect("valid parameters");
+
+    // Viral trend: baseline 5% popularity, surging to ~60% around day
+    // 1024, settling at ~30%.
+    let curve = |t: u64| {
+        let x = t as f64;
+        0.05 + 0.55 * (-(x - 1024.0) * (x - 1024.0) / 160_000.0).exp()
+            + if t > 1024 { 0.20 } else { 0.0 }
+    };
+    let generator = TrendingPopulation::new(d, k, curve);
+    let mut rng = SeedSequence::new(2024).rng();
+    let population = Population::generate(&generator, n, &mut rng);
+    let truth = population.true_counts();
+
+    println!("URL popularity tracking: n={n}, d={d} days, k={k} changes, eps=1.0");
+    println!("(high-churn regime: the paper's sqrt(k) advantage is decisive here)\n");
+
+    let mut rows: Vec<(&str, f64, bool, &str)> = Vec::new();
+    let seeds = [99u64, 100, 101];
+    for kind in ProtocolKind::ALL {
+        // Average the linf error over a few protocol seeds for stability.
+        let mut err = 0.0;
+        for &s in &seeds {
+            let outcome = kind.run(&params, &population, s);
+            err += linf_error(outcome.estimates(), truth) / seeds.len() as f64;
+        }
+        let note = match kind {
+            ProtocolKind::FutureRand => "this paper",
+            ProtocolKind::FutureRandCalibrated => "this paper + exact-audit calibration",
+            ProtocolKind::Erlingsson => "error ~ k",
+            ProtocolKind::Independent => "Example 4.2 randomizer, error ~ k",
+            ProtocolKind::NaiveSplit => "eps/d per day, error ~ d",
+            ProtocolKind::NaiveDecay => "privacy decays to eps*d",
+            ProtocolKind::CentralTree => "needs trusted curator",
+        };
+        rows.push((kind.name(), err, kind.is_eps_ldp(), note));
+    }
+
+    let ours = rows
+        .iter()
+        .find(|r| r.0 == "future-rand")
+        .map(|r| r.1)
+        .expect("future-rand row");
+    println!(
+        "{:<14} {:>12} {:>10} {:>9}  note",
+        "protocol", "linf error", "vs ours", "eps-LDP?"
+    );
+    for (name, err, ldp, note) in &rows {
+        println!(
+            "{:<14} {:>12.0} {:>9.2}x {:>9}  {}",
+            name,
+            err,
+            err / ours,
+            if *ldp { "yes" } else { "NO" },
+            note
+        );
+    }
+    println!(
+        "\namong eps-LDP protocols, future-rand has the smallest error; the two\n\
+         non-LDP rows show what giving up local privacy (central-tree) or privacy\n\
+         itself (naive-decay) would buy."
+    );
+}

@@ -1,0 +1,99 @@
+//! Integration: the three execution paths implement the same protocol.
+//!
+//! * `run_in_memory` (rtf-core) and `run_event_driven` (rtf-sim) must be
+//!   **bit-identical** for the same seed: both consume each user's RNG
+//!   stream in the same order, and all arithmetic is exact in f64.
+//! * `run_future_rand_aggregate` must be **distribution-identical**:
+//!   same per-user `(h, b̃)` randomness, server-side batched noise with
+//!   the same conditional law.
+
+use randomize_future::core::params::ProtocolParams;
+use randomize_future::core::protocol::run_in_memory;
+use randomize_future::primitives::seeding::SeedSequence;
+use randomize_future::sim::aggregate::run_future_rand_aggregate;
+use randomize_future::sim::engine::run_event_driven;
+use randomize_future::streams::generator::UniformChanges;
+use randomize_future::streams::population::Population;
+
+fn setup(n: usize, d: u64, k: usize, seed: u64) -> (ProtocolParams, Population) {
+    let params = ProtocolParams::new(n, d, k, 1.0, 0.05).unwrap();
+    let mut rng = SeedSequence::new(seed).rng();
+    let pop = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
+    (params, pop)
+}
+
+#[test]
+fn in_memory_and_event_driven_bit_identical() {
+    for (n, d, k, seed) in [(100usize, 16u64, 2usize, 1u64), (321, 64, 5, 2), (57, 128, 3, 3)] {
+        let (params, pop) = setup(n, d, k, seed);
+        for protocol_seed in [5u64, 99, 12345] {
+            let mem = run_in_memory(&params, &pop, protocol_seed);
+            let ev = run_event_driven(&params, &pop, protocol_seed);
+            assert_eq!(
+                mem.estimates(),
+                ev.estimates,
+                "paths diverge at n={n} d={d} k={k} seed={protocol_seed}"
+            );
+            assert_eq!(mem.group_sizes(), ev.group_sizes);
+        }
+    }
+}
+
+#[test]
+fn aggregate_matches_exact_paths_in_distribution() {
+    // First and second moments of â[t] agree across many runs.
+    let (params, pop) = setup(300, 16, 3, 4);
+    let trials = 400u64;
+    let d = 16usize;
+    let (mut mean_a, mut mean_e) = (vec![0.0; d], vec![0.0; d]);
+    let (mut var_a, mut var_e) = (vec![0.0; d], vec![0.0; d]);
+    for s in 0..trials {
+        let a = run_future_rand_aggregate(&params, &pop, 1_000 + s);
+        let e = run_in_memory(&params, &pop, 1_000 + s);
+        for t in 0..d {
+            mean_a[t] += a.estimates()[t];
+            mean_e[t] += e.estimates()[t];
+            var_a[t] += a.estimates()[t].powi(2);
+            var_e[t] += e.estimates()[t].powi(2);
+        }
+    }
+    for t in 0..d {
+        let (ma, me) = (mean_a[t] / trials as f64, mean_e[t] / trials as f64);
+        let va = var_a[t] / trials as f64 - ma * ma;
+        let ve = var_e[t] / trials as f64 - me * me;
+        let se = (va.max(ve) / trials as f64).sqrt();
+        assert!(
+            (ma - me).abs() < 6.0 * se + 1e-9,
+            "t={}: means {ma} vs {me}",
+            t + 1
+        );
+        assert!(
+            (va - ve).abs() <= 0.5 * va.max(ve),
+            "t={}: variances {va} vs {ve}",
+            t + 1
+        );
+    }
+}
+
+#[test]
+fn aggregate_and_exact_share_per_user_randomness() {
+    // Same seed ⇒ same order assignment in both paths (the b̃ draw and
+    // order draw come from the same per-user stream).
+    let (params, pop) = setup(200, 32, 2, 5);
+    let a = run_future_rand_aggregate(&params, &pop, 42);
+    let m = run_in_memory(&params, &pop, 42);
+    assert_eq!(a.group_sizes(), m.group_sizes());
+    assert_eq!(a.reports_sent(), m.reports_sent());
+}
+
+#[test]
+fn communication_accounting_consistent_across_paths() {
+    let (params, pop) = setup(150, 64, 3, 6);
+    let ev = run_event_driven(&params, &pop, 17);
+    let mem = run_in_memory(&params, &pop, 17);
+    // Event-driven counts payload bits; in-memory counts reports — one
+    // bit each, so they must match.
+    assert_eq!(ev.wire.payload_bits, mem.reports_sent());
+    // Announcements: one per user.
+    assert_eq!(ev.wire.messages, mem.reports_sent() + 150);
+}
