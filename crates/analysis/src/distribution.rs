@@ -257,7 +257,11 @@ mod tests {
             gap += if omega & 0b010 != 0 { p } else { -p };
             zero_bias += if omega & 0b001 != 0 { p } else { -p };
         }
-        assert!((gap - law.c_gap()).abs() < 1e-10, "gap {gap} vs {}", law.c_gap());
+        assert!(
+            (gap - law.c_gap()).abs() < 1e-10,
+            "gap {gap} vs {}",
+            law.c_gap()
+        );
         assert!(zero_bias.abs() < 1e-12);
     }
 }

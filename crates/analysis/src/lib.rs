@@ -34,4 +34,4 @@ pub use audit::{
 };
 pub use distribution::{composed_per_string_probs, futurerand_output_pmf};
 pub use metrics::{l1_error, l2_error, linf_error, mean_abs_error};
-pub use stats::{chi_square_stat, chi_square_critical_999, hoeffding_radius, tv_distance};
+pub use stats::{chi_square_critical_999, chi_square_stat, hoeffding_radius, tv_distance};

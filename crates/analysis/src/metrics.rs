@@ -20,7 +20,11 @@ pub fn linf_error(estimates: &[f64], truth: &[f64]) -> f64 {
 /// `Σ_t |â[t] − a[t]|`.
 pub fn l1_error(estimates: &[f64], truth: &[f64]) -> f64 {
     check(estimates, truth);
-    estimates.iter().zip(truth).map(|(e, t)| (e - t).abs()).sum()
+    estimates
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .sum()
 }
 
 /// `√(Σ_t (â[t] − a[t])²)`.

@@ -17,10 +17,7 @@
 ///
 /// Never increases `|â[t] − a[t]|` for any `t`, since `a[t] ∈ [0, n]`.
 pub fn clip(estimates: &[f64], n: usize) -> Vec<f64> {
-    estimates
-        .iter()
-        .map(|&e| e.clamp(0.0, n as f64))
-        .collect()
+    estimates.iter().map(|&e| e.clamp(0.0, n as f64)).collect()
 }
 
 /// Centered moving average with window `w` (odd), shrinking the window at

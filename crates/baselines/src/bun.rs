@@ -135,12 +135,11 @@ mod tests {
                 let b = BunRandomizer::solve(k, eps)
                     .unwrap_or_else(|| panic!("no solution at k={k}, ε={eps}"));
                 // Constraint 45 holds.
-                let cap = (b.eps_tilde() * (k as f64).sqrt() / (2.0 * (k as f64 + 1.0)))
-                    .powf(2.0 / 3.0);
+                let cap =
+                    (b.eps_tilde() * (k as f64).sqrt() / (2.0 * (k as f64 + 1.0))).powf(2.0 / 3.0);
                 assert!(b.lambda() > 0.0 && b.lambda() < cap, "k={k} ε={eps}");
                 // Fact A.6: ε = 6 ε̃ √(k ln(1/λ)).
-                let recon =
-                    6.0 * b.eps_tilde() * ((k as f64) * (1.0 / b.lambda()).ln()).sqrt();
+                let recon = 6.0 * b.eps_tilde() * ((k as f64) * (1.0 / b.lambda()).ln()).sqrt();
                 assert!(
                     (recon - eps).abs() < 1e-9,
                     "k={k}: ε reconstruction {recon} vs {eps}"
@@ -157,10 +156,7 @@ mod tests {
             let eps = 1.0;
             let ours = WeightClassLaw::for_protocol(k, eps).c_gap();
             let theirs = BunRandomizer::solve(k, eps).unwrap().law().c_gap();
-            assert!(
-                ours > theirs,
-                "k={k}: ours {ours} ≤ Bun {theirs}"
-            );
+            assert!(ours > theirs, "k={k}: ours {ours} ≤ Bun {theirs}");
         }
     }
 
@@ -170,10 +166,7 @@ mod tests {
         for k in [64usize, 512, 2048] {
             let b = BunRandomizer::solve(k, 1.0).unwrap();
             let realized = b.law().realized_epsilon();
-            assert!(
-                realized <= 1.0 + 1e-9,
-                "k={k}: realized {realized} > 1.0"
-            );
+            assert!(realized <= 1.0 + 1e-9, "k={k}: realized {realized} > 1.0");
         }
     }
 
@@ -183,10 +176,7 @@ mod tests {
             let b = BunRandomizer::solve(k, 0.5).unwrap();
             // Theorem A.8 is an upper bound (with unspecified constant);
             // the exact gap must not exceed a small multiple of it.
-            assert!(
-                b.law().c_gap() <= 3.0 * b.theorem_a8_gap_bound(),
-                "k={k}"
-            );
+            assert!(b.law().c_gap() <= 3.0 * b.theorem_a8_gap_bound(), "k={k}");
         }
     }
 

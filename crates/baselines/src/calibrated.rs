@@ -32,7 +32,10 @@ pub fn run_calibrated(
     for h in 0..params.num_orders() {
         let cal = calibrate(params.k_for_order(h), params.epsilon());
         gaps.push(cal.law.c_gap());
-        composed.push(ComposedRandomizer::new(params.k_for_order(h), cal.eps_tilde));
+        composed.push(ComposedRandomizer::new(
+            params.k_for_order(h),
+            cal.eps_tilde,
+        ));
     }
     let mut server = Server::new(*params, &gaps);
 

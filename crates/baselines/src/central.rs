@@ -41,8 +41,7 @@ pub fn run_central_tree(
         }
     }
     let mut tree = DyadicTree::from_leaves(params.horizon(), &leaves);
-    let scale =
-        (params.k() as f64) * (1.0 + f64::from(params.log_d())) / params.epsilon();
+    let scale = (params.k() as f64) * (1.0 + f64::from(params.log_d())) / params.epsilon();
     let lap = Laplace::new(scale);
     let mut rng = SeedSequence::new(seed).child(0xCE47).rng();
     tree.perturb(|_| lap.sample(&mut rng));

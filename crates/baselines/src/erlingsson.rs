@@ -40,17 +40,17 @@ struct ErlClient {
 
 impl ErlClient {
     /// Samples order and change slot for one user.
-    fn new<R: Rng + ?Sized>(
-        params: &ProtocolParams,
-        change_times: &[u64],
-        rng: &mut R,
-    ) -> Self {
+    fn new<R: Rng + ?Sized>(params: &ProtocolParams, change_times: &[u64], rng: &mut R) -> Self {
         let h = rng.random_range(0..params.num_orders());
         // Uniform slot in [0..k); slots beyond the user's actual change
         // count keep nothing.
         let slot = rng.random_range(0..params.k());
         let kept = change_times.get(slot).map(|&t| {
-            let sign = if slot % 2 == 0 { Sign::Plus } else { Sign::Minus };
+            let sign = if slot % 2 == 0 {
+                Sign::Plus
+            } else {
+                Sign::Minus
+            };
             (t, sign)
         });
         ErlClient {
@@ -183,9 +183,8 @@ mod tests {
         }
         // Tolerance: the per-trial std is large (∝ k√n/c_gap); averaging
         // over T trials shrinks it by √T.
-        let per_trial_sd = (1.0 + (d as f64).log2()) * (k as f64)
-            / erlingsson_c_gap(1.0)
-            * (n as f64).sqrt();
+        let per_trial_sd =
+            (1.0 + (d as f64).log2()) * (k as f64) / erlingsson_c_gap(1.0) * (n as f64).sqrt();
         let tol = 5.0 * per_trial_sd / (trials as f64).sqrt();
         let bias = linf(&mean, pop.true_counts());
         assert!(bias < tol, "bias {bias} vs tol {tol}");

@@ -28,8 +28,12 @@ pub fn run_independent(
 
     let gaps: Vec<f64> = (0..params.num_orders())
         .map(|h| {
-            IndependentRand::new(params.sequence_len(h), params.k_for_order(h), params.epsilon())
-                .c_gap()
+            IndependentRand::new(
+                params.sequence_len(h),
+                params.k_for_order(h),
+                params.epsilon(),
+            )
+            .c_gap()
         })
         .collect();
     let mut server = Server::new(*params, &gaps);

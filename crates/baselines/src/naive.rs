@@ -37,8 +37,7 @@ fn run_repeated_rr(
     // s = 2v−1 kept w.p. 1−p. E[r] = s·(1−2p) ⇒ v̂ = (r/(1−2p) + 1)/2.
     let gap = rr.gap();
     let mut estimates = Vec::with_capacity(d as usize);
-    let mut rngs: Vec<rand::rngs::StdRng> =
-        (0..n).map(|u| root.child(u as u64).rng()).collect();
+    let mut rngs: Vec<rand::rngs::StdRng> = (0..n).map(|u| root.child(u as u64).rng()).collect();
     for t in 1..=d {
         let mut sum = 0.0;
         for (u, rng) in rngs.iter_mut().enumerate() {

@@ -16,8 +16,7 @@ pub trait LongitudinalProtocol {
     fn is_eps_ldp(&self) -> bool;
 
     /// Runs the protocol end to end.
-    fn run(&self, params: &ProtocolParams, population: &Population, seed: u64)
-        -> ProtocolOutcome;
+    fn run(&self, params: &ProtocolParams, population: &Population, seed: u64) -> ProtocolOutcome;
 }
 
 /// The concrete protocols, as unit structs for easy arraying.
@@ -80,12 +79,7 @@ impl LongitudinalProtocol for ProtocolKind {
         !matches!(self, ProtocolKind::NaiveDecay | ProtocolKind::CentralTree)
     }
 
-    fn run(
-        &self,
-        params: &ProtocolParams,
-        population: &Population,
-        seed: u64,
-    ) -> ProtocolOutcome {
+    fn run(&self, params: &ProtocolParams, population: &Population, seed: u64) -> ProtocolOutcome {
         match self {
             ProtocolKind::FutureRand => rtf_core::protocol::run_in_memory(params, population, seed),
             ProtocolKind::FutureRandCalibrated => {

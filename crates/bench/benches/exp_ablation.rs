@@ -89,7 +89,11 @@ fn run_global_k(params: &ProtocolParams, population: &Population, seed: u64) -> 
         }
         let _ = server.end_of_period(t);
     }
-    ProtocolOutcome::from_parts(server.estimates().to_vec(), server.group_sizes().to_vec(), 0)
+    ProtocolOutcome::from_parts(
+        server.estimates().to_vec(),
+        server.group_sizes().to_vec(),
+        0,
+    )
 }
 
 fn main() {
@@ -125,13 +129,19 @@ fn main() {
             format!("{uncond_gap:.6}"),
             format!("{:.3}", law.realized_epsilon()),
             format!("{uncond_eps:.3}"),
-            if uncond_eps <= eps { "yes".into() } else { "VIOLATES eps".into() },
+            if uncond_eps <= eps {
+                "yes".into()
+            } else {
+                "VIOLATES eps".into()
+            },
         ]);
     }
     println!("  → the conditioning keeps ~the same gap while capping the privacy loss at eps.");
 
     // ---- (b) the constant in ε̃ = ε/(c√k) ------------------------------
-    println!("\n(b) constant sweep eps~ = eps/(c*sqrt k), exact realized eps (worst over k grid):\n");
+    println!(
+        "\n(b) constant sweep eps~ = eps/(c*sqrt k), exact realized eps (worst over k grid):\n"
+    );
     let tb = Table::new(&[
         ("c", 6),
         ("worst realized/eps", 19),
@@ -175,10 +185,17 @@ fn main() {
     let k = 8usize;
     let params = ProtocolParams::new(n, d, k, 1.0, 0.05).unwrap();
     let gen = UniformChanges::new(d, k, 1.0);
-    println!("\n(c) hierarchy vs flat per-period reporting (n={n}, d={d}, k={k}, {trials} trials):\n");
+    println!(
+        "\n(c) hierarchy vs flat per-period reporting (n={n}, d={d}, k={k}, {trials} trials):\n"
+    );
     let hier = measure_linf(params, &gen, trials, 0x9A, run_future_rand_aggregate);
     let flat = measure_linf(params, &gen, trials, 0x9B, run_flat);
-    let tc = Table::new(&[("variant", 14), ("linf error", 12), ("(std)", 10), ("vs hier", 9)]);
+    let tc = Table::new(&[
+        ("variant", 14),
+        ("linf error", 12),
+        ("(std)", 10),
+        ("vs hier", 9),
+    ]);
     tc.row(&[
         "hierarchical".into(),
         fmt(hier.mean()),
@@ -198,10 +215,17 @@ fn main() {
     let d = 256u64;
     let params2 = ProtocolParams::new(n2, d, k, 1.0, 0.05).unwrap();
     let gen = UniformChanges::new(d, k, 1.0);
-    println!("\n(d) per-order k_eff = min(k, L) vs global k (n={n2}, d={d}, k={k}, {trials} trials):\n");
+    println!(
+        "\n(d) per-order k_eff = min(k, L) vs global k (n={n2}, d={d}, k={k}, {trials} trials):\n"
+    );
     let per_order = measure_linf(params2, &gen, trials, 0x9C, run_future_rand_aggregate);
     let global = measure_linf(params2, &gen, trials, 0x9D, run_global_k);
-    let td = Table::new(&[("variant", 16), ("linf error", 12), ("(std)", 10), ("vs k_eff", 9)]);
+    let td = Table::new(&[
+        ("variant", 16),
+        ("linf error", 12),
+        ("(std)", 10),
+        ("vs k_eff", 9),
+    ]);
     td.row(&[
         "k_eff=min(k,L)".into(),
         fmt(per_order.mean()),

@@ -47,7 +47,10 @@ fn main() {
             format!("{:.2}x", cal.law.c_gap() / paper.c_gap()),
             format!("{:.4}", cal.realized_epsilon),
         ]);
-        assert!(cal.realized_epsilon <= eps + 1e-9, "calibration unsafe at k={k}");
+        assert!(
+            cal.realized_epsilon <= eps + 1e-9,
+            "calibration unsafe at k={k}"
+        );
     }
 
     println!("\n(b) end-to-end error (n=20000, d=256, {trials} trials):\n");
@@ -62,8 +65,20 @@ fn main() {
     for &k in &[4usize, 16, 64] {
         let params = ProtocolParams::new(n, d, k, 1.0, 0.05).unwrap();
         let gen = UniformChanges::new(d, k, 1.0);
-        let paper = measure_linf(params, &gen, trials, 0x51 + k as u64, run_future_rand_aggregate);
-        let cal = measure_linf(params, &gen, trials, 0x52 + k as u64, run_calibrated_aggregate);
+        let paper = measure_linf(
+            params,
+            &gen,
+            trials,
+            0x51 + k as u64,
+            run_future_rand_aggregate,
+        );
+        let cal = measure_linf(
+            params,
+            &gen,
+            trials,
+            0x52 + k as u64,
+            run_calibrated_aggregate,
+        );
         tb.row(&[
             k.to_string(),
             fmt(paper.mean()),

@@ -41,7 +41,13 @@ fn main() {
     for &n in &ns {
         let params = ProtocolParams::new(n, d, k, eps, 0.05).unwrap();
         let gen = UniformChanges::new(d, k, 1.0);
-        let local = measure_linf(params, &gen, trials, 0x31 + n as u64, run_future_rand_aggregate);
+        let local = measure_linf(
+            params,
+            &gen,
+            trials,
+            0x31 + n as u64,
+            run_future_rand_aggregate,
+        );
         let central = measure_linf(params, &gen, trials, 0x41 + n as u64, run_central_tree);
         let ratio = local.mean() / central.mean();
         xs.push(n as f64);
@@ -62,5 +68,12 @@ fn main() {
     println!("  measured ratio slope    = {slope:.3}   (theory: 0.5)");
     println!("  central-error slope in n = {central_slope:.3}   (theory: 0 — n-free)");
     let pass = (0.35..=0.65).contains(&slope) && central_slope.abs() < 0.2;
-    println!("\nresult: {}", if pass { "gap shape reproduced. PASS" } else { "UNEXPECTED SHAPE — see numbers above" });
+    println!(
+        "\nresult: {}",
+        if pass {
+            "gap shape reproduced. PASS"
+        } else {
+            "UNEXPECTED SHAPE — see numbers above"
+        }
+    );
 }

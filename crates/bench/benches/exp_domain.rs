@@ -40,7 +40,9 @@ fn main() {
     let n = 60_000usize;
     let d = 64u64;
     let k = 2usize;
-    println!("\n(a) max per-element error vs domain size D (n={n}, d={d}, k={k}, {trials} trials):\n");
+    println!(
+        "\n(a) max per-element error vs domain size D (n={n}, d={d}, k={k}, {trials} trials):\n"
+    );
     let ta = Table::new(&[
         ("D", 5),
         ("max |err|", 11),
@@ -109,5 +111,12 @@ fn main() {
     println!("  → precision improves with n, top-1 earliest (largest margin).");
 
     let pass = (0.25..=0.75).contains(&slope);
-    println!("\nresult: {}", if pass { "domain adaptation shapes reproduced. PASS" } else { "UNEXPECTED SHAPE — see numbers above" });
+    println!(
+        "\nresult: {}",
+        if pass {
+            "domain adaptation shapes reproduced. PASS"
+        } else {
+            "UNEXPECTED SHAPE — see numbers above"
+        }
+    );
 }

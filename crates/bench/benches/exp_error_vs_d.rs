@@ -39,8 +39,7 @@ fn main() {
 
     let mut log_ds = Vec::new();
     let mut ds_f = Vec::new();
-    let (mut ours_series, mut erl_series, mut naive_series) =
-        (Vec::new(), Vec::new(), Vec::new());
+    let (mut ours_series, mut erl_series, mut naive_series) = (Vec::new(), Vec::new(), Vec::new());
     for &d in &ds {
         let params = ProtocolParams::new(n, d, k, eps, beta).unwrap();
         let gen = UniformChanges::new(d, k, 1.0);
@@ -76,5 +75,12 @@ fn main() {
     // The √ln(d/β) factor inflates both polylog slopes a little; accept a
     // generous band and require the separations.
     let pass = s_ours < s_erl && s_naive_in_d > 0.7 && (0.6..=2.0).contains(&s_ours);
-    println!("\nresult: {}", if pass { "shape reproduced. PASS" } else { "UNEXPECTED SHAPE — see numbers above" });
+    println!(
+        "\nresult: {}",
+        if pass {
+            "shape reproduced. PASS"
+        } else {
+            "UNEXPECTED SHAPE — see numbers above"
+        }
+    );
 }

@@ -71,5 +71,12 @@ fn main() {
     println!("  future-rand slope = {s_ours:.3}   (paper: -1)");
     println!("  erlingsson  slope = {s_erl:.3}   (paper: -1)");
     let pass = (-1.2..=-0.8).contains(&s_ours) && (-1.2..=-0.8).contains(&s_erl);
-    println!("\nresult: {}", if pass { "shape reproduced. PASS" } else { "UNEXPECTED SHAPE — see numbers above" });
+    println!(
+        "\nresult: {}",
+        if pass {
+            "shape reproduced. PASS"
+        } else {
+            "UNEXPECTED SHAPE — see numbers above"
+        }
+    );
 }

@@ -46,7 +46,13 @@ fn main() {
     for &k in &ks {
         let params = ProtocolParams::new(n, d, k, eps, beta).unwrap();
         let gen = UniformChanges::new(d, k, 1.0);
-        let ours = measure_linf(params, &gen, trials, 0xA1 + k as u64, run_future_rand_aggregate);
+        let ours = measure_linf(
+            params,
+            &gen,
+            trials,
+            0xA1 + k as u64,
+            run_future_rand_aggregate,
+        );
         let erl = measure_linf(params, &gen, trials, 0xB1 + k as u64, run_erlingsson);
         let ind = measure_linf(params, &gen, trials, 0xC1 + k as u64, run_independent);
         xs.push(k as f64);
@@ -86,5 +92,12 @@ fn main() {
     );
 
     let pass = (0.3..=0.7).contains(&s_ours) && s_erl > 0.75;
-    println!("\nresult: {}", if pass { "shape reproduced. PASS" } else { "UNEXPECTED SHAPE — see numbers above" });
+    println!(
+        "\nresult: {}",
+        if pass {
+            "shape reproduced. PASS"
+        } else {
+            "UNEXPECTED SHAPE — see numbers above"
+        }
+    );
 }

@@ -39,7 +39,13 @@ fn main() {
     for &n in &ns {
         let params = ProtocolParams::new(n, d, k, eps, beta).unwrap();
         let gen = UniformChanges::new(d, k, 1.0);
-        let r = measure_linf(params, &gen, trials, 0xAB + n as u64, run_future_rand_aggregate);
+        let r = measure_linf(
+            params,
+            &gen,
+            trials,
+            0xAB + n as u64,
+            run_future_rand_aggregate,
+        );
         xs.push(n as f64);
         series.push(r.mean());
         table.row(&[
@@ -55,5 +61,12 @@ fn main() {
     println!("\nshape: error ∝ n^slope");
     println!("  measured slope = {slope:.3}   (paper: 0.5)");
     let pass = (0.4..=0.6).contains(&slope);
-    println!("\nresult: {}", if pass { "shape reproduced. PASS" } else { "UNEXPECTED SHAPE — see numbers above" });
+    println!(
+        "\nresult: {}",
+        if pass {
+            "shape reproduced. PASS"
+        } else {
+            "UNEXPECTED SHAPE — see numbers above"
+        }
+    );
 }

@@ -43,9 +43,17 @@ fn main() {
         ("verdict", 8),
     ]);
     let cases: Vec<(usize, usize, Vec<Ternary>)> = vec![
-        (4, 2, vec![Ternary::Plus, Ternary::Zero, Ternary::Minus, Ternary::Zero]),
-        (4, 2, vec![Ternary::Zero, Ternary::Plus, Ternary::Zero, Ternary::Zero]), // |supp| < k
-        (4, 2, vec![Ternary::Zero; 4]),                                           // |supp| = 0
+        (
+            4,
+            2,
+            vec![Ternary::Plus, Ternary::Zero, Ternary::Minus, Ternary::Zero],
+        ),
+        (
+            4,
+            2,
+            vec![Ternary::Zero, Ternary::Plus, Ternary::Zero, Ternary::Zero],
+        ), // |supp| < k
+        (4, 2, vec![Ternary::Zero; 4]), // |supp| = 0
         (
             6,
             3,
@@ -112,7 +120,10 @@ fn main() {
             .collect();
         let (chi_a, dof_a) = chi_square_stat(&literal, &expected, 5.0);
         let (chi_b, dof_b) = chi_square_stat(&by_class, &expected, 5.0);
-        let (crit_a, crit_b) = (chi_square_critical_999(dof_a), chi_square_critical_999(dof_b));
+        let (crit_a, crit_b) = (
+            chi_square_critical_999(dof_a),
+            chi_square_critical_999(dof_b),
+        );
         let ok = chi_a < crit_a && chi_b < crit_b;
         all_pass &= ok;
         t2.row(&[

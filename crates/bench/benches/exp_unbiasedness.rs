@@ -91,7 +91,11 @@ fn main() {
             name.into(),
             format!("{bias:.2}"),
             format!("{:.2}", 5.0 * sigma),
-            if ok { "unbiased".into() } else { "BIASED".into() },
+            if ok {
+                "unbiased".into()
+            } else {
+                "BIASED".into()
+            },
         ]);
     }
 

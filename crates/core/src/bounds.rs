@@ -16,10 +16,7 @@ pub fn future_rand_bound(n: usize, d: u64, k: usize, epsilon: f64, beta: f64) ->
 /// `(1/ε) · (log d)^{3/2} · k · √(n · log(d/β))`.
 pub fn erlingsson_bound(n: usize, d: u64, k: usize, epsilon: f64, beta: f64) -> f64 {
     let log_d = (d as f64).log2();
-    (1.0 / epsilon)
-        * log_d.powf(1.5)
-        * (k as f64)
-        * ((n as f64) * (d as f64 / beta).ln()).sqrt()
+    (1.0 / epsilon) * log_d.powf(1.5) * (k as f64) * ((n as f64) * (d as f64 / beta).ln()).sqrt()
 }
 
 /// The lower bound of Zhou et al. quoted in Section 1:
@@ -72,10 +69,7 @@ mod tests {
             let ratio = up / low;
             let log_d = (d as f64).log2();
             assert!(ratio >= 1.0, "upper below lower at d={d}");
-            assert!(
-                ratio <= log_d * log_d,
-                "gap {ratio} exceeds log²d at d={d}"
-            );
+            assert!(ratio <= log_d * log_d, "gap {ratio} exceeds log²d at d={d}");
         }
     }
 

@@ -47,6 +47,7 @@ pub fn calibrate(k: usize, epsilon: f64) -> Calibration {
     let paper = epsilon / (5.0 * (k as f64).sqrt());
     let mut lo = paper; // known-safe by Lemma 5.2 (verified below anyway)
     let mut hi = epsilon; // surely unsafe for k > 1; loose upper anchor
+
     // ~45 halvings: eps_tilde resolved to ~1e-15 relative.
     for _ in 0..45 {
         let mid = 0.5 * (lo + hi);

@@ -95,12 +95,7 @@ impl<M: LocalRandomizer> Client<M> {
     /// Panics if periods are delivered out of order, beyond the horizon, or
     /// if the running partial sum leaves `{−1,0,1}` (which means the input
     /// is not the derivative of a Boolean stream).
-    pub fn observe<R: RngCore>(
-        &mut self,
-        t: u64,
-        x: Ternary,
-        rng: &mut R,
-    ) -> Option<ClientReport> {
+    pub fn observe<R: RngCore>(&mut self, t: u64, x: Ternary, rng: &mut R) -> Option<ClientReport> {
         assert_eq!(
             t,
             self.last_t + 1,

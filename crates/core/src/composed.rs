@@ -126,11 +126,7 @@ impl ComposedRandomizer {
     pub fn randomize<R: Rng + ?Sized>(&self, b: &[Sign], rng: &mut R) -> Vec<Sign> {
         assert_eq!(b.len(), self.k, "input length {} ≠ k = {}", b.len(), self.k);
         let mut out = self.basic.randomize_vec(b, rng);
-        let dist = b
-            .iter()
-            .zip(&out)
-            .filter(|(x, y)| x != y)
-            .count();
+        let dist = b.iter().zip(&out).filter(|(x, y)| x != y).count();
         if !self.annulus.contains(dist) {
             // Resample uniformly from {−1,1}^k \ Ann(b): weight class
             // ∝ C(k,w) over outside classes, then a uniform string at that

@@ -232,10 +232,7 @@ mod tests {
             for eps in [0.1, 0.5, 1.0] {
                 let law = protocol_law(k, eps);
                 let total = law.total_probability();
-                assert!(
-                    (total - 1.0).abs() < 1e-9,
-                    "k={k} ε={eps}: total {total}"
-                );
+                assert!((total - 1.0).abs() < 1e-9, "k={k} ε={eps}: total {total}");
             }
         }
     }
@@ -277,7 +274,11 @@ mod tests {
                 let per = if ann.contains(w) { g(w) } else { p_star };
                 gap += binom(k, w) * per * (k as f64 - 2.0 * w as f64) / k as f64;
             }
-            assert!((law.c_gap() - gap).abs() < 1e-12, "k={k}: c_gap {} vs {gap}", law.c_gap());
+            assert!(
+                (law.c_gap() - gap).abs() < 1e-12,
+                "k={k}: c_gap {} vs {gap}",
+                law.c_gap()
+            );
         }
     }
 
@@ -288,10 +289,7 @@ mod tests {
             for eps in [0.125, 0.25, 0.5, 1.0] {
                 let law = protocol_law(k, eps);
                 let realized = law.realized_epsilon();
-                assert!(
-                    realized <= eps + 1e-9,
-                    "k={k} ε={eps}: realized {realized}"
-                );
+                assert!(realized <= eps + 1e-9, "k={k} ε={eps}: realized {realized}");
                 assert!(realized > 0.0, "law must not be trivially flat");
             }
         }
@@ -358,10 +356,7 @@ mod tests {
         for k in [2usize, 8, 32, 128, 512] {
             let law = protocol_law(k, 1.0);
             let bound = -(k as f64) * 2f64.ln();
-            assert!(
-                law.ln_g(law.annulus().ub()) >= bound - 1e-9,
-                "k={k}"
-            );
+            assert!(law.ln_g(law.annulus().ub()) >= bound - 1e-9, "k={k}");
         }
     }
 

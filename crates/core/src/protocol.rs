@@ -30,11 +30,7 @@ pub struct ProtocolOutcome {
 impl ProtocolOutcome {
     /// Assembles an outcome from its parts — used by the baseline
     /// protocols in `rtf-baselines`, which share this result type.
-    pub fn from_parts(
-        estimates: Vec<f64>,
-        group_sizes: Vec<usize>,
-        reports_sent: u64,
-    ) -> Self {
+    pub fn from_parts(estimates: Vec<f64>, group_sizes: Vec<usize>, reports_sent: u64) -> Self {
         ProtocolOutcome {
             estimates,
             group_sizes,
@@ -63,7 +59,11 @@ impl ProtocolOutcome {
 /// # Panics
 /// Panics if the population does not match `params` (`n`, `d`) or violates
 /// the `k`-sparsity bound.
-pub fn run_in_memory(params: &ProtocolParams, population: &Population, seed: u64) -> ProtocolOutcome {
+pub fn run_in_memory(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+) -> ProtocolOutcome {
     run_in_memory_impl(params, population, seed, false).0
 }
 
@@ -207,7 +207,11 @@ mod tests {
         assert_eq!(o1.group_sizes().iter().sum::<usize>(), 500);
         assert!(o1.reports_sent() > 0);
         let o3 = run_in_memory(&params, &pop, 9999);
-        assert_ne!(o1.estimates(), o3.estimates(), "different seed ⇒ different noise");
+        assert_ne!(
+            o1.estimates(),
+            o3.estimates(),
+            "different seed ⇒ different noise"
+        );
     }
 
     #[test]

@@ -157,10 +157,7 @@ mod tests {
             for r in l..=d {
                 let direct: f64 = (l..=r).map(|t| leaves[(t - 1) as usize]).sum();
                 let got = store.window_change(l, r);
-                assert!(
-                    (got - direct).abs() < 1e-9,
-                    "[{l}..{r}]: {got} vs {direct}"
-                );
+                assert!((got - direct).abs() < 1e-9, "[{l}..{r}]: {got} vs {direct}");
             }
         }
     }

@@ -173,9 +173,7 @@ mod tests {
         let g = ZipfChurn::new(32, 20, 3, 1.5);
         let mut rng = StdRng::seed_from_u64(2);
         let pop = g.population(3_000, &mut rng);
-        let final_counts: Vec<f64> = (0..20)
-            .map(|e| pop.true_counts()[e][31])
-            .collect();
+        let final_counts: Vec<f64> = (0..20).map(|e| pop.true_counts()[e][31]).collect();
         assert!(
             final_counts[0] > 5.0 * final_counts[19].max(1.0),
             "head {} vs tail {}",

@@ -48,8 +48,7 @@ pub fn precision_at_r(
     r: usize,
 ) -> f64 {
     let estimated = top_r(outcome, t, r);
-    let truth: std::collections::HashSet<u32> =
-        true_top_r(population, t, r).into_iter().collect();
+    let truth: std::collections::HashSet<u32> = true_top_r(population, t, r).into_iter().collect();
     if r == 0 {
         return 1.0;
     }

@@ -19,7 +19,10 @@ impl CategoricalPopulation {
     /// # Panics
     /// Panics if the list is empty or streams disagree on `(d, domain)`.
     pub fn from_streams(streams: Vec<CategoricalStream>) -> Self {
-        assert!(!streams.is_empty(), "population must have at least one user");
+        assert!(
+            !streams.is_empty(),
+            "population must have at least one user"
+        );
         let d = streams[0].d();
         let domain = streams[0].domain();
         assert!(
@@ -113,10 +116,7 @@ mod tests {
         let pop = CategoricalPopulation::from_streams(streams.clone());
         for e in 0..3u32 {
             for t in 1..=8u64 {
-                let expect = streams
-                    .iter()
-                    .filter(|s| s.item_at(t) == Some(e))
-                    .count() as f64;
+                let expect = streams.iter().filter(|s| s.item_at(t) == Some(e)).count() as f64;
                 assert_eq!(
                     pop.true_counts()[e as usize][(t - 1) as usize],
                     expect,

@@ -139,7 +139,13 @@ mod tests {
     use super::*;
     use crate::generator::ZipfChurn;
 
-    fn setup(n: usize, d: u64, domain: u32, k: usize, seed: u64) -> (DomainParams, CategoricalPopulation) {
+    fn setup(
+        n: usize,
+        d: u64,
+        domain: u32,
+        k: usize,
+        seed: u64,
+    ) -> (DomainParams, CategoricalPopulation) {
         let params = DomainParams {
             n,
             d,

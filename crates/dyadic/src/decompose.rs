@@ -49,7 +49,11 @@ pub fn decompose_range(l: u64, r: u64) -> Vec<DyadicInterval> {
     while pos <= r {
         // Largest order aligned at `pos`: the interval of order h starts at
         // pos iff 2^h divides pos−1.
-        let align = if pos == 1 { 63 } else { (pos - 1).trailing_zeros() };
+        let align = if pos == 1 {
+            63
+        } else {
+            (pos - 1).trailing_zeros()
+        };
         // Largest order that still fits into [pos..r].
         let space = 63 - (r - pos + 1).leading_zeros();
         let h = align.min(space);

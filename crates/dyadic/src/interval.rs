@@ -16,7 +16,10 @@ impl Horizon {
     /// # Panics
     /// Panics unless `d` is a power of two and `d ≥ 1`.
     pub fn new(d: u64) -> Self {
-        assert!(d >= 1 && d.is_power_of_two(), "horizon d must be a power of two ≥ 1, got {d}");
+        assert!(
+            d >= 1 && d.is_power_of_two(),
+            "horizon d must be a power of two ≥ 1, got {d}"
+        );
         Horizon {
             d,
             log_d: d.trailing_zeros(),
@@ -284,7 +287,10 @@ mod tests {
                     covered[t as usize] = true;
                 }
             }
-            assert!(covered[1..].iter().all(|&c| c), "order {h} must cover [1..32]");
+            assert!(
+                covered[1..].iter().all(|&c| c),
+                "order {h} must cover [1..32]"
+            );
         }
     }
 
@@ -295,7 +301,10 @@ mod tests {
         for a in &all {
             for b in &all {
                 if a.overlaps(b) {
-                    assert!(a.covers(b) || b.covers(a), "{a} and {b} overlap without nesting");
+                    assert!(
+                        a.covers(b) || b.covers(a),
+                        "{a} and {b} overlap without nesting"
+                    );
                 }
             }
         }

@@ -27,7 +27,10 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative/NaN entry, or sums
     /// to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "AliasTable requires at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "AliasTable requires at least one weight"
+        );
         assert!(
             weights.len() <= u32::MAX as usize,
             "AliasTable supports at most 2^32-1 outcomes"
@@ -35,7 +38,10 @@ impl AliasTable {
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0, got {w}");
+                assert!(
+                    w >= 0.0 && w.is_finite(),
+                    "weights must be finite and ≥ 0, got {w}"
+                );
                 w
             })
             .sum();

@@ -201,7 +201,10 @@ mod tests {
         let x = sampler.sample(&mut rng) as f64;
         let mean = k as f64 * p;
         let sd = (k as f64 * p * (1.0 - p)).sqrt();
-        assert!((x - mean).abs() < 8.0 * sd, "sample {x} far from mean {mean}");
+        assert!(
+            (x - mean).abs() < 8.0 * sd,
+            "sample {x} far from mean {mean}"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ mod tests {
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
-        assert!((var - lap.variance()).abs() < 0.1 * lap.variance(), "var {var}");
+        assert!(
+            (var - lap.variance()).abs() < 0.1 * lap.variance(),
+            "var {var}"
+        );
     }
 
     #[test]

@@ -210,7 +210,11 @@ mod tests {
         assert_eq!(log_add_exp(f64::NEG_INFINITY, 3.0), 3.0);
         assert_eq!(log_add_exp(3.0, f64::NEG_INFINITY), 3.0);
         // No overflow for huge inputs.
-        assert_close(log_add_exp(1e308_f64.ln(), 1e308_f64.ln()), 1e308_f64.ln() + 2.0_f64.ln(), 1e-14);
+        assert_close(
+            log_add_exp(1e308_f64.ln(), 1e308_f64.ln()),
+            1e308_f64.ln() + 2.0_f64.ln(),
+            1e-14,
+        );
     }
 
     #[test]

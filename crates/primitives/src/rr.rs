@@ -101,7 +101,11 @@ mod tests {
             assert!(r.p_flip() < 0.5, "flip probability must stay below ½");
             // Keep/flip ratio is exactly e^ε̃.
             let ratio = r.p_keep() / r.p_flip();
-            assert!((ratio.ln() - eps).abs() < 1e-9, "ratio ln {} vs {eps}", ratio.ln());
+            assert!(
+                (ratio.ln() - eps).abs() < 1e-9,
+                "ratio ln {} vs {eps}",
+                ratio.ln()
+            );
             // gap = 1 − 2p.
             assert!((r.gap() - (1.0 - 2.0 * r.p_flip())).abs() < 1e-12);
         }

@@ -96,7 +96,10 @@ mod tests {
         let mut seen = HashSet::new();
         for a in 0..50u64 {
             for b in 0..50u64 {
-                assert!(seen.insert(root.child(a).child(b).seed()), "collision at ({a},{b})");
+                assert!(
+                    seen.insert(root.child(a).child(b).seed()),
+                    "collision at ({a},{b})"
+                );
             }
         }
     }

@@ -43,11 +43,7 @@ pub fn sample_subset<R: Rng + ?Sized>(n: usize, w: usize, rng: &mut R) -> Vec<us
 /// Flips the signs of `base` at a uniformly random `w`-subset of positions,
 /// in place. This realises "a uniform string at Hamming distance exactly `w`
 /// from `base`".
-pub fn flip_random_subset<R: Rng + ?Sized>(
-    base: &mut [crate::sign::Sign],
-    w: usize,
-    rng: &mut R,
-) {
+pub fn flip_random_subset<R: Rng + ?Sized>(base: &mut [crate::sign::Sign], w: usize, rng: &mut R) {
     for i in sample_subset(base.len(), w, rng) {
         base[i] = base[i].flipped();
     }

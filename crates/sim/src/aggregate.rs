@@ -94,7 +94,10 @@ pub fn run_calibrated_aggregate(
     for h in 0..params.num_orders() {
         let cal = rtf_core::calibrate::calibrate(params.k_for_order(h), params.epsilon());
         gaps.push(cal.law.c_gap());
-        composed.push(ComposedRandomizer::new(params.k_for_order(h), cal.eps_tilde));
+        composed.push(ComposedRandomizer::new(
+            params.k_for_order(h),
+            cal.eps_tilde,
+        ));
     }
     aggregate_impl(params, population, seed, &composed, &gaps)
 }
@@ -128,7 +131,10 @@ fn aggregate_impl(
         server.register_user(h);
         let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
         let b_tilde = m.b_tilde();
-        for (idx, (j, sign)) in nonzero_blocks(population.stream(u), h).into_iter().enumerate() {
+        for (idx, (j, sign)) in nonzero_blocks(population.stream(u), h)
+            .into_iter()
+            .enumerate()
+        {
             nonzero_sum[h as usize][j as usize] += sign.mul(b_tilde[idx]).as_f64();
             nonzero_cnt[h as usize][j as usize] += 1;
         }
@@ -153,11 +159,7 @@ fn aggregate_impl(
         let _ = server.end_of_period(t);
     }
 
-    ProtocolOutcome::from_parts(
-        server.estimates().to_vec(),
-        group_sizes,
-        reports_sent,
-    )
+    ProtocolOutcome::from_parts(server.estimates().to_vec(), group_sizes, reports_sent)
 }
 
 #[cfg(test)]
@@ -275,10 +277,10 @@ mod tests {
         };
         let (mut cal, mut paper) = (0.0, 0.0);
         for s in 0..trials {
-            cal += linf(run_calibrated_aggregate(&params, &pop, 70 + s).estimates())
-                / trials as f64;
-            paper += linf(run_future_rand_aggregate(&params, &pop, 70 + s).estimates())
-                / trials as f64;
+            cal +=
+                linf(run_calibrated_aggregate(&params, &pop, 70 + s).estimates()) / trials as f64;
+            paper +=
+                linf(run_future_rand_aggregate(&params, &pop, 70 + s).estimates()) / trials as f64;
         }
         assert!(cal < 0.75 * paper, "calibrated {cal} vs paper {paper}");
     }

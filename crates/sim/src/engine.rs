@@ -60,8 +60,7 @@ pub fn run_event_driven(
     let root = SeedSequence::new(seed);
 
     // Build clients; send order announcements through the wire.
-    let mut clients: Vec<(Client<FutureRand>, rand::rngs::StdRng)> =
-        Vec::with_capacity(params.n());
+    let mut clients: Vec<(Client<FutureRand>, rand::rngs::StdRng)> = Vec::with_capacity(params.n());
     for u in 0..params.n() {
         let mut rng = root.child(u as u64).rng();
         let h = Client::<FutureRand>::sample_order(params, &mut rng);

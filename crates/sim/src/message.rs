@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn announcement_round_trip() {
-        let a = OrderAnnouncement { user: 12345, order: 7 };
+        let a = OrderAnnouncement {
+            user: 12345,
+            order: 7,
+        };
         let bytes = a.encode();
         assert_eq!(bytes.len(), OrderAnnouncement::WIRE_BYTES);
         assert_eq!(OrderAnnouncement::decode(bytes), a);
@@ -129,7 +132,11 @@ mod tests {
     #[test]
     fn report_round_trip() {
         for bit in [false, true] {
-            let r = ReportMsg { user: u32::MAX, t: 1, bit };
+            let r = ReportMsg {
+                user: u32::MAX,
+                t: 1,
+                bit,
+            };
             let bytes = r.encode();
             assert_eq!(bytes.len(), ReportMsg::WIRE_BYTES);
             assert_eq!(ReportMsg::decode(bytes), r);
@@ -154,11 +161,12 @@ mod tests {
     #[test]
     fn serde_compatibility() {
         // The wire structs are serde-serialisable for experiment dumps.
-        let r = ReportMsg { user: 3, t: 9, bit: true };
-        let json = format!(
-            "{{\"user\":{},\"t\":{},\"bit\":{}}}",
-            r.user, r.t, r.bit
-        );
+        let r = ReportMsg {
+            user: 3,
+            t: 9,
+            bit: true,
+        };
+        let json = format!("{{\"user\":{},\"t\":{},\"bit\":{}}}", r.user, r.t, r.bit);
         // No serde_json offline; just check the fields are public and the
         // struct derives Serialize (compile-time) — format the debug repr.
         assert!(format!("{r:?}").contains("bit: true"));

@@ -114,7 +114,10 @@ impl TrialResults {
 
     /// Maximum value.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -128,12 +131,7 @@ impl TrialResults {
 /// 3. `metric(&outcome, &population)` reduces the run to one number.
 ///
 /// Results are returned in trial order, independent of scheduling.
-pub fn run_trials<G, E, M>(
-    plan: &TrialPlan,
-    generator: &G,
-    execute: E,
-    metric: M,
-) -> TrialResults
+pub fn run_trials<G, E, M>(plan: &TrialPlan, generator: &G, execute: E, metric: M) -> TrialResults
 where
     G: StreamGenerator + Sync,
     E: Fn(&ProtocolParams, &Population, u64) -> ProtocolOutcome + Sync,
@@ -154,8 +152,7 @@ where
                 }
                 let trial_seed = root.child(i as u64);
                 let mut pop_rng = trial_seed.child(0).rng();
-                let population =
-                    Population::generate(generator, plan.params.n(), &mut pop_rng);
+                let population = Population::generate(generator, plan.params.n(), &mut pop_rng);
                 let outcome = execute(&plan.params, &population, trial_seed.child(1).seed());
                 let value = metric(&outcome, &population);
                 results.lock()[i] = value;

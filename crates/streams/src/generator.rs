@@ -358,8 +358,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..200 {
             let s = g.generate(&mut rng);
-            if let (Some(&first), Some(&last)) =
-                (s.change_times().first(), s.change_times().last())
+            if let (Some(&first), Some(&last)) = (s.change_times().first(), s.change_times().last())
             {
                 assert!(last - first < 16, "changes span {} > burst", last - first);
             }
@@ -399,9 +398,7 @@ mod tests {
         let g = TrendingPopulation::new(d, 8, |t| if t > 32 { 0.9 } else { 0.0 });
         let mut rng = StdRng::seed_from_u64(12);
         let n = 3000;
-        let ones_at_end = (0..n)
-            .filter(|_| g.generate(&mut rng).value_at(d))
-            .count();
+        let ones_at_end = (0..n).filter(|_| g.generate(&mut rng).value_at(d)).count();
         let f = ones_at_end as f64 / n as f64;
         assert!((f - 0.9).abs() < 0.05, "fraction of ones at d: {f}");
     }

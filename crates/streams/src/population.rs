@@ -23,7 +23,10 @@ impl Population {
     /// # Panics
     /// Panics if the streams disagree on `d` or the list is empty.
     pub fn from_streams(streams: Vec<BoolStream>) -> Self {
-        assert!(!streams.is_empty(), "population must have at least one user");
+        assert!(
+            !streams.is_empty(),
+            "population must have at least one user"
+        );
         let d = streams[0].d();
         assert!(
             streams.iter().all(|s| s.d() == d),
@@ -185,10 +188,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "same horizon")]
     fn mixed_horizons_rejected() {
-        let _ = Population::from_streams(vec![
-            BoolStream::all_zero(8),
-            BoolStream::all_zero(16),
-        ]);
+        let _ = Population::from_streams(vec![BoolStream::all_zero(8), BoolStream::all_zero(16)]);
     }
 
     #[test]

@@ -22,7 +22,11 @@ fn main() {
     println!("Figure 1 reproduction (d = {d}, k = 2)\n");
     println!(
         "user stream  st_u = {:?}",
-        stream.values().iter().map(|&b| u8::from(b)).collect::<Vec<_>>()
+        stream
+            .values()
+            .iter()
+            .map(|&b| u8::from(b))
+            .collect::<Vec<_>>()
     );
     println!(
         "derivative   X_u  = {:?}   (Definition 3.1)",

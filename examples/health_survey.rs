@@ -54,8 +54,7 @@ fn main() {
             (1.0 + f64::from(params.log_d())) / gap
         })
         .fold(0.0f64, f64::max);
-    let envelope =
-        worst_scale * (2.0 * n as f64 * (2.0 * d as f64 / params.beta()).ln()).sqrt();
+    let envelope = worst_scale * (2.0 * n as f64 * (2.0 * d as f64 / params.beta()).ln()).sqrt();
 
     let err = linf_error(estimates, truth);
     println!("\nmax error (measured)     = {err:12.0}");

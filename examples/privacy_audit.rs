@@ -19,7 +19,10 @@ use randomize_future::core::gap::WeightClassLaw;
 
 fn main() {
     println!("=== Composed randomizer R~ : realized epsilon vs nominal (Lemma 5.2) ===\n");
-    println!("{:>6} {:>8} {:>12} {:>12} {:>8}", "k", "eps", "realized", "ratio", "annulus");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>8}",
+        "k", "eps", "realized", "ratio", "annulus"
+    );
     for &eps in &[0.25f64, 0.5, 1.0] {
         for &k in &[1usize, 4, 16, 64, 256, 1024] {
             let law = WeightClassLaw::for_protocol(k, eps);
@@ -44,11 +47,17 @@ fn main() {
         let et = 1.0 / (5.0 * (k as f64).sqrt());
         let a = realized_epsilon_composed(k, et);
         let b = WeightClassLaw::for_protocol(k, 1.0).realized_epsilon();
-        println!("k={k:4}: linear-space {a:.6}  log-space {b:.6}  (diff {:.2e})", (a - b).abs());
+        println!(
+            "k={k:4}: linear-space {a:.6}  log-space {b:.6}  (diff {:.2e})",
+            (a - b).abs()
+        );
     }
 
     println!("\n=== End-to-end online client audits (brute force, Theorem 4.5) ===\n");
-    println!("{:<22} {:>4} {:>4} {:>10} {:>10} {:>8}", "client", "L", "k", "realized", "nominal", "inputs");
+    println!(
+        "{:<22} {:>4} {:>4} {:>10} {:>10} {:>8}",
+        "client", "L", "k", "realized", "nominal", "inputs"
+    );
     for (l, k) in [(4usize, 2usize), (6, 2), (6, 3), (8, 2)] {
         let a = futurerand_sequence_audit(l, k, 1.0);
         println!(
@@ -76,7 +85,10 @@ fn main() {
     );
 
     println!("\n=== Bun et al. (2019) composed randomizer (Appendix A.2) ===\n");
-    println!("{:>6} {:>10} {:>12} {:>12} {:>14}", "k", "lambda", "realized", "c_gap", "FutureRand gap");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>14}",
+        "k", "lambda", "realized", "c_gap", "FutureRand gap"
+    );
     for &k in &[64usize, 256, 1024] {
         match BunRandomizer::solve(k, 1.0) {
             Some(b) => {

@@ -67,8 +67,7 @@ fn main() {
     // exact per-order preservation gaps).
     let worst_scale = (0..params.num_orders())
         .map(|h| {
-            let gap =
-                WeightClassLaw::for_protocol(params.k_for_order(h), params.epsilon()).c_gap();
+            let gap = WeightClassLaw::for_protocol(params.k_for_order(h), params.epsilon()).c_gap();
             (1.0 + f64::from(params.log_d())) / gap
         })
         .fold(0.0f64, f64::max);
@@ -76,9 +75,15 @@ fn main() {
         * (2.0 * params.n() as f64 * (2.0 * params.d() as f64 / params.beta()).ln()).sqrt();
 
     let err = linf_error(estimates, truth);
-    println!("\nmax_t |a^[t] - a[t]|   = {err:11.0}  ({:.2}% of n)", 100.0 * err / params.n() as f64);
+    println!(
+        "\nmax_t |a^[t] - a[t]|   = {err:11.0}  ({:.2}% of n)",
+        100.0 * err / params.n() as f64
+    );
     println!("error envelope (94%)   = {envelope:11.0}  (rigorous, exact constants)");
-    println!("Theorem 4.1 shape      = {:11.0}  (constant-free)", params.error_bound_theorem_4_1());
+    println!(
+        "Theorem 4.1 shape      = {:11.0}  (constant-free)",
+        params.error_bound_theorem_4_1()
+    );
     println!(
         "total report bits      = {} ({:.2} bits/user/period)",
         outcome.reports_sent(),

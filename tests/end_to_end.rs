@@ -20,8 +20,7 @@ fn setup(n: usize, d: u64, k: usize, seed: u64) -> (ProtocolParams, Population) 
 fn exact_envelope(params: &ProtocolParams) -> f64 {
     let worst_scale = (0..params.num_orders())
         .map(|h| {
-            let gap =
-                WeightClassLaw::for_protocol(params.k_for_order(h), params.epsilon()).c_gap();
+            let gap = WeightClassLaw::for_protocol(params.k_for_order(h), params.epsilon()).c_gap();
             (1.0 + f64::from(params.log_d())) / gap
         })
         .fold(0.0f64, f64::max);
@@ -44,10 +43,20 @@ fn every_protocol_full_run_is_deterministic() {
     for kind in ProtocolKind::ALL {
         let a = kind.run(&params, &pop, 7);
         let b = kind.run(&params, &pop, 7);
-        assert_eq!(a.estimates(), b.estimates(), "{} not deterministic", kind.name());
+        assert_eq!(
+            a.estimates(),
+            b.estimates(),
+            "{} not deterministic",
+            kind.name()
+        );
         assert_eq!(a.estimates().len(), 32, "{}", kind.name());
         let c = kind.run(&params, &pop, 8);
-        assert_ne!(a.estimates(), c.estimates(), "{} ignores its seed", kind.name());
+        assert_ne!(
+            a.estimates(),
+            c.estimates(),
+            "{} ignores its seed",
+            kind.name()
+        );
     }
 }
 
@@ -115,6 +124,7 @@ fn group_sizes_partition_population_across_protocols() {
     let o = run_future_rand_aggregate(&params, &pop, 9);
     assert_eq!(o.group_sizes().iter().sum::<usize>(), 3_333);
     assert_eq!(o.group_sizes().len(), 7); // 1 + log2(64)
+
     // Orders are sampled uniformly: no group should be empty at this n,
     // and none should hold more than half the users.
     for (h, &sz) in o.group_sizes().iter().enumerate() {

@@ -24,7 +24,11 @@ fn setup(n: usize, d: u64, k: usize, seed: u64) -> (ProtocolParams, Population) 
 
 #[test]
 fn in_memory_and_event_driven_bit_identical() {
-    for (n, d, k, seed) in [(100usize, 16u64, 2usize, 1u64), (321, 64, 5, 2), (57, 128, 3, 3)] {
+    for (n, d, k, seed) in [
+        (100usize, 16u64, 2usize, 1u64),
+        (321, 64, 5, 2),
+        (57, 128, 3, 3),
+    ] {
         let (params, pop) = setup(n, d, k, seed);
         for protocol_seed in [5u64, 99, 12345] {
             let mem = run_in_memory(&params, &pop, protocol_seed);

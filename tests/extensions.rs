@@ -25,8 +25,7 @@ fn window_queries_are_unbiased_and_sharper_for_short_windows() {
     let mut rng = SeedSequence::new(80).rng();
     let pop = Population::generate(&UniformChanges::new(d, 4, 0.9), n, &mut rng);
     let (l, r) = (37u64, 42u64);
-    let true_change =
-        pop.true_counts()[(r - 1) as usize] - pop.true_counts()[(l - 2) as usize];
+    let true_change = pop.true_counts()[(r - 1) as usize] - pop.true_counts()[(l - 2) as usize];
     let trials = 300u64;
     let mut mean_window = 0.0;
     let mut var_window = 0.0;
@@ -71,7 +70,10 @@ fn calibration_end_to_end_improvement_with_certified_privacy() {
         cal_err += linf_error(a.estimates(), pop.true_counts()) / trials as f64;
         paper_err += linf_error(b.estimates(), pop.true_counts()) / trials as f64;
     }
-    assert!(cal_err < 0.8 * paper_err, "calibrated {cal_err} vs paper {paper_err}");
+    assert!(
+        cal_err < 0.8 * paper_err,
+        "calibrated {cal_err} vs paper {paper_err}"
+    );
 }
 
 #[test]
@@ -84,16 +86,11 @@ fn postprocessing_never_hurts_and_often_helps() {
     let outcome = run_future_rand_aggregate(&params, &pop, 5);
     let raw = outcome.estimates();
     let clipped = clip(raw, n);
-    assert!(
-        linf_error(&clipped, pop.true_counts()) <= linf_error(raw, pop.true_counts()) + 1e-9
-    );
+    assert!(linf_error(&clipped, pop.true_counts()) <= linf_error(raw, pop.true_counts()) + 1e-9);
     // Smoothing: k ≪ d means counts drift slowly, so a modest window
     // should reduce the ℓ∞ error on this instance.
     let smoothed = moving_average(&clipped, 5);
-    assert!(
-        linf_error(&smoothed, pop.true_counts())
-            < linf_error(&clipped, pop.true_counts())
-    );
+    assert!(linf_error(&smoothed, pop.true_counts()) < linf_error(&clipped, pop.true_counts()));
 }
 
 #[test]
@@ -141,7 +138,11 @@ fn domain_tracker_composes_with_calibration() {
     let pop = g.population(3_000, &mut rng);
     let a = run_domain_tracker(&params, &pop, 1);
     let b = run_domain_tracker(&params, &pop, 1);
-    assert_eq!(a.estimates(), b.estimates(), "calibrated tracker deterministic");
+    assert_eq!(
+        a.estimates(),
+        b.estimates(),
+        "calibrated tracker deterministic"
+    );
     assert_eq!(a.estimates().len(), 4);
     // Calibrated variant differs from the uncalibrated one (different ε̃).
     let mut params_uncal = params;

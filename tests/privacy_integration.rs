@@ -15,7 +15,9 @@ use randomize_future::core::gap::WeightClassLaw;
 
 #[test]
 fn lemma_5_2_grid() {
-    for k in [1usize, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987] {
+    for k in [
+        1usize, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987,
+    ] {
         for eps in [0.05, 0.1, 0.2, 0.4, 0.8, 1.0] {
             let law = WeightClassLaw::for_protocol(k, eps);
             let realized = law.realized_epsilon();

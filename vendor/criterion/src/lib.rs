@@ -1,0 +1,236 @@
+//! Offline, dependency-free shim for the subset of the [`criterion` API]
+//! this workspace's `perf_*` benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal re-implementations of its external dependencies under
+//! `vendor/`. This crate measures wall-clock medians rather than running
+//! criterion's full statistical pipeline, and prints one line per
+//! benchmark:
+//!
+//! ```text
+//! client/observe_full_horizon_order0  median 12.3 µs  (30 samples)
+//! ```
+//!
+//! Supported surface: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId::new`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. `cargo bench -- <filter>` substring
+//! filtering is honoured.
+//!
+//! [`criterion` API]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context, handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>`: the first non-flag argument filters
+        // benchmark ids by substring, as upstream does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named benchmark id, optionally parameterised (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_samples(&full, self.sample_size, |b| f(b));
+        }
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_samples(&full, self.sample_size, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_samples(id: &str, samples: usize, mut run: impl FnMut(&mut Bencher)) {
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    // One warm-up sample, untimed.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 1,
+    };
+    run(&mut bencher);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        run(&mut bencher);
+        times.push(bencher.elapsed / bencher.iters as u32);
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!("{id:<52} median {:>12?}  ({samples} samples)", median);
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive so the optimiser cannot
+    /// delete the computation. Cheap routines are batched until the
+    /// sample is long enough that `Instant` overhead and timer
+    /// granularity stop dominating the per-iteration figure.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const TARGET: Duration = Duration::from_micros(200);
+        const MAX_BATCH: u128 = 10_000;
+
+        let start = Instant::now();
+        let out = routine();
+        let first = start.elapsed();
+        std::hint::black_box(out);
+
+        let extra = if first < TARGET {
+            (TARGET.as_nanos() / first.as_nanos().max(1)).min(MAX_BATCH) as usize
+        } else {
+            0
+        };
+        let start = Instant::now();
+        for _ in 0..extra {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += first + start.elapsed();
+        self.iters = 1 + extra;
+    }
+}
+
+/// Re-export matching `criterion::black_box` (std's is preferred in new
+/// code; upstream criterion still exposes its own).
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench-target `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        // warm-up + 3 samples, each batched for this near-free routine.
+        assert!(ran >= 4, "ran = {ran}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("law", 128).to_string(), "law/128");
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline, dependency-free shim for the subset of the [`crossbeam` API]
+//! this workspace uses: `crossbeam::thread::scope` + `Scope::spawn`,
+//! mapped onto `std::thread::scope` (stable since Rust 1.63).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal re-implementations of its external dependencies under
+//! `vendor/`.
+//!
+//! Behavioural difference: crossbeam collects child panics into the
+//! returned `Result`; `std::thread::scope` re-raises an unjoined child's
+//! panic while unwinding the scope itself. Either way a panicking worker
+//! fails the calling test, which is all the workspace relies on.
+//!
+//! [`crossbeam` API]: https://docs.rs/crossbeam
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle; crossbeam passes `&Scope` both to the scope
+    /// closure and to every spawned thread's closure.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it
+        /// can spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; returns after all of them finish.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+            .expect("scope");
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|scope| {
+                scope.spawn(|inner| {
+                    inner.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            })
+            .expect("scope");
+            assert_eq!(counter.load(Ordering::Relaxed), 1);
+        }
+    }
+}

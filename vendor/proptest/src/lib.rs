@@ -1,0 +1,190 @@
+//! Offline, dependency-free shim for the subset of the [`proptest` 1.x
+//! API] this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal re-implementations of its external dependencies under
+//! `vendor/`. This crate provides:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * range strategies for the integer and float primitives,
+//!   [`strategy::Strategy::prop_map`], and
+//!   [`collection`](crate::collection) strategies (`vec`, `btree_set`,
+//!   `btree_map`).
+//!
+//! # Differences from upstream
+//!
+//! * **No shrinking.** A failing case reports the generated inputs and the
+//!   deterministic case seed, but is not minimised.
+//! * **Deterministic by construction.** Case `i` of test `f` always uses
+//!   the seed `fnv1a(f) ⊕ mix(i)`, so failures reproduce exactly without a
+//!   regression file.
+//! * **`PROPTEST_CASES` is a cap.** The environment variable lowers the
+//!   case count of every suite (including those with an explicit
+//!   `with_cases`), which is how CI keeps property runtime bounded; it
+//!   never raises an explicit configuration.
+//!
+//! [`proptest` 1.x API]: https://docs.rs/proptest/1
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __cases = __cfg.effective_cases();
+            let __name_hash = $crate::test_runner::fnv1a(stringify!($name));
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::case_rng(__name_hash, __case);
+                let mut __inputs: Vec<String> = Vec::new();
+                $(
+                    let __val = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    __inputs.push(format!("{} = {:?}", stringify!($arg), &__val));
+                    let $arg = __val;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest: test `{}` failed at case {}/{} with inputs:\n  {}\n\
+                         (reproduce: the case seed is a pure function of the test name and index)",
+                        stringify!($name),
+                        __case + 1,
+                        __cases,
+                        __inputs.join("\n  "),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Like `assert!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in -2i8..=2, f in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u32..5, 2..6),
+            s in prop::collection::btree_set(0u64..100, 0..4),
+            m in prop::collection::btree_map(0u64..100, 0u32..3, 1..5),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(s.len() < 4);
+            prop_assert!((1..5).contains(&m.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (1u64..50).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!((2..100).contains(&doubled));
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in prop::collection::vec(0i32..10, 1..8)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn explicit_config_is_respected(_x in 0u8..=255) {
+            // Body runs; the case-count assertion lives in test_runner.
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::case_rng(crate::test_runner::fnv1a("t"), 3);
+        let b = crate::test_runner::case_rng(crate::test_runner::fnv1a("t"), 3);
+        let c = crate::test_runner::case_rng(crate::test_runner::fnv1a("t"), 4);
+        use rand::RngCore;
+        let (mut a, mut b, mut c) = (a, b, c);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+}

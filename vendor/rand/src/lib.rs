@@ -1,0 +1,366 @@
+//! Offline, dependency-free shim for the subset of the [`rand` 0.9 API]
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal re-implementations of its external dependencies under
+//! `vendor/`. This crate provides:
+//!
+//! * the [`RngCore`] / [`Rng`] / [`SeedableRng`] traits with the rand 0.9
+//!   method names (`random`, `random_range`, `random_bool`);
+//! * [`rngs::StdRng`], implemented as **xoshiro256++** seeded through
+//!   SplitMix64 (`seed_from_u64`). The stream therefore does *not* match
+//!   upstream `StdRng` (ChaCha12) bit-for-bit, but every determinism
+//!   guarantee in the workspace only requires self-consistency, which this
+//!   implementation provides.
+//!
+//! Uniform integer ranges use the 128-bit multiply ("Lemire") method; the
+//! residual bias is at most 2⁻⁶⁴ per draw, far below anything the
+//! statistical tests in this workspace can resolve.
+//!
+//! [`rand` 0.9 API]: https://docs.rs/rand/0.9
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f64 = rng.random();
+//! assert!((0.0..1.0).contains(&x));
+//! let i = rng.random_range(0..10usize);
+//! assert!(i < 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+use core::ops::{Range, RangeInclusive};
+
+/// The low-level uniform bit source. Object safe: protocol code passes
+/// `&mut dyn RngCore` across the randomizer trait boundary.
+pub trait RngCore {
+    /// The next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of type `T` (uniform bits for integers, `[0, 1)`
+    /// for floats, fair coin for `bool`).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive integer and
+    /// float ranges).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types with a canonical "uniform" distribution for [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform draw from `{0, 1, …}` of size `count`, where `count == 0`
+/// encodes the full 2⁶⁴ range. 128-bit multiply method.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, count: u64) -> u64 {
+    if count == 0 {
+        return rng.next_u64();
+    }
+    ((u128::from(rng.next_u64()) * u128::from(count)) >> 64) as u64
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                // Inclusive count; wraps to 0 exactly for the full u64 range.
+                let count = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                lo.wrapping_add(uniform_below(rng, count) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let count = (hi as i128 - lo as i128 + 1) as u64;
+                // count never wraps: the i128 difference of any two 64-bit
+                // ints + 1 fits in u64 except for the full i64 range, where
+                // it wraps to 0 and uniform_below falls back to raw bits.
+                (lo as i128 + uniform_below(rng, count) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        let u = f64::from_rng(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        let u = f32::from_rng(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Range shapes accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly over the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + HalfOpen> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_inclusive(rng, self.start, self.end.half_open_upper())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Converts a half-open upper bound into the inclusive one below it.
+pub trait HalfOpen: Sized {
+    /// The largest value strictly below `self`.
+    fn half_open_upper(self) -> Self;
+}
+
+macro_rules! impl_half_open_int {
+    ($($t:ty),*) => {$(
+        impl HalfOpen for $t {
+            #[inline]
+            fn half_open_upper(self) -> Self { self - 1 }
+        }
+    )*};
+}
+impl_half_open_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HalfOpen for f64 {
+    /// Floats keep the bound: `[lo, hi)` draws land on `hi` with
+    /// probability 0 anyway (up to rounding at the top of the range).
+    #[inline]
+    fn half_open_upper(self) -> Self {
+        self
+    }
+}
+
+impl HalfOpen for f32 {
+    #[inline]
+    fn half_open_upper(self) -> Self {
+        self
+    }
+}
+
+/// Seedable RNGs (rand 0.9 surface: `from_seed` / `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Raw seed material.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_endpoints() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.random_range(-1i8..=1);
+            assert!((-1..=1).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_accepted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.random_range(0u64..u64::MAX);
+        let _ = rng.random_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn random_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn dyn_rng_core_is_usable() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x: u64 = dyn_rng.random();
+        let _ = x;
+    }
+}

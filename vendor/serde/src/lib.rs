@@ -1,0 +1,59 @@
+//! Offline, dependency-free shim for the subset of the [`serde` API] this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal re-implementations of its external dependencies under
+//! `vendor/`. No serialisation format ships offline (no `serde_json`), so
+//! the workspace only relies on `#[derive(Serialize, Deserialize)]`
+//! *compiling* — the traits here are markers asserting "this type is
+//! plain data", and the derives (from the sibling `serde_derive` shim)
+//! emit empty impls. If a future PR vendors a real format, these traits
+//! are the place to grow actual `serialize`/`deserialize` methods.
+//!
+//! [`serde` API]: https://docs.rs/serde
+
+#![warn(missing_docs)]
+
+// Lets the `::serde::…` paths emitted by the derive shim resolve inside
+// this crate's own tests.
+#[cfg(test)]
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type can (in principle) be serialised.
+pub trait Serialize {}
+
+/// Marker: the type can (in principle) be deserialised.
+pub trait Deserialize {}
+
+#[cfg(test)]
+mod tests {
+    use serde_derive::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _a: u32,
+        _b: bool,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        _A,
+        _B(u8),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T> {
+        _t: T,
+    }
+
+    fn assert_impls<T: super::Serialize + super::Deserialize>() {}
+
+    #[test]
+    fn derives_emit_marker_impls() {
+        assert_impls::<Plain>();
+        assert_impls::<Kind>();
+        assert_impls::<Generic<u8>>();
+    }
+}

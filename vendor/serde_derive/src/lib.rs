@@ -1,0 +1,91 @@
+//! Offline, dependency-free shim for `serde_derive`.
+//!
+//! The vendored `serde` shim's `Serialize`/`Deserialize` are marker
+//! traits, so these derives only need to find the type's name (and any
+//! generics) and emit an empty impl. That is done against the raw
+//! `proc_macro` token stream — `syn`/`quote` are unavailable offline.
+//!
+//! Supported shapes: plain `struct`/`enum`/`union` definitions, with or
+//! without simple generic parameters (lifetimes and type params without
+//! defaults/bounds beyond what can be repeated verbatim). That covers
+//! every derive site in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Emits `impl<...generics> ::serde::Trait for Name<...generics> {}`.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`), visibility, and doc comments until the
+    // `struct` / `enum` / `union` keyword.
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("serde shim derive: could not find type name");
+
+    // Collect generic parameter names from `<...>` if present (angle
+    // brackets arrive as individual punct tokens).
+    let mut generics: Vec<String> = Vec::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while let Some(tt) = tokens.next() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                    if let Some(TokenTree::Ident(lt)) = tokens.next() {
+                        generics.push(format!("'{lt}"));
+                    }
+                    expect_param = false;
+                }
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    let s = id.to_string();
+                    if s != "const" {
+                        generics.push(s);
+                        expect_param = false;
+                    }
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::None => {}
+                _ => {}
+            }
+        }
+    }
+
+    let code = if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{}}")
+    } else {
+        let g = generics.join(", ");
+        format!("impl<{g}> ::serde::{trait_name} for {name}<{g}> {{}}")
+    };
+    code.parse()
+        .expect("serde shim derive: generated impl parses")
+}
