@@ -18,6 +18,61 @@ use crate::queries::EstimateStore;
 use rtf_dyadic::frontier::Frontier;
 use rtf_dyadic::interval::DyadicInterval;
 use rtf_primitives::sign::Sign;
+use std::collections::HashMap;
+
+/// The fate of one report submitted through the checked ingestion path
+/// ([`Server::ingest_checked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// On time for the sender's currently open interval; counted.
+    Accepted,
+    /// A resend of the sender's most recently accepted report; dropped.
+    Duplicate,
+    /// The target interval already closed (straggler or stale resend);
+    /// dropped.
+    Late,
+    /// The sender never announced an order; dropped.
+    UnknownUser,
+    /// `t` is not a reporting boundary of the sender's order (zero, past
+    /// the horizon, or not a multiple of `2^h`); dropped.
+    InvalidPeriod,
+    /// `t` is a boundary beyond the period currently being drained —
+    /// honest clients cannot produce this; dropped.
+    Premature,
+}
+
+/// Per-period delivery accounting for the checked ingestion path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeriodDelivery {
+    /// The period this row describes.
+    pub t: u64,
+    /// Reports due this period: `Σ |U_h|` over orders with `2^h | t`.
+    pub due: u64,
+    /// On-time reports counted into the estimates.
+    pub accepted: u64,
+    /// Resends of already-accepted reports, dropped by dedupe.
+    pub duplicate: u64,
+    /// Reports for already-closed intervals.
+    pub late: u64,
+    /// Unknown senders, invalid periods, premature boundaries.
+    pub rejected: u64,
+}
+
+impl PeriodDelivery {
+    /// Reports due this period that never arrived on time — the quantity
+    /// that drives estimator bias under dropout and churn.
+    pub fn missing(&self) -> u64 {
+        self.due.saturating_sub(self.accepted)
+    }
+}
+
+/// Per-user state of the checked ingestion path.
+#[derive(Debug, Clone, Copy)]
+struct RosterEntry {
+    order: u32,
+    /// Boundary of the most recently accepted report (0 = none yet).
+    last_accepted: u64,
+}
 
 /// The streaming server of Algorithm 2.
 #[derive(Debug, Clone)]
@@ -36,6 +91,13 @@ pub struct Server {
     current_t: u64,
     /// Optional full-tree retention of every `Ŝ(I)` for window queries.
     store: Option<EstimateStore>,
+    /// Announced users, keyed by wire id — populated only by
+    /// [`register_client`](Self::register_client) (the checked path).
+    roster: HashMap<u32, RosterEntry>,
+    /// Accounting for the period currently being filled.
+    current_delivery: PeriodDelivery,
+    /// One finalised accounting row per closed period (checked path only).
+    delivery_log: Vec<PeriodDelivery>,
 }
 
 impl Server {
@@ -72,6 +134,9 @@ impl Server {
             reports_ingested: 0,
             current_t: 0,
             store: None,
+            roster: HashMap::new(),
+            current_delivery: PeriodDelivery::default(),
+            delivery_log: Vec::new(),
         }
     }
 
@@ -161,6 +226,90 @@ impl Server {
         self.reports_ingested += count;
     }
 
+    /// Registers a user *by wire id* for the checked ingestion path.
+    ///
+    /// Unlike [`register_user`](Self::register_user) this never panics on
+    /// adversarial input: it returns `false` (and registers nothing) for a
+    /// duplicate id, an order beyond `log d`, or a registration after
+    /// period 1 — the graceful behaviours an untrusted deployment needs.
+    pub fn register_client(&mut self, user: u32, h: u32) -> bool {
+        if self.current_t != 0 || h > self.params.log_d() || self.roster.contains_key(&user) {
+            return false;
+        }
+        self.roster.insert(
+            user,
+            RosterEntry {
+                order: h,
+                last_accepted: 0,
+            },
+        );
+        self.group_sizes[h as usize] += 1;
+        true
+    }
+
+    /// Ingests one report through the *checked* path: the sender must be
+    /// registered via [`register_client`](Self::register_client), `t` must
+    /// be the boundary of the sender's currently open interval, and each
+    /// `(user, period)` pair is counted at most once. Anything else is
+    /// classified and dropped — never a panic, whatever a Byzantine client
+    /// puts in a well-formed message.
+    ///
+    /// Per-period tallies are finalised by
+    /// [`end_of_period`](Self::end_of_period) into
+    /// [`delivery_log`](Self::delivery_log).
+    pub fn ingest_checked(&mut self, user: u32, t: u64, bit: Sign) -> Delivery {
+        let Some(entry) = self.roster.get_mut(&user) else {
+            self.current_delivery.rejected += 1;
+            return Delivery::UnknownUser;
+        };
+        let h = entry.order;
+        let stride = 1u64 << h;
+        if t == 0 || t > self.params.d() || t % stride != 0 {
+            self.current_delivery.rejected += 1;
+            return Delivery::InvalidPeriod;
+        }
+        if t == entry.last_accepted {
+            self.current_delivery.duplicate += 1;
+            return Delivery::Duplicate;
+        }
+        if t <= self.current_t {
+            self.current_delivery.late += 1;
+            return Delivery::Late;
+        }
+        // On time means *this* period: honest clients emit at the
+        // boundary period itself, so during the period current_t + 1 only
+        // reports for exactly that boundary can be genuine. Any later
+        // boundary is a fabrication arriving before its interval closed —
+        // accepting it would also mis-attribute it to a delivery row
+        // whose `due` excludes its order.
+        if t != self.current_t + 1 {
+            self.current_delivery.rejected += 1;
+            return Delivery::Premature;
+        }
+        entry.last_accepted = t;
+        self.open_sums[h as usize] += bit.as_f64();
+        self.reports_ingested += 1;
+        self.current_delivery.accepted += 1;
+        Delivery::Accepted
+    }
+
+    /// One finalised [`PeriodDelivery`] row per closed period, in period
+    /// order. Only populated when the checked path is in use (at least one
+    /// [`register_client`](Self::register_client) call); the trusted
+    /// `ingest`/`ingest_aggregate` paths keep it empty.
+    pub fn delivery_log(&self) -> &[PeriodDelivery] {
+        &self.delivery_log
+    }
+
+    /// Reports due at period `t`: `Σ |U_h|` over orders whose stride
+    /// divides `t`.
+    pub fn due_at(&self, t: u64) -> u64 {
+        assert!(t >= 1 && t <= self.params.d(), "period {t} off the horizon");
+        (0..=t.trailing_zeros().min(self.params.log_d()))
+            .map(|h| self.group_sizes[h as usize] as u64)
+            .sum()
+    }
+
     /// Closes period `t`: finalises every interval completing at `t`,
     /// computes and stores `â[t]`, and returns it.
     ///
@@ -178,6 +327,12 @@ impl Server {
             "period {t} beyond horizon d = {}",
             self.params.d()
         );
+        if !self.roster.is_empty() {
+            let mut row = std::mem::take(&mut self.current_delivery);
+            row.t = t;
+            row.due = self.due_at(t);
+            self.delivery_log.push(row);
+        }
         self.current_t = t;
         // Orders whose interval completes at t: all h with 2^h | t.
         for h in 0..=t.trailing_zeros().min(self.params.log_d()) {
@@ -328,6 +483,130 @@ mod tests {
         let mut server = Server::new(p, &[1.0; 4]);
         let _ = server.end_of_period(1);
         let _ = server.end_of_period(3);
+    }
+
+    #[test]
+    fn checked_path_accepts_on_time_reports() {
+        let p = params();
+        let mut server = Server::new(p, &[1.0; 4]);
+        assert!(server.register_client(7, 0));
+        assert!(server.register_client(8, 1));
+        for t in 1..=8u64 {
+            assert_eq!(server.ingest_checked(7, t, Sign::Plus), Delivery::Accepted);
+            if t % 2 == 0 {
+                assert_eq!(server.ingest_checked(8, t, Sign::Minus), Delivery::Accepted);
+            }
+            let _ = server.end_of_period(t);
+        }
+        let log = server.delivery_log();
+        assert_eq!(log.len(), 8);
+        for row in log {
+            assert_eq!(row.due, row.accepted, "t={}", row.t);
+            assert_eq!(row.missing(), 0);
+        }
+        assert_eq!(server.reports_ingested(), 8 + 4);
+    }
+
+    #[test]
+    fn checked_path_classifies_misbehaviour_without_panicking() {
+        let p = params();
+        let mut server = Server::new(p, &[1.0; 4]);
+        assert!(server.register_client(0, 0));
+        assert!(server.register_client(1, 2));
+        // Duplicate id and off-horizon order are rejected, not panics.
+        assert!(!server.register_client(0, 1));
+        assert!(!server.register_client(9, 11));
+        assert_eq!(server.group_sizes(), &[1, 0, 1, 0]);
+
+        // Period 1: unknown sender, premature boundary, wrong stride.
+        assert_eq!(
+            server.ingest_checked(42, 1, Sign::Plus),
+            Delivery::UnknownUser
+        );
+        assert_eq!(server.ingest_checked(0, 2, Sign::Plus), Delivery::Premature);
+        // The order-2 user's own open boundary (t = 4) is still premature
+        // before period 4 — a forgery must not pre-empt the honest report.
+        assert_eq!(server.ingest_checked(1, 4, Sign::Plus), Delivery::Premature);
+        assert_eq!(
+            server.ingest_checked(1, 3, Sign::Plus),
+            Delivery::InvalidPeriod
+        );
+        assert_eq!(
+            server.ingest_checked(1, 0, Sign::Plus),
+            Delivery::InvalidPeriod
+        );
+        assert_eq!(
+            server.ingest_checked(1, 16, Sign::Plus),
+            Delivery::InvalidPeriod
+        );
+        // On-time, then its resend.
+        assert_eq!(server.ingest_checked(0, 1, Sign::Plus), Delivery::Accepted);
+        assert_eq!(server.ingest_checked(0, 1, Sign::Plus), Delivery::Duplicate);
+        let _ = server.end_of_period(1);
+
+        // Period 2: resending the most recent accepted report is still a
+        // duplicate; the user's (never-sent) report for t=2 goes missing.
+        assert_eq!(server.ingest_checked(0, 1, Sign::Plus), Delivery::Duplicate);
+        let _ = server.end_of_period(2);
+
+        // Period 3: the report for the now-closed t=2 interval is late.
+        assert_eq!(server.ingest_checked(0, 2, Sign::Plus), Delivery::Late);
+        let _ = server.end_of_period(3);
+
+        let log = server.delivery_log();
+        assert_eq!(log[0].t, 1);
+        assert_eq!(log[0].due, 1);
+        assert_eq!(log[0].accepted, 1);
+        assert_eq!(log[0].duplicate, 1);
+        assert_eq!(log[0].rejected, 6);
+        assert_eq!(log[1].duplicate, 1);
+        assert_eq!(log[1].missing(), 1); // the order-0 user skipped t=2
+        assert_eq!(log[2].late, 1);
+        // Registration after period 1 is refused gracefully.
+        assert!(!server.register_client(5, 0));
+    }
+
+    #[test]
+    fn checked_path_closes_periods_with_missing_reports() {
+        // A fully silent population: every period closes, every report is
+        // missing, and the estimates are all zero (no bits, no noise).
+        let p = params();
+        let mut server = Server::new(p, &[1.0; 4]);
+        for u in 0..4u32 {
+            assert!(server.register_client(u, 0));
+        }
+        for t in 1..=8u64 {
+            assert_eq!(server.end_of_period(t), 0.0);
+        }
+        assert!(server.delivery_log().iter().all(|r| r.missing() == 4));
+    }
+
+    #[test]
+    fn due_at_sums_divisible_orders() {
+        let p = params();
+        let mut server = Server::new(p, &[1.0; 4]);
+        for _ in 0..3 {
+            server.register_user(0);
+        }
+        for _ in 0..2 {
+            server.register_user(1);
+        }
+        server.register_user(3);
+        assert_eq!(server.due_at(1), 3);
+        assert_eq!(server.due_at(2), 5);
+        assert_eq!(server.due_at(8), 6);
+    }
+
+    #[test]
+    fn trusted_paths_keep_delivery_log_empty() {
+        let p = params();
+        let mut server = Server::new(p, &[1.0; 4]);
+        server.register_user(0);
+        for t in 1..=8u64 {
+            server.ingest(0, Sign::Plus);
+            let _ = server.end_of_period(t);
+        }
+        assert!(server.delivery_log().is_empty());
     }
 
     #[test]

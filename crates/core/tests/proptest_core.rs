@@ -145,4 +145,70 @@ proptest! {
         prop_assert!(ProtocolParams::new(n, d + 1, k, eps, beta).is_err() || (d + 1).is_power_of_two());
         prop_assert!(ProtocolParams::new(n, d, k, eps + 1.0, beta).is_err());
     }
+
+    /// Estimator unbiasedness within the paper's variance bound, across
+    /// randomly drawn valid parameter sets: over repeated protocol runs
+    /// the mean of `â[t]` stays within a `z·√(Var_bound/T)` confidence
+    /// band of the truth at every period, where
+    /// `Var[â[t]] ≤ n·Σ_{h ∈ C(t)} scale(h)²/(1 + log d)` with
+    /// `scale(h) = (1 + log d)/c_gap(h)` — the exact second-moment bound
+    /// behind Lemma 4.6.
+    #[test]
+    fn estimator_unbiased_within_variance_bound(
+        n in 60usize..220,
+        log_d in 3u32..=4,
+        k in 1usize..=4,
+        eps in 0.4f64..=1.0,
+        pop_seed in 0u64..1_000,
+        run_seed in 0u64..1_000,
+    ) {
+        use rtf_core::protocol::run_in_memory;
+        use rtf_primitives::seeding::SeedSequence;
+        use rtf_streams::generator::UniformChanges;
+        use rtf_streams::population::Population;
+
+        let d = 1u64 << log_d;
+        let params = ProtocolParams::new(n, d, k, eps, 0.05).unwrap();
+        let mut rng = SeedSequence::new(pop_seed).rng();
+        let pop = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
+
+        // Per-period variance bound from the per-order scales.
+        let orders_f = 1.0 + f64::from(params.log_d());
+        let scales: Vec<f64> = (0..params.num_orders())
+            .map(|h| orders_f / WeightClassLaw::for_protocol(params.k_for_order(h), eps).c_gap())
+            .collect();
+        let var_bound: Vec<f64> = (1..=d)
+            .map(|t| {
+                let sum: f64 = scales
+                    .iter()
+                    .enumerate()
+                    .filter(|(h, _)| t & (1u64 << h) != 0)
+                    .map(|(_, s)| s * s)
+                    .sum();
+                n as f64 * sum / orders_f
+            })
+            .collect();
+
+        let trials = 40u64;
+        let mut mean = vec![0.0f64; d as usize];
+        for s in 0..trials {
+            let o = run_in_memory(&params, &pop, 100_000 + run_seed * trials + s);
+            for (slot, e) in mean.iter_mut().zip(o.estimates()) {
+                *slot += e / trials as f64;
+            }
+        }
+        for (t, ((m, truth), vb)) in mean
+            .iter()
+            .zip(pop.true_counts())
+            .zip(&var_bound)
+            .enumerate()
+        {
+            let band = 5.0 * (vb / trials as f64).sqrt();
+            prop_assert!(
+                (m - truth).abs() <= band,
+                "t={}: mean {} vs truth {} escapes ±{} ({})",
+                t + 1, m, truth, band, params
+            );
+        }
+    }
 }

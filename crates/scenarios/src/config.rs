@@ -1,0 +1,158 @@
+//! Scenario specifications: which faults to inject, at what rates.
+//!
+//! A [`Scenario`] is a declarative description of how a longitudinal
+//! deployment misbehaves. All rates are per-event Bernoulli probabilities
+//! drawn from a dedicated fault RNG stream (never from the clients'
+//! protocol randomness), so the honest scenario — all rates zero — leaves
+//! the wire schedule, and therefore every estimate, bit-identical to
+//! `rtf_sim::engine::run_event_driven`.
+
+/// A fault-injection plan for one longitudinal deployment.
+///
+/// Build with [`Scenario::honest`] plus the `with_*` combinators:
+///
+/// ```
+/// use rtf_scenarios::Scenario;
+/// let s = Scenario::honest()
+///     .with_dropout(0.05)
+///     .with_stragglers(0.1, 3)
+///     .with_duplicates(0.02);
+/// assert!(!s.is_honest());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Per-report probability that the network loses the message.
+    pub drop_prob: f64,
+    /// Per-period hazard of a client leaving permanently (all later
+    /// reports are lost).
+    pub churn_prob: f64,
+    /// Per-report probability of delayed delivery.
+    pub straggle_prob: f64,
+    /// Straggler delay is uniform in `1..=max_delay` periods.
+    pub max_delay: u64,
+    /// Per-delivered-report probability of an extra retransmitted copy.
+    pub duplicate_prob: f64,
+    /// Fraction of clients that are Byzantine: they suppress their honest
+    /// reports and instead emit one arbitrary-but-well-formed `ReportMsg`
+    /// every period.
+    pub byzantine_frac: f64,
+}
+
+impl Scenario {
+    /// The lossless, honest deployment — no fault of any kind.
+    pub fn honest() -> Self {
+        Scenario {
+            drop_prob: 0.0,
+            churn_prob: 0.0,
+            straggle_prob: 0.0,
+            max_delay: 1,
+            duplicate_prob: 0.0,
+            byzantine_frac: 0.0,
+        }
+    }
+
+    /// Sets the per-report network loss probability.
+    pub fn with_dropout(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the per-period permanent-departure hazard.
+    pub fn with_churn(mut self, p: f64) -> Self {
+        self.churn_prob = p;
+        self
+    }
+
+    /// Sets the per-report delay probability and the maximum delay `Δ`.
+    pub fn with_stragglers(mut self, p: f64, max_delay: u64) -> Self {
+        self.straggle_prob = p;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the per-report retransmission probability.
+    pub fn with_duplicates(mut self, p: f64) -> Self {
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Sets the fraction of Byzantine clients.
+    pub fn with_byzantine(mut self, frac: f64) -> Self {
+        self.byzantine_frac = frac;
+        self
+    }
+
+    /// Whether this scenario perturbs nothing (all rates zero).
+    pub fn is_honest(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.churn_prob == 0.0
+            && self.straggle_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.byzantine_frac == 0.0
+    }
+
+    /// Validates all rates.
+    ///
+    /// # Panics
+    /// Panics if any probability leaves `[0, 1]` or `max_delay == 0`.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("churn_prob", self.churn_prob),
+            ("straggle_prob", self.straggle_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("byzantine_frac", self.byzantine_frac),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p) && p.is_finite(),
+                "{name} = {p} must be a probability in [0, 1]"
+            );
+        }
+        assert!(self.max_delay >= 1, "max_delay must be at least 1 period");
+    }
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario::honest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_is_honest() {
+        let s = Scenario::honest();
+        assert!(s.is_honest());
+        s.validate();
+        assert_eq!(s, Scenario::default());
+    }
+
+    #[test]
+    fn combinators_set_rates() {
+        let s = Scenario::honest()
+            .with_dropout(0.1)
+            .with_churn(0.01)
+            .with_stragglers(0.2, 4)
+            .with_duplicates(0.05)
+            .with_byzantine(0.02);
+        assert!(!s.is_honest());
+        s.validate();
+        assert_eq!(s.max_delay, 4);
+        assert_eq!(s.drop_prob, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn out_of_range_rate_rejected() {
+        Scenario::honest().with_dropout(1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_delay")]
+    fn zero_delay_rejected() {
+        Scenario::honest().with_stragglers(0.1, 0).validate();
+    }
+}

@@ -1,0 +1,484 @@
+//! The fault-injected round loop.
+//!
+//! Wraps the honest message-level schedule of `rtf_sim::engine` with a
+//! perturbation layer: every emitted [`ReportMsg`] passes through a
+//! seeded fault model (dropout, permanent churn, straggler delay,
+//! retransmission) before reaching the server, and Byzantine clients
+//! replace their honest traffic with arbitrary well-formed payloads.
+//!
+//! Two determinism invariants hold by construction:
+//!
+//! 1. **Client randomness is untouched.** Clients draw from the same
+//!    `SeedSequence(seed).child(user)` streams as every other execution
+//!    path, and fault decisions come from the disjoint stream
+//!    `child(FAULT_STREAM).child(user)` — so for a fixed seed, an honest
+//!    client's reported bits are identical across all scenarios.
+//! 2. **The honest scenario is the honest engine.** With all rates zero
+//!    every message is delivered on time exactly once, and the outcome is
+//!    value-for-value equal to `run_event_driven` (asserted by the
+//!    differential oracle in [`crate::oracle`]).
+
+use crate::config::Scenario;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rtf_core::client::Client;
+use rtf_core::composed::ComposedRandomizer;
+use rtf_core::params::ProtocolParams;
+use rtf_core::randomizer::FutureRand;
+use rtf_core::server::{Delivery, PeriodDelivery, Server};
+use rtf_primitives::seeding::SeedSequence;
+use rtf_primitives::sign::Sign;
+use rtf_sim::message::{OrderAnnouncement, ReportMsg, WireStats};
+use rtf_streams::population::Population;
+
+/// Label of the dedicated fault RNG stream. Far outside the `u32` space
+/// of per-user labels and distinct from the aggregate sampler's server
+/// stream (`0x5E71`), so no protocol randomness is ever reused.
+const FAULT_STREAM: u64 = 0xFA17_B055_ED00_0001;
+
+/// Tallies of every fault the injection layer applied.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Reports lost by per-report dropout.
+    pub dropped: u64,
+    /// Clients that departed permanently before the horizon ended.
+    pub churned_clients: u64,
+    /// Reports suppressed because their sender had churned.
+    pub lost_to_churn: u64,
+    /// Reports delivered late.
+    pub delayed: u64,
+    /// Extra retransmitted copies injected.
+    pub duplicates_injected: u64,
+    /// Fabricated messages emitted by Byzantine clients.
+    pub byzantine_messages: u64,
+    /// Fabricated messages the server accepted as on-time reports.
+    pub byzantine_accepted: u64,
+    /// Messages delayed past the horizon (never delivered).
+    pub expired: u64,
+}
+
+/// Result of one fault-injected execution.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The online estimates `â[t]` the server still managed to publish.
+    pub estimates: Vec<f64>,
+    /// Per-order group sizes `|U_h|`.
+    pub group_sizes: Vec<usize>,
+    /// Accounting of *delivered* traffic (announcements + reports that
+    /// reached the server, on time or not).
+    pub wire: WireStats,
+    /// The server's per-period delivery rows (due/accepted/late/…).
+    pub delivery: Vec<PeriodDelivery>,
+    /// What the fault layer did.
+    pub faults: FaultCounts,
+    /// Per-period count of Byzantine fabrications the server accepted
+    /// (`[t-1] = count at period t`) — input to the oracle's bias bound.
+    pub byzantine_accepted_by_period: Vec<u64>,
+}
+
+impl ScenarioOutcome {
+    /// Cumulative missing reports by period: `[t-1] = Σ_{s ≤ t} missing(s)`.
+    pub fn cumulative_missing(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.delivery
+            .iter()
+            .map(|row| {
+                acc += row.missing();
+                acc
+            })
+            .collect()
+    }
+
+    /// Fraction of due reports that arrived on time, over the whole run.
+    pub fn accepted_fraction(&self) -> f64 {
+        let due: u64 = self.delivery.iter().map(|r| r.due).sum();
+        let acc: u64 = self.delivery.iter().map(|r| r.accepted).sum();
+        if due == 0 {
+            return 1.0;
+        }
+        acc as f64 / due as f64
+    }
+}
+
+struct ClientSlot {
+    client: Client<FutureRand>,
+    rng: StdRng,
+    /// This client's private fault stream.
+    frng: StdRng,
+    byzantine: bool,
+    /// First period at which the client has departed (`u64::MAX` = never).
+    churn_at: u64,
+}
+
+/// One message on the unreliable network, with provenance for accounting.
+struct InFlight {
+    frame: bytes::Bytes,
+    byzantine: bool,
+}
+
+/// Runs the FutureRand protocol through the fault-injected message engine.
+///
+/// Same `(params, population, seed)` contract as the other execution
+/// paths; `scenario` controls the perturbation. The server never panics on
+/// perturbed traffic: lost reports simply go missing from the period's
+/// delivery row, stragglers and duplicates are classified and dropped,
+/// Byzantine payloads are screened by the checked ingestion path.
+pub fn run_scenario(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+) -> ScenarioOutcome {
+    scenario.validate();
+    assert_eq!(population.n(), params.n(), "population/params n mismatch");
+    assert_eq!(population.d(), params.d(), "population/params d mismatch");
+    population.assert_k_sparse(params.k());
+
+    let composed: Vec<ComposedRandomizer> = (0..params.num_orders())
+        .map(|h| ComposedRandomizer::for_protocol(params.k_for_order(h), params.epsilon()))
+        .collect();
+
+    let mut server = Server::for_future_rand(*params);
+    let mut wire = WireStats::default();
+    let mut faults = FaultCounts::default();
+    let root = SeedSequence::new(seed);
+    let fault_root = root.child(FAULT_STREAM);
+    let d = params.d();
+
+    // Announce + build clients exactly like the honest engine; fault state
+    // comes from each client's private fault stream.
+    let mut slots: Vec<ClientSlot> = Vec::with_capacity(params.n());
+    for u in 0..params.n() {
+        let mut rng = root.child(u as u64).rng();
+        let h = Client::<FutureRand>::sample_order(params, &mut rng);
+        let ann = OrderAnnouncement {
+            user: u as u32,
+            order: h as u8,
+        };
+        let decoded = OrderAnnouncement::decode(ann.encode());
+        let registered = server.register_client(decoded.user, u32::from(decoded.order));
+        assert!(registered, "simulation user ids are unique");
+        wire.record_announcement();
+        let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+
+        let mut frng = fault_root.child(u as u64).rng();
+        let byzantine = frng.random_bool(scenario.byzantine_frac);
+        let churn_at = sample_churn_period(&mut frng, scenario.churn_prob);
+        if churn_at <= d {
+            faults.churned_clients += 1;
+        }
+        slots.push(ClientSlot {
+            client: Client::new(params, h, m),
+            rng,
+            frng,
+            byzantine,
+            churn_at,
+        });
+    }
+
+    // pending[t] = messages the network will deliver during period t.
+    let mut pending: Vec<Vec<InFlight>> = (0..=d as usize).map(|_| Vec::new()).collect();
+    let mut estimates = Vec::with_capacity(d as usize);
+    let mut byz_accepted_by_period = vec![0u64; d as usize];
+
+    for t in 1..=d {
+        for (u, slot) in slots.iter_mut().enumerate() {
+            // Every client observes its own datum every period — the
+            // online constraint is about observation, not delivery — so
+            // protocol randomness is consumed identically in every
+            // scenario.
+            let x = population.stream(u).derivative().at(t);
+            let report = slot.client.observe(t, x, &mut slot.rng);
+            if t >= slot.churn_at {
+                // Churn silences everyone for good — Byzantine clients
+                // included; only due honest reports count as lost.
+                if !slot.byzantine && report.is_some() {
+                    faults.lost_to_churn += 1;
+                }
+                continue;
+            }
+            if slot.byzantine {
+                // Byzantine clients suppress honest traffic and spam one
+                // fabricated, well-formed report per period.
+                faults.byzantine_messages += 1;
+                let msg = fabricate_report(&mut slot.frng, params, u as u32);
+                dispatch(
+                    msg,
+                    t,
+                    true,
+                    &mut slot.frng,
+                    scenario,
+                    &mut faults,
+                    &mut pending,
+                    d,
+                );
+                continue;
+            }
+            let Some(r) = report else { continue };
+            let msg = ReportMsg {
+                user: u as u32,
+                t: t as u32,
+                bit: r.bit == Sign::Plus,
+            };
+            dispatch(
+                msg,
+                t,
+                false,
+                &mut slot.frng,
+                scenario,
+                &mut faults,
+                &mut pending,
+                d,
+            );
+        }
+
+        // The server drains whatever the network delivered this period —
+        // original, late, duplicated, or fabricated — and classifies every
+        // frame through the checked ingestion path.
+        for inflight in pending[t as usize].drain(..) {
+            let msg = ReportMsg::decode(inflight.frame);
+            wire.record_report();
+            let bit = if msg.bit { Sign::Plus } else { Sign::Minus };
+            let status = server.ingest_checked(msg.user, u64::from(msg.t), bit);
+            if inflight.byzantine && status == Delivery::Accepted {
+                faults.byzantine_accepted += 1;
+                byz_accepted_by_period[(t - 1) as usize] += 1;
+            }
+        }
+        estimates.push(server.end_of_period(t));
+    }
+
+    ScenarioOutcome {
+        estimates,
+        group_sizes: server.group_sizes().to_vec(),
+        wire,
+        delivery: server.delivery_log().to_vec(),
+        faults,
+        byzantine_accepted_by_period: byz_accepted_by_period,
+    }
+}
+
+/// First period at which the client is gone, under a per-period hazard
+/// `p` (geometric via inversion); `u64::MAX` when `p == 0`.
+fn sample_churn_period(rng: &mut StdRng, p: f64) -> u64 {
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    if p >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.random();
+    // P(T > t) = (1-p)^t  ⇒  T = 1 + floor(ln(1-u)/ln(1-p)).
+    let t = 1.0 + ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+    if t >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        t as u64
+    }
+}
+
+/// An arbitrary-but-well-formed report: sometimes the sender's own id
+/// (an insider lying about content/timing), sometimes a random id (an
+/// outsider or impersonator); period and bit are unconstrained.
+fn fabricate_report(rng: &mut StdRng, params: &ProtocolParams, own_id: u32) -> ReportMsg {
+    let user = if rng.random_bool(0.5) {
+        own_id
+    } else {
+        // Half in-range impersonations, half junk ids.
+        rng.random_range(0..(2 * params.n() as u32).max(2))
+    };
+    ReportMsg {
+        user,
+        t: rng.random_range(1..=params.d() as u32),
+        bit: rng.random::<bool>(),
+    }
+}
+
+/// Routes one emitted message through the fault model: dropout, delay,
+/// retransmission. Delivery periods beyond the horizon expire.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    msg: ReportMsg,
+    t: u64,
+    byzantine: bool,
+    frng: &mut StdRng,
+    scenario: &Scenario,
+    faults: &mut FaultCounts,
+    pending: &mut [Vec<InFlight>],
+    d: u64,
+) {
+    if frng.random_bool(scenario.drop_prob) {
+        faults.dropped += 1;
+        return;
+    }
+    let mut deliver = t;
+    if frng.random_bool(scenario.straggle_prob) {
+        let delta = frng.random_range(1..=scenario.max_delay);
+        faults.delayed += 1;
+        deliver = t + delta;
+    }
+    let frame = msg.encode();
+    if deliver <= d {
+        pending[deliver as usize].push(InFlight {
+            frame: frame.clone(),
+            byzantine,
+        });
+    } else {
+        faults.expired += 1;
+    }
+    if frng.random_bool(scenario.duplicate_prob) {
+        faults.duplicates_injected += 1;
+        // A retransmission typically lands one period after the original.
+        let dup_at = deliver + 1;
+        if dup_at <= d {
+            pending[dup_at as usize].push(InFlight { frame, byzantine });
+        } else {
+            faults.expired += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf_streams::generator::UniformChanges;
+
+    fn setup(n: usize, d: u64, k: usize, seed: u64) -> (ProtocolParams, Population) {
+        let params = ProtocolParams::new(n, d, k, 1.0, 0.05).unwrap();
+        let mut rng = SeedSequence::new(seed).rng();
+        let pop = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
+        (params, pop)
+    }
+
+    #[test]
+    fn honest_scenario_matches_event_driven_exactly() {
+        let (params, pop) = setup(180, 32, 3, 60);
+        let sc = run_scenario(&params, &pop, 11, &Scenario::honest());
+        let ev = rtf_sim::engine::run_event_driven(&params, &pop, 11);
+        assert_eq!(sc.estimates, ev.estimates);
+        assert_eq!(sc.group_sizes, ev.group_sizes);
+        assert_eq!(sc.wire, ev.wire);
+        assert_eq!(sc.faults, FaultCounts::default());
+        assert!(sc.delivery.iter().all(|r| r.missing() == 0));
+        assert!((sc.accepted_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_is_deterministic_under_seed() {
+        let (params, pop) = setup(120, 16, 2, 61);
+        let scenario = Scenario::honest()
+            .with_dropout(0.1)
+            .with_stragglers(0.2, 3)
+            .with_duplicates(0.1)
+            .with_byzantine(0.05);
+        let a = run_scenario(&params, &pop, 7, &scenario);
+        let b = run_scenario(&params, &pop, 7, &scenario);
+        assert_eq!(a.estimates, b.estimates);
+        assert_eq!(a.delivery, b.delivery);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn honest_clients_bits_unchanged_by_faults() {
+        // Faults perturb delivery, never the protocol randomness: under
+        // pure dropout, every *accepted* report carries the same bit it
+        // would have carried in the honest run, so the faulty estimates
+        // differ from honest only by the missing contributions.
+        let (params, pop) = setup(100, 16, 2, 62);
+        let honest = run_scenario(&params, &pop, 5, &Scenario::honest());
+        let faulty = run_scenario(&params, &pop, 5, &Scenario::honest().with_dropout(1.0));
+        // Everything dropped: estimates are exactly zero...
+        assert!(faulty.estimates.iter().all(|&e| e == 0.0));
+        assert_eq!(faulty.faults.dropped, honest.wire.payload_bits);
+        // ...and the honest run was not all zero.
+        assert!(honest.estimates.iter().any(|&e| e != 0.0));
+    }
+
+    #[test]
+    fn dropout_shows_up_in_delivery_stats() {
+        let (params, pop) = setup(300, 32, 3, 63);
+        let out = run_scenario(&params, &pop, 9, &Scenario::honest().with_dropout(0.2));
+        assert!(out.faults.dropped > 0);
+        let missing: u64 = out.delivery.iter().map(|r| r.missing()).sum();
+        assert_eq!(missing, out.faults.dropped);
+        assert!(out.accepted_fraction() > 0.6 && out.accepted_fraction() < 0.95);
+        // cumulative_missing is a prefix sum.
+        let cum = out.cumulative_missing();
+        assert_eq!(*cum.last().unwrap(), missing);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn stragglers_are_classified_late_or_expire() {
+        let (params, pop) = setup(200, 16, 2, 64);
+        let out = run_scenario(
+            &params,
+            &pop,
+            13,
+            &Scenario::honest().with_stragglers(0.5, 4),
+        );
+        let late: u64 = out.delivery.iter().map(|r| r.late).sum();
+        assert_eq!(late + out.faults.expired, out.faults.delayed);
+        assert!(out.faults.delayed > 0);
+    }
+
+    #[test]
+    fn duplicates_are_deduped_exactly() {
+        // Duplicates alone must not change a single estimate: the checked
+        // path drops every retransmitted copy.
+        let (params, pop) = setup(150, 32, 3, 65);
+        let honest = run_scenario(&params, &pop, 21, &Scenario::honest());
+        let dup = run_scenario(&params, &pop, 21, &Scenario::honest().with_duplicates(0.5));
+        assert_eq!(dup.estimates, honest.estimates);
+        assert!(dup.faults.duplicates_injected > 0);
+        let deduped: u64 = dup.delivery.iter().map(|r| r.duplicate).sum();
+        assert_eq!(
+            deduped + dup.faults.expired,
+            dup.faults.duplicates_injected,
+            "every injected duplicate is either deduped or expired"
+        );
+    }
+
+    #[test]
+    fn churn_silences_clients_permanently() {
+        let (params, pop) = setup(250, 32, 3, 66);
+        let out = run_scenario(&params, &pop, 31, &Scenario::honest().with_churn(0.05));
+        assert!(out.faults.churned_clients > 0);
+        assert!(out.faults.lost_to_churn > 0);
+        // Later periods lose at least as much cumulative traffic.
+        let cum = out.cumulative_missing();
+        assert!(cum[(params.d() - 1) as usize] >= cum[0]);
+    }
+
+    #[test]
+    fn byzantine_traffic_never_panics_the_server() {
+        let (params, pop) = setup(200, 32, 3, 67);
+        let out = run_scenario(&params, &pop, 41, &Scenario::honest().with_byzantine(0.2));
+        assert!(out.faults.byzantine_messages > 0);
+        // Fabrications hit every rejection class at this scale.
+        let rejected: u64 = out.delivery.iter().map(|r| r.rejected).sum();
+        assert!(rejected > 0, "random periods must produce rejections");
+        assert_eq!(
+            out.byzantine_accepted_by_period.iter().sum::<u64>(),
+            out.faults.byzantine_accepted
+        );
+        // Estimates still exist for every period.
+        assert_eq!(out.estimates.len(), 32);
+        assert!(out.estimates.iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn churn_sampler_is_geometric_shaped() {
+        let mut rng = SeedSequence::new(99).rng();
+        assert_eq!(sample_churn_period(&mut rng, 0.0), u64::MAX);
+        assert_eq!(sample_churn_period(&mut rng, 1.0), 1);
+        let n = 20_000;
+        let p = 0.25f64;
+        let mean = (0..n)
+            .map(|_| sample_churn_period(&mut rng, p) as f64)
+            .sum::<f64>()
+            / n as f64;
+        // E[T] = 1/p = 4; Monte-Carlo tolerance.
+        assert!((mean - 4.0).abs() < 0.2, "mean churn period {mean}");
+    }
+}

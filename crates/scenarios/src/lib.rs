@@ -1,0 +1,37 @@
+//! Fault-injected longitudinal workloads and the differential oracle.
+//!
+//! The paper's guarantee is for an online protocol in which every client
+//! reports once per assigned boundary, losslessly. Real longitudinal
+//! deployments are not like that: clients drop out, straggle, retransmit,
+//! churn away for good, or lie. This crate makes those failure modes a
+//! first-class, deterministic test surface:
+//!
+//! * [`config`] — declarative [`Scenario`] specs: per-report dropout,
+//!   per-period permanent churn, straggler delays `Δ`, retransmitted
+//!   duplicates, and a Byzantine client fraction;
+//! * [`engine`] — [`run_scenario`]: the message-level round loop of
+//!   `rtf_sim::engine` wrapped in a seeded fault layer. Client protocol
+//!   randomness is never touched, so the honest scenario is value-for-
+//!   value identical to `run_event_driven`, and honest clients' bits are
+//!   identical across all scenarios of the same seed;
+//! * [`oracle`] — the differential oracle: asserts exact agreement of the
+//!   exact paths under one seed, distributional agreement (tolerance
+//!   bands from `rtf_analysis::variance`) for the aggregate sampler, and
+//!   bias-aware envelopes for faulty runs.
+//!
+//! Entry points: [`run_scenario`] for one fault-injected execution,
+//! [`oracle::assert_exact_agreement`] /
+//! [`oracle::measure_aggregate_agreement`] for differential checks.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod engine;
+pub mod oracle;
+
+pub use config::Scenario;
+pub use engine::{run_scenario, FaultCounts, ScenarioOutcome};
+pub use oracle::{
+    assert_exact_agreement, faulty_envelope, measure_aggregate_agreement, tolerance_band,
+};

@@ -25,7 +25,10 @@
 //!   audits, error metrics, variance prediction and post-processing;
 //! * [`domain`] (`rtf-domain`) — categorical-domain frequency tracking and
 //!   heavy hitters via element sampling (the paper's "richer domains"
-//!   adaptation).
+//!   adaptation);
+//! * [`scenarios`] (`rtf-scenarios`) — fault-injected longitudinal
+//!   workloads (dropout, churn, stragglers, duplicates, Byzantine
+//!   clients) and the differential oracle over the execution paths.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +70,7 @@ pub use rtf_core as core;
 pub use rtf_domain as domain;
 pub use rtf_dyadic as dyadic;
 pub use rtf_primitives as primitives;
+pub use rtf_scenarios as scenarios;
 pub use rtf_sim as sim;
 pub use rtf_streams as streams;
 

@@ -1,100 +1,73 @@
-//! Integration: the three execution paths implement the same protocol.
+//! Integration: the execution paths implement the same protocol, across
+//! a seeded parameter grid.
 //!
-//! * `run_in_memory` (rtf-core) and `run_event_driven` (rtf-sim) must be
-//!   **bit-identical** for the same seed: both consume each user's RNG
-//!   stream in the same order, and all arithmetic is exact in f64.
-//! * `run_future_rand_aggregate` must be **distribution-identical**:
-//!   same per-user `(h, b̃)` randomness, server-side batched noise with
-//!   the same conditional law.
+//! Powered by the differential oracle in `rtf_scenarios::oracle`:
+//!
+//! * `run_in_memory` (rtf-core), `run_event_driven` (rtf-sim), and the
+//!   honest scenario engine (rtf-scenarios) must be **bit-identical** for
+//!   the same seed — they consume each user's RNG stream in the same
+//!   order and all arithmetic is exact;
+//! * `run_future_rand_aggregate` must be **distribution-identical**: same
+//!   per-user `(h, b̃)` randomness, batched server noise with the same
+//!   conditional law — checked via mean z-scores, cross-path variance
+//!   agreement, and the closed-form variance of `rtf_analysis`.
 
 use randomize_future::core::params::ProtocolParams;
-use randomize_future::core::protocol::run_in_memory;
 use randomize_future::primitives::seeding::SeedSequence;
-use randomize_future::sim::aggregate::run_future_rand_aggregate;
-use randomize_future::sim::engine::run_event_driven;
+use randomize_future::scenarios::oracle::{assert_exact_agreement, measure_aggregate_agreement};
 use randomize_future::streams::generator::UniformChanges;
 use randomize_future::streams::population::Population;
 
-fn setup(n: usize, d: u64, k: usize, seed: u64) -> (ProtocolParams, Population) {
-    let params = ProtocolParams::new(n, d, k, 1.0, 0.05).unwrap();
+/// The differential grid: `(n, d, k, ε)` points spanning small/large
+/// populations, short/long horizons, tight/loose sparsity and budget.
+const GRID: &[(usize, u64, usize, f64)] = &[
+    (100, 16, 2, 1.0),
+    (321, 64, 5, 1.0),
+    (57, 128, 3, 0.5),
+    (250, 32, 1, 0.25),
+    (800, 8, 4, 0.8),
+];
+
+fn setup(n: usize, d: u64, k: usize, eps: f64, seed: u64) -> (ProtocolParams, Population) {
+    let params = ProtocolParams::new(n, d, k, eps, 0.05).unwrap();
     let mut rng = SeedSequence::new(seed).rng();
     let pop = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
     (params, pop)
 }
 
 #[test]
-fn in_memory_and_event_driven_bit_identical() {
-    for (n, d, k, seed) in [
-        (100usize, 16u64, 2usize, 1u64),
-        (321, 64, 5, 2),
-        (57, 128, 3, 3),
-    ] {
-        let (params, pop) = setup(n, d, k, seed);
+fn exact_paths_agree_value_for_value_across_the_grid() {
+    for (i, &(n, d, k, eps)) in GRID.iter().enumerate() {
+        let (params, pop) = setup(n, d, k, eps, i as u64 + 1);
         for protocol_seed in [5u64, 99, 12345] {
-            let mem = run_in_memory(&params, &pop, protocol_seed);
-            let ev = run_event_driven(&params, &pop, protocol_seed);
-            assert_eq!(
-                mem.estimates(),
-                ev.estimates,
-                "paths diverge at n={n} d={d} k={k} seed={protocol_seed}"
-            );
-            assert_eq!(mem.group_sizes(), ev.group_sizes);
+            // Panics with the diverging (params, seed, t) on failure.
+            let agreed = assert_exact_agreement(&params, &pop, protocol_seed);
+            assert_eq!(agreed.estimates.len(), d as usize);
+            assert_eq!(agreed.group_sizes.iter().sum::<usize>(), n);
         }
     }
 }
 
 #[test]
-fn aggregate_matches_exact_paths_in_distribution() {
-    // First and second moments of â[t] agree across many runs.
-    let (params, pop) = setup(300, 16, 3, 4);
-    let trials = 400u64;
-    let d = 16usize;
-    let (mut mean_a, mut mean_e) = (vec![0.0; d], vec![0.0; d]);
-    let (mut var_a, mut var_e) = (vec![0.0; d], vec![0.0; d]);
-    for s in 0..trials {
-        let a = run_future_rand_aggregate(&params, &pop, 1_000 + s);
-        let e = run_in_memory(&params, &pop, 1_000 + s);
-        for t in 0..d {
-            mean_a[t] += a.estimates()[t];
-            mean_e[t] += e.estimates()[t];
-            var_a[t] += a.estimates()[t].powi(2);
-            var_e[t] += e.estimates()[t].powi(2);
-        }
+fn aggregate_matches_exact_paths_in_distribution_across_the_grid() {
+    // Smaller grid — this one runs paired trials. Tolerances match the
+    // Monte-Carlo error at 300 trials: 6σ means, 50% variance agreement,
+    // 35% against the closed form.
+    for (i, &(n, d, k, eps)) in [(300usize, 16u64, 3usize, 1.0f64), (150, 32, 2, 0.5)]
+        .iter()
+        .enumerate()
+    {
+        let (params, pop) = setup(n, d, k, eps, 40 + i as u64);
+        let m = measure_aggregate_agreement(&params, &pop, 1_000, 300);
+        m.assert_within(6.0, 0.5, 0.35);
     }
-    for t in 0..d {
-        let (ma, me) = (mean_a[t] / trials as f64, mean_e[t] / trials as f64);
-        let va = var_a[t] / trials as f64 - ma * ma;
-        let ve = var_e[t] / trials as f64 - me * me;
-        let se = (va.max(ve) / trials as f64).sqrt();
-        assert!(
-            (ma - me).abs() < 6.0 * se + 1e-9,
-            "t={}: means {ma} vs {me}",
-            t + 1
-        );
-        assert!(
-            (va - ve).abs() <= 0.5 * va.max(ve),
-            "t={}: variances {va} vs {ve}",
-            t + 1
-        );
-    }
-}
-
-#[test]
-fn aggregate_and_exact_share_per_user_randomness() {
-    // Same seed ⇒ same order assignment in both paths (the b̃ draw and
-    // order draw come from the same per-user stream).
-    let (params, pop) = setup(200, 32, 2, 5);
-    let a = run_future_rand_aggregate(&params, &pop, 42);
-    let m = run_in_memory(&params, &pop, 42);
-    assert_eq!(a.group_sizes(), m.group_sizes());
-    assert_eq!(a.reports_sent(), m.reports_sent());
 }
 
 #[test]
 fn communication_accounting_consistent_across_paths() {
-    let (params, pop) = setup(150, 64, 3, 6);
-    let ev = run_event_driven(&params, &pop, 17);
-    let mem = run_in_memory(&params, &pop, 17);
+    let (params, pop) = setup(150, 64, 3, 1.0, 6);
+    let ev = randomize_future::sim::engine::run_event_driven(&params, &pop, 17);
+    let mem = randomize_future::core::protocol::run_in_memory(&params, &pop, 17);
     // Event-driven counts payload bits; in-memory counts reports — one
     // bit each, so they must match.
     assert_eq!(ev.wire.payload_bits, mem.reports_sent());
