@@ -15,15 +15,56 @@
 //! output is the delivery accounting: every lost, late, duplicated, or
 //! forged frame is visible in the server's per-period stats.
 //!
+//! Trials fan out over the deterministic worker pool (`RTF_WORKERS`
+//! workers, default: available parallelism); per-trial rows are folded
+//! in trial order, so the table is bit-identical to a sequential run —
+//! asserted below on the honest scenario before anything is printed.
+//!
 //! Run with `cargo bench --bench exp_faults`.
 
 use rtf_analysis::metrics::linf_error;
 use rtf_bench::{banner, trials_from_env, Table};
 use rtf_core::params::ProtocolParams;
 use rtf_primitives::seeding::SeedSequence;
-use rtf_scenarios::{run_scenario, Scenario};
+use rtf_runtime::{ExecMode, WorkerPool};
+use rtf_scenarios::{run_scenario_with, Scenario};
 use rtf_streams::generator::UniformChanges;
 use rtf_streams::population::Population;
+
+/// One trial's measurements: (ℓ∞ error, on-time fraction, late, dup,
+/// byzantine messages).
+type TrialRow = (f64, f64, u64, u64, u64);
+
+/// Runs `trials` seeded executions of `scenario` over `pool`, returning
+/// per-trial rows **in trial order** — the fold over them cannot depend
+/// on scheduling. The inner engine runs `Parallel(1)`: the batched
+/// pipeline without nested threading (trials are the outer parallelism).
+fn run_rows(
+    pool: &WorkerPool,
+    params: &ProtocolParams,
+    gen: &UniformChanges,
+    scenario: &Scenario,
+    trials: usize,
+) -> Vec<TrialRow> {
+    pool.map_indexed(trials, |s| {
+        let mut rng = SeedSequence::new(1_900 + s as u64).rng();
+        let pop = Population::generate(gen, params.n(), &mut rng);
+        let out = run_scenario_with(
+            params,
+            &pop,
+            2_000 + s as u64,
+            scenario,
+            ExecMode::Parallel(1),
+        );
+        (
+            linf_error(&out.estimates, pop.true_counts()),
+            out.accepted_fraction(),
+            out.delivery.iter().map(|r| r.late).sum::<u64>(),
+            out.delivery.iter().map(|r| r.duplicate).sum::<u64>(),
+            out.faults.byzantine_messages,
+        )
+    })
+}
 
 fn main() {
     let n = 3_000usize;
@@ -69,20 +110,40 @@ fn main() {
         ("byz msgs", 9),
     ]);
 
+    let workers = ExecMode::from_env_or_parallel().workers();
+    let pool = WorkerPool::new(workers);
+
+    // Determinism gate: the pooled fan-out must reproduce the
+    // single-worker rows bit-for-bit at the fixed seeds. The pooled
+    // honest rows are reused as the table's honest row below.
+    let honest_rows = run_rows(&pool, &params, &gen, &scenarios[0].1, trials);
+    {
+        let sequential = run_rows(&WorkerPool::new(1), &params, &gen, &scenarios[0].1, trials);
+        assert!(
+            honest_rows
+                .iter()
+                .zip(&sequential)
+                .all(|(a, b)| a.0.to_bits() == b.0.to_bits() && a == b),
+            "pooled trials diverged from sequential"
+        );
+    }
+
     let mut honest_err = 0.0f64;
     for (name, scenario) in &scenarios {
+        let rows = if *name == "honest" {
+            honest_rows.clone()
+        } else {
+            run_rows(&pool, &params, &gen, scenario, trials)
+        };
         let mut err = 0.0;
         let mut ontime = 0.0;
         let (mut late, mut dup, mut byz) = (0u64, 0u64, 0u64);
-        for s in 0..trials as u64 {
-            let mut rng = SeedSequence::new(1_900 + s).rng();
-            let pop = Population::generate(&gen, n, &mut rng);
-            let out = run_scenario(&params, &pop, 2_000 + s, scenario);
-            err += linf_error(&out.estimates, pop.true_counts()) / trials as f64;
-            ontime += out.accepted_fraction() / trials as f64;
-            late += out.delivery.iter().map(|r| r.late).sum::<u64>();
-            dup += out.delivery.iter().map(|r| r.duplicate).sum::<u64>();
-            byz += out.faults.byzantine_messages;
+        for (e, o, l, du, b) in &rows {
+            err += e / trials as f64;
+            ontime += o / trials as f64;
+            late += l;
+            dup += du;
+            byz += b;
         }
         if *name == "honest" {
             honest_err = err;
@@ -99,7 +160,8 @@ fn main() {
     }
 
     println!(
-        "\nresult: the server survives every scenario, duplicates are exactly free, and every \
-         perturbed frame is accounted for in the delivery stats. PASS"
+        "\nresult: the server survives every scenario ({workers}-worker pool, bit-identical to \
+         sequential), duplicates are exactly free, and every perturbed frame is accounted for in \
+         the delivery stats. PASS"
     );
 }

@@ -1,0 +1,184 @@
+//! T20 — end-to-end throughput of the execution pipeline.
+//!
+//! ROADMAP's north star is serving millions of users as fast as the
+//! hardware allows; the LDP benchmarking literature (Cormode–Maddock–
+//! Maple 2021) stresses that protocol comparisons at realistic `n` live
+//! or die on simulation throughput. This experiment measures reports/sec
+//! and wall time of the honest event-driven schedule at `n ∈ {10⁵, 10⁶}`
+//! through every execution mode: the sequential reference engine (per-
+//! report `Bytes` framing) and the batched pipeline at 1/2/4/8 workers
+//! (columnar report batches folded into mergeable shard accumulators).
+//!
+//! Every timed run is asserted **value-for-value identical** to the
+//! sequential baseline before its timing is accepted — a throughput
+//! number for a wrong answer is worthless.
+//!
+//! Machine-readable output: `BENCH_throughput.json` at the repository
+//! root, seeding the perf trajectory (validated by the CI smoke step).
+//!
+//! Run with `cargo bench --bench exp_throughput` (full) or
+//! `cargo bench --bench exp_throughput -- --smoke` (CI-sized; same JSON
+//! schema, smaller `n`).
+
+use rtf_bench::{banner, Table};
+use rtf_core::params::ProtocolParams;
+use rtf_primitives::seeding::SeedSequence;
+use rtf_runtime::ExecMode;
+use rtf_sim::engine::{run_event_driven_with, EventDrivenOutcome};
+use rtf_streams::generator::UniformChanges;
+use rtf_streams::population::Population;
+use std::time::Instant;
+
+/// Worker counts the parallel pipeline is measured at.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Measurement {
+    n: usize,
+    d: u64,
+    mode: ExecMode,
+    elapsed_s: f64,
+    reports: u64,
+    reports_per_s: f64,
+}
+
+fn measure(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    mode: ExecMode,
+) -> (Measurement, EventDrivenOutcome) {
+    let start = Instant::now();
+    let outcome = run_event_driven_with(params, population, seed, mode);
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    let reports = outcome.wire.payload_bits;
+    (
+        Measurement {
+            n: params.n(),
+            d: params.d(),
+            mode,
+            elapsed_s,
+            reports,
+            reports_per_s: reports as f64 / elapsed_s,
+        },
+        outcome,
+    )
+}
+
+fn mode_json(mode: ExecMode) -> (&'static str, usize) {
+    match mode {
+        ExecMode::Sequential => ("sequential", 0),
+        ExecMode::Parallel(w) => ("parallel", w),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("RTF_THROUGHPUT_SMOKE").is_ok_and(|v| v == "1");
+    // Smoke keeps the same schema and worker grid on a CI-sized n.
+    let sizes: &[usize] = if smoke {
+        &[20_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    let d = 64u64;
+    let k = 4usize;
+
+    banner(
+        "T20",
+        &format!(
+            "pipeline throughput (d={d}, k={k}, workers {WORKER_COUNTS:?}{})",
+            if smoke { ", SMOKE" } else { "" }
+        ),
+        "the batched parallel pipeline multiplies reports/sec over the framed sequential engine",
+    );
+
+    let table = Table::new(&[
+        ("n", 9),
+        ("mode", 12),
+        ("wall s", 9),
+        ("reports", 10),
+        ("Mrep/s", 9),
+        ("speedup", 8),
+    ]);
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let params = ProtocolParams::new(n, d, k, 1.0, 0.05).expect("valid parameters");
+        let mut rng = SeedSequence::new(7_000 + n as u64).rng();
+        let population = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
+
+        let (seq, baseline) = measure(&params, &population, 42, ExecMode::Sequential);
+        let seq_rate = seq.reports_per_s;
+        table.row(&[
+            format!("{n}"),
+            "sequential".into(),
+            format!("{:.2}", seq.elapsed_s),
+            format!("{}", seq.reports),
+            format!("{:.2}", seq.reports_per_s / 1e6),
+            "1.00x".into(),
+        ]);
+        rows.push((seq, 1.0));
+
+        for w in WORKER_COUNTS {
+            let (m, outcome) = measure(&params, &population, 42, ExecMode::Parallel(w));
+            assert_eq!(
+                outcome.estimates, baseline.estimates,
+                "parallel({w}) must match sequential before its timing counts"
+            );
+            assert_eq!(outcome.wire, baseline.wire);
+            let speedup = m.reports_per_s / seq_rate;
+            table.row(&[
+                format!("{n}"),
+                format!("parallel({w})"),
+                format!("{:.2}", m.elapsed_s),
+                format!("{}", m.reports),
+                format!("{:.2}", m.reports_per_s / 1e6),
+                format!("{speedup:.2}x"),
+            ]);
+            rows.push((m, speedup));
+        }
+    }
+
+    // Machine-readable perf trajectory at the repository root.
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"exp_throughput\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, (m, speedup)) in rows.iter().enumerate() {
+        let (mode, workers) = mode_json(m.mode);
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"d\": {}, \"mode\": \"{}\", \"workers\": {}, \
+             \"elapsed_s\": {:.6}, \"reports\": {}, \"reports_per_s\": {:.1}, \
+             \"speedup_vs_sequential\": {:.4}}}{}\n",
+            m.n,
+            m.d,
+            mode,
+            workers,
+            m.elapsed_s,
+            m.reports,
+            m.reports_per_s,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, &json).expect("write BENCH_throughput.json");
+
+    let best = rows
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nresult: every parallel run reproduced the sequential estimates exactly; best \
+         throughput {best:.2}x sequential. wrote BENCH_throughput.json. PASS"
+    );
+}

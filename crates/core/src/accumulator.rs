@@ -1,0 +1,271 @@
+//! Mergeable accumulation state — the parallelism seam of Algorithm 2.
+//!
+//! The server's only per-report state is, per order `h`, the running sum
+//! of ±1 report bits of the currently open order-`h` dyadic interval.
+//! That is a commutative monoid: accumulating a shard of users on its own
+//! [`Accumulator`] and [`merge`](Accumulator::merge)-ing the shards gives
+//! exactly the sum the sequential server would have built — report bits
+//! are ±1 and batch totals are integer-valued, so every intermediate sum
+//! is an integer far below 2⁵³ and `f64` addition over them is exact,
+//! associative, and commutative. This is what makes user-partitioned
+//! parallel execution value-for-value identical to sequential execution
+//! for any worker count.
+//!
+//! [`Server`](crate::server::Server) owns one [`DenseAccumulator`] and is
+//! a thin checked-ingestion/finalisation facade over it; the parallel
+//! runtime builds one shard accumulator per worker and merges them in
+//! shard-index order.
+
+use rtf_primitives::sign::Sign;
+
+/// Mergeable per-order report accumulation.
+///
+/// Implementations must form a commutative monoid under
+/// [`merge`](Self::merge) for integer-valued contents: `merge` is how
+/// worker shards combine, and the runtime relies on
+/// `a ⊕ (b ⊕ c) = (a ⊕ b) ⊕ c` and `a ⊕ b = b ⊕ a` to make results
+/// independent of the worker count and partition.
+pub trait Accumulator: Send {
+    /// Number of orders (`1 + log d`) this accumulator tracks.
+    fn orders(&self) -> usize;
+
+    /// Records one ±1 report bit for the currently open order-`h`
+    /// interval.
+    fn record(&mut self, h: u32, bit: Sign);
+
+    /// Records a pre-summed batch of `count` report bits totalling `sum`
+    /// (integer-valued for ±1 bits).
+    fn record_batch(&mut self, h: u32, sum: f64, count: u64);
+
+    /// Adds another shard of the same shape into `self`.
+    ///
+    /// # Panics
+    /// Panics if the shapes (order counts) differ.
+    fn merge(&mut self, other: &Self);
+
+    /// The running sum of the currently open order-`h` interval.
+    fn order_sum(&self, h: u32) -> f64;
+
+    /// Returns the order-`h` sum and resets it to zero — called by the
+    /// server when the order-`h` interval completes.
+    fn take_order(&mut self, h: u32) -> f64;
+
+    /// Total number of report bits recorded (including merged shards).
+    fn reports(&self) -> u64;
+}
+
+/// The dense per-order shard implementation: one running `f64` sum per
+/// order plus a report counter. This is the accumulation state formerly
+/// embedded in `Server` (`open_sums` + `reports_ingested`), extracted so
+/// shards of users can accumulate independently and merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseAccumulator {
+    sums: Vec<f64>,
+    reports: u64,
+}
+
+impl DenseAccumulator {
+    /// An empty accumulator for `orders` orders (`1 + log d`).
+    pub fn new(orders: usize) -> Self {
+        DenseAccumulator {
+            sums: vec![0.0; orders],
+            reports: 0,
+        }
+    }
+
+    /// The per-order running sums.
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Whether nothing has been recorded (all sums zero, zero reports).
+    pub fn is_empty(&self) -> bool {
+        self.reports == 0 && self.sums.iter().all(|&s| s == 0.0)
+    }
+}
+
+impl Accumulator for DenseAccumulator {
+    fn orders(&self) -> usize {
+        self.sums.len()
+    }
+
+    #[inline]
+    fn record(&mut self, h: u32, bit: Sign) {
+        self.sums[h as usize] += bit.as_f64();
+        self.reports += 1;
+    }
+
+    #[inline]
+    fn record_batch(&mut self, h: u32, sum: f64, count: u64) {
+        self.sums[h as usize] += sum;
+        self.reports += count;
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.sums.len(),
+            other.sums.len(),
+            "cannot merge accumulators of different shapes: {} vs {} orders",
+            self.sums.len(),
+            other.sums.len()
+        );
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        self.reports += other.reports;
+    }
+
+    #[inline]
+    fn order_sum(&self, h: u32) -> f64 {
+        self.sums[h as usize]
+    }
+
+    #[inline]
+    fn take_order(&mut self, h: u32) -> f64 {
+        std::mem::take(&mut self.sums[h as usize])
+    }
+
+    fn reports(&self) -> u64 {
+        self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rtf_primitives::seeding::SeedSequence;
+
+    fn random_acc(rng: &mut impl Rng, orders: usize, events: usize) -> DenseAccumulator {
+        let mut acc = DenseAccumulator::new(orders);
+        for _ in 0..events {
+            let h = rng.random_range(0..orders) as u32;
+            if rng.random_bool(0.5) {
+                let bit = if rng.random_bool(0.5) {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                };
+                acc.record(h, bit);
+            } else {
+                // Integer-valued batch totals, like ingest_aggregate sees.
+                let count = rng.random_range(0..50u64);
+                let sum = if count == 0 {
+                    0.0
+                } else {
+                    rng.random_range(-(count as i64)..=count as i64) as f64
+                };
+                acc.record_batch(h, sum, count);
+            }
+        }
+        acc
+    }
+
+    fn merged(parts: &[&DenseAccumulator]) -> DenseAccumulator {
+        let mut out = DenseAccumulator::new(parts[0].orders());
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        // The monoid laws the parallel runtime depends on, over randomly
+        // built integer-valued accumulators: every grouping and every
+        // ordering of shard merges produces the identical accumulator.
+        let mut rng = SeedSequence::new(4242).rng();
+        for _ in 0..50 {
+            let orders = rng.random_range(1..8usize);
+            let a = random_acc(&mut rng, orders, 40);
+            let b = random_acc(&mut rng, orders, 40);
+            let c = random_acc(&mut rng, orders, 40);
+
+            // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc);
+
+            // Commutativity: every permutation of {a, b, c} agrees.
+            let abc = merged(&[&a, &b, &c]);
+            for perm in [
+                [&a, &c, &b],
+                [&b, &a, &c],
+                [&b, &c, &a],
+                [&c, &a, &b],
+                [&c, &b, &a],
+            ] {
+                assert_eq!(merged(&perm), abc);
+            }
+
+            // Identity: merging an empty accumulator changes nothing.
+            let mut with_unit = abc.clone();
+            with_unit.merge(&DenseAccumulator::new(orders));
+            assert_eq!(with_unit, abc);
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        // Splitting one event stream across shards and merging gives the
+        // same state as recording everything on one accumulator.
+        let mut rng = SeedSequence::new(77).rng();
+        let orders = 5usize;
+        let events: Vec<(u32, Sign)> = (0..500)
+            .map(|_| {
+                let h = rng.random_range(0..orders) as u32;
+                let bit = if rng.random_bool(0.5) {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                };
+                (h, bit)
+            })
+            .collect();
+        let mut whole = DenseAccumulator::new(orders);
+        for &(h, bit) in &events {
+            whole.record(h, bit);
+        }
+        for shards in [1usize, 2, 3, 8] {
+            let chunk = events.len().div_ceil(shards);
+            let mut out = DenseAccumulator::new(orders);
+            for part in events.chunks(chunk) {
+                let mut acc = DenseAccumulator::new(orders);
+                for &(h, bit) in part {
+                    acc.record(h, bit);
+                }
+                out.merge(&acc);
+            }
+            assert_eq!(out, whole, "{shards} shards");
+        }
+        assert_eq!(whole.reports(), 500);
+    }
+
+    #[test]
+    fn take_order_drains_one_slot() {
+        let mut acc = DenseAccumulator::new(3);
+        acc.record(1, Sign::Plus);
+        acc.record(1, Sign::Plus);
+        acc.record(2, Sign::Minus);
+        assert_eq!(acc.order_sum(1), 2.0);
+        assert_eq!(acc.take_order(1), 2.0);
+        assert_eq!(acc.order_sum(1), 0.0);
+        assert_eq!(acc.order_sum(2), -1.0);
+        assert_eq!(acc.reports(), 3);
+        assert!(!acc.is_empty());
+        assert!(DenseAccumulator::new(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn shape_mismatch_rejected() {
+        let mut a = DenseAccumulator::new(3);
+        a.merge(&DenseAccumulator::new(4));
+    }
+}

@@ -126,6 +126,35 @@ impl<M: LocalRandomizer> Client<M> {
     pub fn total_reports(&self) -> u64 {
         self.d / self.stride
     }
+
+    /// Advances the state machine over one whole order-`h_u` interval in
+    /// a single step: `s` must be the interval's partial sum
+    /// `S_u(I_{h,j})` (always in `{−1, 0, 1}` by Observation 3.7; the
+    /// `Ternary` type enforces it) and `t` the interval's ending
+    /// boundary. Equivalent to calling [`observe`](Self::observe) for
+    /// every period of the interval with the matching derivative values —
+    /// the randomizer is consulted exactly once, at the boundary, so RNG
+    /// consumption is identical. This is the batched pipeline's stepping
+    /// mode: `O(1)` per *report* instead of `O(1)` per *period*.
+    ///
+    /// # Panics
+    /// Panics if `t` is not the next boundary of this client's order or
+    /// is off-horizon.
+    pub fn observe_span<R: RngCore>(&mut self, t: u64, s: Ternary, rng: &mut R) -> ClientReport {
+        assert_eq!(
+            t,
+            self.last_t + self.stride,
+            "boundaries must arrive in order: expected {}, got {t}",
+            self.last_t + self.stride
+        );
+        assert!(t <= self.d, "period {t} beyond horizon d = {}", self.d);
+        debug_assert_eq!(t % self.stride, 0, "not a boundary of order {}", self.h);
+        self.last_t = t;
+        self.running = 0;
+        let j = t / self.stride;
+        let bit = self.randomizer.next(s, rng);
+        ClientReport { t, j, bit }
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +222,36 @@ mod tests {
             }
         }
         assert!(nnz > 0, "test stream must produce non-zero partial sums");
+    }
+
+    #[test]
+    fn span_stepping_matches_per_period_stepping_exactly() {
+        // Same stream, same seed: observe_span at every boundary must
+        // yield the identical report sequence as observe at every period
+        // — including identical RNG consumption (the randomizer is the
+        // only consumer, once per boundary).
+        let p = params();
+        let stream = BoolStream::from_change_times(16, vec![2, 9, 14]);
+        let x = stream.derivative();
+        for h in 0..=p.log_d() {
+            let (mut per_period, mut rng_a) = make_client(&p, h, 900 + u64::from(h));
+            let (mut per_span, mut rng_b) = make_client(&p, h, 900 + u64::from(h));
+            let stride = 1u64 << h;
+            let mut cursor = x.cursor();
+            for t in 1..=p.d() {
+                let report = per_period.observe(t, x.at(t), &mut rng_a);
+                if t % stride == 0 {
+                    let s = cursor.sum_to(t);
+                    let span_report = per_span.observe_span(t, s, &mut rng_b);
+                    assert_eq!(report, Some(span_report), "h={h}, t={t}");
+                } else {
+                    assert_eq!(report, None);
+                }
+            }
+            // Both RNGs consumed the same number of draws.
+            use rand::Rng;
+            assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>(), "h={h}");
+        }
     }
 
     #[test]

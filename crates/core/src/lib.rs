@@ -20,7 +20,10 @@
 //!   (Algorithm 3, `M.init` / `M^{(j)}`) and the naive independent
 //!   randomizer of Example 4.2, both behind one trait;
 //! * [`client`] — Algorithm 1, the client `Aclt`;
-//! * [`server`] — Algorithm 2, the streaming server `Asvr`;
+//! * [`accumulator`] — the mergeable per-order accumulation monoid, the
+//!   seam along which `rtf-runtime` shards the server across workers;
+//! * [`server`] — Algorithm 2, the streaming server `Asvr`, a thin
+//!   checked-ingestion/finalisation facade over one accumulator;
 //! * [`protocol`] — an in-memory end-to-end driver (the message-level
 //!   simulation lives in `rtf-sim`);
 //! * [`bounds`] — the closed-form error bounds the benches print next to
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod accumulator;
 pub mod annulus;
 pub mod bounds;
 pub mod calibrate;
@@ -57,6 +61,7 @@ pub mod queries;
 pub mod randomizer;
 pub mod server;
 
+pub use accumulator::{Accumulator, DenseAccumulator};
 pub use annulus::Annulus;
 pub use calibrate::{calibrate, Calibration};
 pub use client::Client;

@@ -12,7 +12,15 @@
 //! `â[t] = Σ_{I ∈ C(t)} Ŝ(I)` (line 6) from the `O(log d)` streaming
 //! frontier — the order-`h` member of `C(t)` is always the most recently
 //! completed order-`h` interval.
+//!
+//! The per-report accumulation state lives in a mergeable
+//! [`DenseAccumulator`] (see [`crate::accumulator`]); the server itself
+//! is a thin checked-ingestion/finalisation facade over it. Worker shards
+//! built by the parallel runtime accumulate independently and are folded
+//! in via [`Server::absorb_shard`] — value-for-value identical to
+//! sequential ingestion because report sums are integer-valued.
 
+use crate::accumulator::{Accumulator, DenseAccumulator};
 use crate::params::ProtocolParams;
 use crate::queries::EstimateStore;
 use rtf_dyadic::frontier::Frontier;
@@ -54,8 +62,14 @@ pub struct PeriodDelivery {
     pub duplicate: u64,
     /// Reports for already-closed intervals.
     pub late: u64,
-    /// Unknown senders, invalid periods, premature boundaries.
-    pub rejected: u64,
+    /// Reports from senders that never announced an order.
+    pub unknown_user: u64,
+    /// Reports for periods that are not reporting boundaries of the
+    /// sender's order (zero, off-horizon, or not a multiple of `2^h`).
+    pub invalid_period: u64,
+    /// Reports for boundaries beyond the period being drained — forged
+    /// traffic that honest clients cannot produce.
+    pub premature: u64,
 }
 
 impl PeriodDelivery {
@@ -63,6 +77,13 @@ impl PeriodDelivery {
     /// that drives estimator bias under dropout and churn.
     pub fn missing(&self) -> u64 {
         self.due.saturating_sub(self.accepted)
+    }
+
+    /// All hard rejections: unknown senders, invalid periods, premature
+    /// boundaries. (Duplicates and stragglers are tracked separately —
+    /// they are expected client behaviour, not protocol violations.)
+    pub fn rejected(&self) -> u64 {
+        self.unknown_user + self.invalid_period + self.premature
     }
 }
 
@@ -82,12 +103,11 @@ pub struct Server {
     scale: Vec<f64>,
     /// Per-order count of registered users (`|U_h|`, diagnostic only).
     group_sizes: Vec<usize>,
-    /// Per-order running sum of report bits for the currently open
-    /// interval.
-    open_sums: Vec<f64>,
+    /// Mergeable accumulation state: per-order running sums of report
+    /// bits for the currently open intervals, plus the report counter.
+    acc: DenseAccumulator,
     frontier: Frontier<f64>,
     estimates: Vec<f64>,
-    reports_ingested: u64,
     current_t: u64,
     /// Optional full-tree retention of every `Ŝ(I)` for window queries.
     store: Option<EstimateStore>,
@@ -128,10 +148,9 @@ impl Server {
             params,
             scale,
             group_sizes: vec![0; orders],
-            open_sums: vec![0.0; orders],
+            acc: DenseAccumulator::new(orders),
             frontier: Frontier::new(params.horizon()),
             estimates: Vec::with_capacity(params.d() as usize),
-            reports_ingested: 0,
             current_t: 0,
             store: None,
             roster: HashMap::new(),
@@ -200,8 +219,26 @@ impl Server {
             "order {h} exceeds log d = {}",
             self.params.log_d()
         );
-        self.open_sums[h as usize] += bit.as_f64();
-        self.reports_ingested += 1;
+        self.acc.record(h, bit);
+    }
+
+    /// An empty accumulator of this server's shape, for a worker shard to
+    /// fill independently and hand back via
+    /// [`absorb_shard`](Self::absorb_shard).
+    pub fn new_shard(&self) -> DenseAccumulator {
+        DenseAccumulator::new(self.params.num_orders() as usize)
+    }
+
+    /// Merges a worker shard's accumulated reports into the live
+    /// accumulation state — equivalent, report for report, to having
+    /// called [`ingest`](Self::ingest) for each of the shard's bits
+    /// (exactly: the sums are integer-valued, so `f64` addition order
+    /// cannot matter).
+    ///
+    /// # Panics
+    /// Panics if the shard's shape does not match this server's.
+    pub fn absorb_shard(&mut self, shard: &DenseAccumulator) {
+        self.acc.merge(shard);
     }
 
     /// Ingests a pre-summed batch of `count` report bits whose ±1 values
@@ -222,8 +259,7 @@ impl Server {
             sum.abs() <= count as f64 + 1e-9,
             "batch sum {sum} inconsistent with {count} ±1 reports"
         );
-        self.open_sums[h as usize] += sum;
-        self.reports_ingested += count;
+        self.acc.record_batch(h, sum, count);
     }
 
     /// Registers a user *by wire id* for the checked ingestion path.
@@ -259,13 +295,13 @@ impl Server {
     /// [`delivery_log`](Self::delivery_log).
     pub fn ingest_checked(&mut self, user: u32, t: u64, bit: Sign) -> Delivery {
         let Some(entry) = self.roster.get_mut(&user) else {
-            self.current_delivery.rejected += 1;
+            self.current_delivery.unknown_user += 1;
             return Delivery::UnknownUser;
         };
         let h = entry.order;
         let stride = 1u64 << h;
         if t == 0 || t > self.params.d() || t % stride != 0 {
-            self.current_delivery.rejected += 1;
+            self.current_delivery.invalid_period += 1;
             return Delivery::InvalidPeriod;
         }
         if t == entry.last_accepted {
@@ -283,12 +319,11 @@ impl Server {
         // accepting it would also mis-attribute it to a delivery row
         // whose `due` excludes its order.
         if t != self.current_t + 1 {
-            self.current_delivery.rejected += 1;
+            self.current_delivery.premature += 1;
             return Delivery::Premature;
         }
         entry.last_accepted = t;
-        self.open_sums[h as usize] += bit.as_f64();
-        self.reports_ingested += 1;
+        self.acc.record(h, bit);
         self.current_delivery.accepted += 1;
         Delivery::Accepted
     }
@@ -337,13 +372,12 @@ impl Server {
         // Orders whose interval completes at t: all h with 2^h | t.
         for h in 0..=t.trailing_zeros().min(self.params.log_d()) {
             let j = t >> h;
-            let s_hat = self.scale[h as usize] * self.open_sums[h as usize];
+            let s_hat = self.scale[h as usize] * self.acc.take_order(h);
             let interval = DyadicInterval::new(h, j);
             self.frontier.record(interval, s_hat);
             if let Some(store) = &mut self.store {
                 store.record(interval, s_hat);
             }
-            self.open_sums[h as usize] = 0.0;
         }
         let estimate = self.frontier.prefix_sum(t, |&v| v);
         self.estimates.push(estimate);
@@ -358,7 +392,12 @@ impl Server {
     /// Total number of report bits ingested — the server-side view of the
     /// communication cost.
     pub fn reports_ingested(&self) -> u64 {
-        self.reports_ingested
+        self.acc.reports()
+    }
+
+    /// The live accumulation state (diagnostic).
+    pub fn accumulator(&self) -> &DenseAccumulator {
+        &self.acc
     }
 
     /// The protocol parameters.
@@ -558,7 +597,13 @@ mod tests {
         assert_eq!(log[0].due, 1);
         assert_eq!(log[0].accepted, 1);
         assert_eq!(log[0].duplicate, 1);
-        assert_eq!(log[0].rejected, 6);
+        // The six rejections split by class: one unknown sender, three
+        // invalid periods (wrong stride, zero, off-horizon), two
+        // premature boundaries.
+        assert_eq!(log[0].unknown_user, 1);
+        assert_eq!(log[0].invalid_period, 3);
+        assert_eq!(log[0].premature, 2);
+        assert_eq!(log[0].rejected(), 6);
         assert_eq!(log[1].duplicate, 1);
         assert_eq!(log[1].missing(), 1); // the order-0 user skipped t=2
         assert_eq!(log[2].late, 1);
@@ -595,6 +640,47 @@ mod tests {
         assert_eq!(server.due_at(1), 3);
         assert_eq!(server.due_at(2), 5);
         assert_eq!(server.due_at(8), 6);
+    }
+
+    #[test]
+    fn absorbed_shards_match_direct_ingestion() {
+        // Two servers over the same report stream: one ingests directly,
+        // one through worker-shard accumulators merged in shard order.
+        // Estimates must agree exactly at every period.
+        use crate::accumulator::Accumulator;
+        let p = params();
+        let mut direct = Server::new(p, &[1.0; 4]);
+        let mut sharded = Server::new(p, &[1.0; 4]);
+        for _ in 0..6 {
+            direct.register_user(0);
+            sharded.register_user(0);
+        }
+        let bits = [
+            Sign::Plus,
+            Sign::Plus,
+            Sign::Minus,
+            Sign::Plus,
+            Sign::Minus,
+            Sign::Minus,
+        ];
+        for t in 1..=8u64 {
+            for &bit in &bits {
+                direct.ingest(0, bit);
+            }
+            // Shard split 6 users as 4 + 2.
+            let mut s1 = sharded.new_shard();
+            let mut s2 = sharded.new_shard();
+            for &bit in &bits[..4] {
+                s1.record(0, bit);
+            }
+            for &bit in &bits[4..] {
+                s2.record(0, bit);
+            }
+            sharded.absorb_shard(&s1);
+            sharded.absorb_shard(&s2);
+            assert_eq!(direct.end_of_period(t), sharded.end_of_period(t));
+        }
+        assert_eq!(direct.reports_ingested(), sharded.reports_ingested());
     }
 
     #[test]

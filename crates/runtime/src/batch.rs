@@ -1,0 +1,271 @@
+//! Columnar (struct-of-arrays) report batches — the hot-path wire
+//! representation of the batched pipeline.
+//!
+//! The sequential engines frame every report into a heap-allocated
+//! `Bytes` message and decode it on the server side; at millions of
+//! users that allocation/decode pair dominates the run. Workers in the
+//! batched pipeline append to reusable columnar buffers instead — one
+//! `Vec` per field, no per-report allocation — and fold them straight
+//! into a shard [`DenseAccumulator`].
+//!
+//! Two batch shapes exist:
+//!
+//! * [`ReportBatch`] — the honest schedule: `{user, order, sign}` rows
+//!   for one period, folded into the accumulator by the worker itself;
+//! * [`FrameBatch`] — the fault-injected schedule: delivered frames with
+//!   their *emission* provenance `(emitted period, emitting user)`, so
+//!   shard batches can be merged into exactly the sequential engine's
+//!   mailbox order before checked ingestion (acceptance under
+//!   impersonation depends on frame order, so the merge must reproduce
+//!   it bit-for-bit).
+
+use rtf_core::accumulator::{Accumulator, DenseAccumulator};
+use rtf_primitives::sign::Sign;
+
+/// One period's reports for one shard of users, struct-of-arrays.
+#[derive(Debug, Clone, Default)]
+pub struct ReportBatch {
+    users: Vec<u32>,
+    orders: Vec<u8>,
+    signs: Vec<i8>,
+}
+
+impl ReportBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        ReportBatch::default()
+    }
+
+    /// An empty batch with row capacity reserved.
+    pub fn with_capacity(rows: usize) -> Self {
+        ReportBatch {
+            users: Vec::with_capacity(rows),
+            orders: Vec::with_capacity(rows),
+            signs: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Appends one report row.
+    #[inline]
+    pub fn push(&mut self, user: u32, order: u8, sign: Sign) {
+        self.users.push(user);
+        self.orders.push(order);
+        self.signs.push(sign.value());
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Clears all rows, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.users.clear();
+        self.orders.clear();
+        self.signs.clear();
+    }
+
+    /// Iterates `(user, order, sign)` rows in append order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u8, Sign)> + '_ {
+        self.users
+            .iter()
+            .zip(&self.orders)
+            .zip(&self.signs)
+            .map(|((&u, &h), &s)| (u, h, Sign::from_i8(s)))
+    }
+
+    /// Folds every row into a shard accumulator — the batched
+    /// replacement for per-report `Server::ingest`.
+    pub fn fold_into(&self, acc: &mut DenseAccumulator) {
+        for (&h, &s) in self.orders.iter().zip(&self.signs) {
+            acc.record(u32::from(h), Sign::from_i8(s));
+        }
+    }
+}
+
+/// Delivered frames for one period, struct-of-arrays, with emission
+/// provenance for deterministic cross-shard ordering.
+#[derive(Debug, Clone, Default)]
+pub struct FrameBatch {
+    /// Emission period of each frame (the mailbox's primary sort key).
+    emitted: Vec<u32>,
+    /// The client that put the frame on the wire (secondary sort key —
+    /// *not* necessarily the user id inside the frame: Byzantine clients
+    /// impersonate).
+    emitter: Vec<u32>,
+    /// The frame's claimed sender.
+    users: Vec<u32>,
+    /// The frame's claimed reporting period.
+    periods: Vec<u32>,
+    /// The frame's report bit (`true` = +1).
+    bits: Vec<bool>,
+    /// Whether the emitting client is Byzantine (accounting only).
+    byzantine: Vec<bool>,
+}
+
+/// One delivered frame, as yielded by [`FrameBatch::iter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Emission period.
+    pub emitted: u32,
+    /// Emitting client.
+    pub emitter: u32,
+    /// Claimed sender id in the frame payload.
+    pub user: u32,
+    /// Claimed reporting period in the frame payload.
+    pub t: u32,
+    /// Report bit (`true` = +1).
+    pub bit: bool,
+    /// Whether the emitter is Byzantine.
+    pub byzantine: bool,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        FrameBatch::default()
+    }
+
+    /// Appends one frame row.
+    #[inline]
+    pub fn push(&mut self, frame: Frame) {
+        self.emitted.push(frame.emitted);
+        self.emitter.push(frame.emitter);
+        self.users.push(frame.user);
+        self.periods.push(frame.t);
+        self.bits.push(frame.bit);
+        self.byzantine.push(frame.byzantine);
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the batch holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Iterates frames in row order.
+    pub fn iter(&self) -> impl Iterator<Item = Frame> + '_ {
+        (0..self.len()).map(move |i| Frame {
+            emitted: self.emitted[i],
+            emitter: self.emitter[i],
+            user: self.users[i],
+            t: self.periods[i],
+            bit: self.bits[i],
+            byzantine: self.byzantine[i],
+        })
+    }
+
+    /// Merges per-shard batches for one delivery period into the exact
+    /// frame order the sequential engine's mailbox would hold: ascending
+    /// `(emission period, emitting user)`. The key is unique per frame —
+    /// a client dispatches at most once per period and a retransmitted
+    /// copy always lands in a different delivery period — so the order is
+    /// total and independent of the shard partition.
+    pub fn merge_ordered<'a, I>(shards: I) -> FrameBatch
+    where
+        I: IntoIterator<Item = &'a FrameBatch>,
+    {
+        let mut all: Vec<Frame> = Vec::new();
+        for shard in shards {
+            all.reserve(shard.len());
+            all.extend(shard.iter());
+        }
+        let rows = all.len();
+        all.sort_unstable_by_key(|f| (f.emitted, f.emitter));
+        let mut out = FrameBatch::default();
+        out.reserve(rows);
+        for f in all {
+            out.push(f);
+        }
+        out
+    }
+
+    fn reserve(&mut self, rows: usize) {
+        self.emitted.reserve(rows);
+        self.emitter.reserve(rows);
+        self.users.reserve(rows);
+        self.periods.reserve(rows);
+        self.bits.reserve(rows);
+        self.byzantine.reserve(rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_batch_folds_like_direct_ingestion() {
+        let mut batch = ReportBatch::with_capacity(4);
+        batch.push(0, 0, Sign::Plus);
+        batch.push(1, 2, Sign::Minus);
+        batch.push(2, 2, Sign::Minus);
+        batch.push(3, 1, Sign::Plus);
+        assert_eq!(batch.len(), 4);
+
+        let mut from_batch = DenseAccumulator::new(3);
+        batch.fold_into(&mut from_batch);
+
+        let mut direct = DenseAccumulator::new(3);
+        for (_, h, s) in batch.iter() {
+            direct.record(u32::from(h), s);
+        }
+        assert_eq!(from_batch, direct);
+        assert_eq!(from_batch.reports(), 4);
+        assert_eq!(from_batch.sums(), &[1.0, 1.0, -2.0]);
+
+        batch.clear();
+        assert!(batch.is_empty());
+    }
+
+    fn frame(emitted: u32, emitter: u32) -> Frame {
+        Frame {
+            emitted,
+            emitter,
+            user: emitter,
+            t: emitted,
+            bit: emitter % 2 == 0,
+            byzantine: false,
+        }
+    }
+
+    #[test]
+    fn merge_ordered_reconstructs_mailbox_order() {
+        // Shard 0 owns users 0..3, shard 1 owns users 3..6; frames from
+        // two emission periods interleave. The merged order must be
+        // (emitted, emitter) ascending — exactly the sequential mailbox.
+        let mut s0 = FrameBatch::new();
+        let mut s1 = FrameBatch::new();
+        for e in [1u32, 2] {
+            for u in 0..3u32 {
+                s0.push(frame(e, u));
+            }
+            for u in 3..6u32 {
+                s1.push(frame(e, u));
+            }
+        }
+        let merged = FrameBatch::merge_ordered(&[s0.clone(), s1.clone()]);
+        let keys: Vec<(u32, u32)> = merged.iter().map(|f| (f.emitted, f.emitter)).collect();
+        let expect: Vec<(u32, u32)> = [1u32, 2]
+            .iter()
+            .flat_map(|&e| (0..6u32).map(move |u| (e, u)))
+            .collect();
+        assert_eq!(keys, expect);
+
+        // Partition-invariance: merging in the other shard order, or as
+        // one concatenated shard, gives the identical row sequence.
+        let swapped = FrameBatch::merge_ordered(&[s1, s0]);
+        let swapped_keys: Vec<(u32, u32)> =
+            swapped.iter().map(|f| (f.emitted, f.emitter)).collect();
+        assert_eq!(swapped_keys, expect);
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic parallel runtime for the longitudinal LDP pipelines.
+//!
+//! The paper's server (Algorithm 2) is a sum of ±1 report bits per open
+//! dyadic interval — an embarrassingly shardable reduction — and every
+//! per-user randomness stream already derives from
+//! `SeedSequence(seed).child(user)`, independent of scheduling. This
+//! crate supplies the three pieces that turn those facts into
+//! bit-reproducible parallel execution:
+//!
+//! * [`mode`] — [`ExecMode`]: `Sequential` (the legacy single-threaded
+//!   reference schedule) vs `Parallel(workers)` (the batched pipeline);
+//!   `RTF_WORKERS` selects the default at runtime;
+//! * [`pool`] — [`WorkerPool`]: a fixed-size pool (vendored crossbeam
+//!   channels + parking_lot) whose sharded maps return results in
+//!   shard-index order, making every downstream reduction
+//!   schedule-independent;
+//! * [`batch`] — columnar `{user, order, sign}` report batches that
+//!   replace per-report `Bytes` frames on the hot path, folding straight
+//!   into mergeable [`rtf_core::accumulator::DenseAccumulator`] shards.
+//!
+//! The execution engines themselves live with their protocols —
+//! `rtf_sim::engine` (honest schedule) and `rtf_scenarios::engine`
+//! (fault-injected schedule) — and are proven equivalent across modes by
+//! the differential oracle (`rtf_scenarios::oracle`): `sequential ≡
+//! parallel(w)` value-for-value for every worker count `w`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batch;
+pub mod mode;
+pub mod pool;
+
+pub use batch::{Frame, FrameBatch, ReportBatch};
+pub use mode::ExecMode;
+pub use pool::{partition, Shard, WorkerPool};

@@ -1,0 +1,230 @@
+//! The fixed-size worker pool and deterministic sharded map.
+//!
+//! Determinism contract: results are always returned **in job/shard
+//! index order**, never in completion order, and shard boundaries depend
+//! only on `(items, workers)` — so any reduction the caller performs over
+//! the returned `Vec` is independent of scheduling. Combined with
+//! per-user seeding (`SeedSequence(seed).child(user)`) and the exact
+//! mergeability of [`rtf_core::accumulator::DenseAccumulator`], this
+//! makes every pipeline built on the pool value-for-value reproducible
+//! for any worker count.
+//!
+//! Mechanics: one shared crossbeam channel acts as the job injector
+//! (workers pull indices until it drains — dynamic load balancing for
+//! free), and a `parking_lot::Mutex<Vec<Option<T>>>` collects results by
+//! index. Workers are scoped threads, so jobs may borrow the caller's
+//! data without `Arc`.
+
+use crate::mode::ExecMode;
+use parking_lot::Mutex;
+
+/// One contiguous slice of the item space, assigned to one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard index (reduction order).
+    pub index: usize,
+    /// First item (inclusive).
+    pub start: usize,
+    /// One past the last item.
+    pub end: usize,
+}
+
+impl Shard {
+    /// Number of items in the shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the shard holds no items (more workers than items).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The item range, for iteration.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// Splits `0..items` into exactly `shards` contiguous, near-equal shards
+/// (the first `items % shards` shards hold one extra item). Depends only
+/// on the two arguments — the partition is part of the determinism
+/// contract.
+pub fn partition(items: usize, shards: usize) -> Vec<Shard> {
+    assert!(shards >= 1, "need at least one shard");
+    let base = items / shards;
+    let extra = items % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for index in 0..shards {
+        let len = base + usize::from(index < extra);
+        out.push(Shard {
+            index,
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    debug_assert_eq!(start, items);
+    out
+}
+
+/// A fixed-size worker pool.
+///
+/// The pool is a lightweight handle; threads live only for the duration
+/// of each `map_*` call (scoped), so borrowed data flows into jobs
+/// without reference counting and a panicking job fails the caller.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` threads (≥ 1; 0 clamps to 1).
+    pub fn new(workers: usize) -> Self {
+        WorkerPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The pool matching an [`ExecMode`]'s worker count.
+    pub fn for_mode(mode: ExecMode) -> Self {
+        WorkerPool::new(mode.workers())
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps every index in `0..jobs` through `map`, fanning out over the
+    /// pool, and returns the results **in index order**. Jobs are pulled
+    /// from a shared injector channel, so long and short jobs balance
+    /// across workers without affecting the result order.
+    pub fn map_indexed<T, F>(&self, jobs: usize, map: F) -> Vec<T>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        if self.workers == 1 || jobs <= 1 {
+            return (0..jobs).map(map).collect();
+        }
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        let results = Mutex::new(slots);
+        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+        for i in 0..jobs {
+            tx.send(i).expect("receiver alive");
+        }
+        drop(tx);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.workers.min(jobs) {
+                let rx = rx.clone();
+                let results = &results;
+                let map = &map;
+                scope.spawn(move |_| {
+                    while let Ok(i) = rx.recv() {
+                        let value = map(i);
+                        results.lock()[i] = Some(value);
+                    }
+                });
+            }
+        })
+        .expect("pool worker panicked");
+
+        results
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every job completed"))
+            .collect()
+    }
+
+    /// Partitions `0..items` into one contiguous shard per worker, maps
+    /// each shard on its own worker, and returns the results **in shard
+    /// index order** — the caller's fold over the returned `Vec` is the
+    /// deterministic shard-merge order.
+    pub fn map_shards<T, F>(&self, items: usize, map: F) -> Vec<T>
+    where
+        F: Fn(Shard) -> T + Sync,
+        T: Send,
+    {
+        let shards = partition(items, self.workers);
+        if self.workers == 1 {
+            return shards.into_iter().map(map).collect();
+        }
+        self.map_indexed(shards.len(), |i| map(shards[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn partition_covers_contiguously() {
+        for items in [0usize, 1, 7, 100, 101] {
+            for shards in [1usize, 2, 3, 8, 200] {
+                let parts = partition(items, shards);
+                assert_eq!(parts.len(), shards);
+                assert_eq!(parts[0].start, 0);
+                assert_eq!(parts.last().unwrap().end, items);
+                for w in parts.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                }
+                let (min, max) = parts.iter().fold((usize::MAX, 0), |(lo, hi), s| {
+                    (lo.min(s.len()), hi.max(s.len()))
+                });
+                assert!(max - min <= 1, "near-equal: {items}/{shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_returns_in_index_order() {
+        let pool = WorkerPool::new(4);
+        // Uneven job costs: results must still land by index.
+        let out = pool.map_indexed(50, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_shards_agrees_across_worker_counts() {
+        let reference: Vec<usize> = vec![(0..103).sum()];
+        let total = |counts: Vec<usize>| vec![counts.into_iter().sum::<usize>()];
+        for workers in [1usize, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let partials = pool.map_shards(103, |s| s.range().sum::<usize>());
+            assert_eq!(partials.len(), workers);
+            assert_eq!(total(partials), reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let pool = WorkerPool::new(3);
+        let out = pool.map_indexed(200, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 200);
+        assert_eq!(out.len(), 200);
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_workers_degenerate_gracefully() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert!(pool.map_indexed(0, |i| i).is_empty());
+        let shards = WorkerPool::new(4).map_shards(2, |s| s.len());
+        assert_eq!(shards.iter().sum::<usize>(), 2);
+        assert_eq!(shards.len(), 4, "empty tail shards are preserved");
+    }
+}

@@ -6,7 +6,7 @@
 //! retransmission) before reaching the server, and Byzantine clients
 //! replace their honest traffic with arbitrary well-formed payloads.
 //!
-//! Two determinism invariants hold by construction:
+//! Three determinism invariants hold by construction:
 //!
 //! 1. **Client randomness is untouched.** Clients draw from the same
 //!    `SeedSequence(seed).child(user)` streams as every other execution
@@ -17,6 +17,15 @@
 //!    every message is delivered on time exactly once, and the outcome is
 //!    value-for-value equal to `run_event_driven` (asserted by the
 //!    differential oracle in [`crate::oracle`]).
+//! 3. **Worker count is invisible.** Under [`ExecMode::Parallel`] the
+//!    emission side (client state machines + fault layer) runs on
+//!    contiguous user shards whose delivered frames carry their emission
+//!    provenance; per delivery period, shard batches are merged back into
+//!    exactly the sequential mailbox order — ascending `(emission period,
+//!    emitting user)` — before checked ingestion. Frame order matters
+//!    here (an accepted Byzantine impersonation displaces the honest
+//!    report it races), so the merge reproduces it bit-for-bit and every
+//!    outcome field is identical for any worker count.
 
 use crate::config::Scenario;
 use rand::rngs::StdRng;
@@ -28,6 +37,7 @@ use rtf_core::randomizer::FutureRand;
 use rtf_core::server::{Delivery, PeriodDelivery, Server};
 use rtf_primitives::seeding::SeedSequence;
 use rtf_primitives::sign::Sign;
+use rtf_runtime::{ExecMode, Frame, FrameBatch, WorkerPool};
 use rtf_sim::message::{OrderAnnouncement, ReportMsg, WireStats};
 use rtf_streams::population::Population;
 
@@ -55,6 +65,20 @@ pub struct FaultCounts {
     pub byzantine_accepted: u64,
     /// Messages delayed past the horizon (never delivered).
     pub expired: u64,
+}
+
+impl FaultCounts {
+    /// Adds another shard's tallies into `self` (exact integer merge).
+    pub fn merge(&mut self, other: &FaultCounts) {
+        self.dropped += other.dropped;
+        self.churned_clients += other.churned_clients;
+        self.lost_to_churn += other.lost_to_churn;
+        self.delayed += other.delayed;
+        self.duplicates_injected += other.duplicates_injected;
+        self.byzantine_messages += other.byzantine_messages;
+        self.byzantine_accepted += other.byzantine_accepted;
+        self.expired += other.expired;
+    }
 }
 
 /// Result of one fault-injected execution.
@@ -116,7 +140,9 @@ struct InFlight {
     byzantine: bool,
 }
 
-/// Runs the FutureRand protocol through the fault-injected message engine.
+/// Runs the FutureRand protocol through the fault-injected message
+/// engine, in the mode selected by `RTF_WORKERS`
+/// ([`ExecMode::from_env`]; default sequential).
 ///
 /// Same `(params, population, seed)` contract as the other execution
 /// paths; `scenario` controls the perturbation. The server never panics on
@@ -129,14 +155,42 @@ pub fn run_scenario(
     seed: u64,
     scenario: &Scenario,
 ) -> ScenarioOutcome {
+    run_scenario_with(params, population, seed, scenario, ExecMode::from_env())
+}
+
+/// Runs the fault-injected engine in an explicit [`ExecMode`]. Every
+/// outcome field — estimates, delivery log, wire stats, fault counts —
+/// is value-for-value identical across modes and worker counts.
+pub fn run_scenario_with(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+    mode: ExecMode,
+) -> ScenarioOutcome {
     scenario.validate();
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
+    match mode {
+        ExecMode::Sequential => run_scenario_sequential(params, population, seed, scenario),
+        ExecMode::Parallel(w) => run_scenario_batched(params, population, seed, scenario, w.max(1)),
+    }
+}
 
-    let composed: Vec<ComposedRandomizer> = (0..params.num_orders())
+fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer> {
+    (0..params.num_orders())
         .map(|h| ComposedRandomizer::for_protocol(params.k_for_order(h), params.epsilon()))
-        .collect();
+        .collect()
+}
+
+fn run_scenario_sequential(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+) -> ScenarioOutcome {
+    let composed = composed_tables(params);
 
     let mut server = Server::for_future_rand(*params);
     let mut wire = WireStats::default();
@@ -258,6 +312,163 @@ pub fn run_scenario(
     }
 }
 
+/// One worker's emission-side result for a contiguous user shard.
+struct ShardEmission {
+    /// Announced order per shard user, ascending user id.
+    orders: Vec<u8>,
+    /// `pending[t]` = frames the network delivers during period `t`,
+    /// appended in `(emission period, emitting user)` order.
+    pending: Vec<FrameBatch>,
+    /// Emission-side fault tallies (`byzantine_accepted` stays 0 — that
+    /// is decided at ingestion).
+    faults: FaultCounts,
+}
+
+/// The batched multi-worker pipeline: the emission side (client state
+/// machines + fault layer) fans out over contiguous user shards; the
+/// checked ingestion side replays each period's frames in the exact
+/// sequential mailbox order reconstructed by
+/// [`FrameBatch::merge_ordered`].
+fn run_scenario_batched(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+    workers: usize,
+) -> ScenarioOutcome {
+    let composed = composed_tables(params);
+    let root = SeedSequence::new(seed);
+    let fault_root = root.child(FAULT_STREAM);
+    let d = params.d();
+    let pool = WorkerPool::new(workers);
+
+    let shards: Vec<ShardEmission> = pool.map_shards(params.n(), |shard| {
+        let mut slots: Vec<ClientSlot> = Vec::with_capacity(shard.len());
+        let mut cursors: Vec<rtf_streams::stream::DerivativeCursor<'_>> =
+            Vec::with_capacity(shard.len());
+        let mut orders = Vec::with_capacity(shard.len());
+        let mut faults = FaultCounts::default();
+        for u in shard.range() {
+            let mut rng = root.child(u as u64).rng();
+            let h = Client::<FutureRand>::sample_order(params, &mut rng);
+            orders.push(h as u8);
+            let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+            let mut frng = fault_root.child(u as u64).rng();
+            let byzantine = frng.random_bool(scenario.byzantine_frac);
+            let churn_at = sample_churn_period(&mut frng, scenario.churn_prob);
+            if churn_at <= d {
+                faults.churned_clients += 1;
+            }
+            slots.push(ClientSlot {
+                client: Client::new(params, h, m),
+                rng,
+                frng,
+                byzantine,
+                churn_at,
+            });
+            cursors.push(population.stream(u).derivative().cursor());
+        }
+
+        let mut pending: Vec<FrameBatch> = (0..=d as usize).map(|_| FrameBatch::new()).collect();
+        for t in 1..=d {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let u = shard.start + i;
+                let x = cursors[i].next_at(t);
+                let report = slot.client.observe(t, x, &mut slot.rng);
+                if t >= slot.churn_at {
+                    if !slot.byzantine && report.is_some() {
+                        faults.lost_to_churn += 1;
+                    }
+                    continue;
+                }
+                if slot.byzantine {
+                    faults.byzantine_messages += 1;
+                    let msg = fabricate_report(&mut slot.frng, params, u as u32);
+                    dispatch_frame(
+                        msg,
+                        t,
+                        u as u32,
+                        true,
+                        &mut slot.frng,
+                        scenario,
+                        &mut faults,
+                        &mut pending,
+                        d,
+                    );
+                    continue;
+                }
+                let Some(r) = report else { continue };
+                let msg = ReportMsg {
+                    user: u as u32,
+                    t: t as u32,
+                    bit: r.bit == Sign::Plus,
+                };
+                dispatch_frame(
+                    msg,
+                    t,
+                    u as u32,
+                    false,
+                    &mut slot.frng,
+                    scenario,
+                    &mut faults,
+                    &mut pending,
+                    d,
+                );
+            }
+        }
+
+        ShardEmission {
+            orders,
+            pending,
+            faults,
+        }
+    });
+
+    // Ingestion side: register every user in ascending id order (shards
+    // are contiguous and returned in shard-index order), then replay each
+    // period's merged mailbox through the checked path.
+    let mut server = Server::for_future_rand(*params);
+    let mut wire = WireStats::default();
+    let mut faults = FaultCounts::default();
+    let mut user = 0u32;
+    for shard in &shards {
+        faults.merge(&shard.faults);
+        for &order in &shard.orders {
+            let ann = OrderAnnouncement { user, order };
+            let decoded = OrderAnnouncement::decode(ann.encode());
+            let registered = server.register_client(decoded.user, u32::from(decoded.order));
+            assert!(registered, "simulation user ids are unique");
+            wire.record_announcement();
+            user += 1;
+        }
+    }
+
+    let mut estimates = Vec::with_capacity(d as usize);
+    let mut byz_accepted_by_period = vec![0u64; d as usize];
+    for t in 1..=d {
+        let mailbox = FrameBatch::merge_ordered(shards.iter().map(|s| &s.pending[t as usize]));
+        for frame in mailbox.iter() {
+            wire.record_report();
+            let bit = if frame.bit { Sign::Plus } else { Sign::Minus };
+            let status = server.ingest_checked(frame.user, u64::from(frame.t), bit);
+            if frame.byzantine && status == Delivery::Accepted {
+                faults.byzantine_accepted += 1;
+                byz_accepted_by_period[(t - 1) as usize] += 1;
+            }
+        }
+        estimates.push(server.end_of_period(t));
+    }
+
+    ScenarioOutcome {
+        estimates,
+        group_sizes: server.group_sizes().to_vec(),
+        wire,
+        delivery: server.delivery_log().to_vec(),
+        faults,
+        byzantine_accepted_by_period: byz_accepted_by_period,
+    }
+}
+
 /// First period at which the client is gone, under a per-period hazard
 /// `p` (geometric via inversion); `u64::MAX` when `p == 0`.
 fn sample_churn_period(rng: &mut StdRng, p: f64) -> u64 {
@@ -294,8 +505,66 @@ fn fabricate_report(rng: &mut StdRng, params: &ProtocolParams, own_id: u32) -> R
     }
 }
 
-/// Routes one emitted message through the fault model: dropout, delay,
-/// retransmission. Delivery periods beyond the horizon expire.
+/// The fault model's routing decision for one emitted message.
+struct Routing {
+    /// Delivery period of the original copy, if it survives the horizon.
+    deliver: Option<u64>,
+    /// Delivery period of a retransmitted copy, if any survives.
+    duplicate: Option<u64>,
+}
+
+/// Draws one message's fate from the fault stream: dropout, delay,
+/// retransmission. Delivery periods beyond the horizon expire. Both
+/// execution modes route through this function, so they consume the
+/// per-user fault RNG in the identical order (a dropped message draws
+/// nothing further; every non-dropped message draws the duplicate coin,
+/// including originals that expired past the horizon — exactly the
+/// sequential engine's historical behaviour).
+fn route(
+    t: u64,
+    frng: &mut StdRng,
+    scenario: &Scenario,
+    faults: &mut FaultCounts,
+    d: u64,
+) -> Routing {
+    if frng.random_bool(scenario.drop_prob) {
+        faults.dropped += 1;
+        return Routing {
+            deliver: None,
+            duplicate: None,
+        };
+    }
+    let mut deliver = t;
+    if frng.random_bool(scenario.straggle_prob) {
+        let delta = frng.random_range(1..=scenario.max_delay);
+        faults.delayed += 1;
+        deliver = t + delta;
+    }
+    let delivered = if deliver <= d {
+        Some(deliver)
+    } else {
+        faults.expired += 1;
+        None
+    };
+    let mut duplicate = None;
+    if frng.random_bool(scenario.duplicate_prob) {
+        faults.duplicates_injected += 1;
+        // A retransmission typically lands one period after the original.
+        let dup_at = deliver + 1;
+        if dup_at <= d {
+            duplicate = Some(dup_at);
+        } else {
+            faults.expired += 1;
+        }
+    }
+    Routing {
+        deliver: delivered,
+        duplicate,
+    }
+}
+
+/// Sequential-mode dispatch: routes one message and queues serialised
+/// `Bytes` frames on the pending network.
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     msg: ReportMsg,
@@ -307,34 +576,55 @@ fn dispatch(
     pending: &mut [Vec<InFlight>],
     d: u64,
 ) {
-    if frng.random_bool(scenario.drop_prob) {
-        faults.dropped += 1;
-        return;
-    }
-    let mut deliver = t;
-    if frng.random_bool(scenario.straggle_prob) {
-        let delta = frng.random_range(1..=scenario.max_delay);
-        faults.delayed += 1;
-        deliver = t + delta;
-    }
-    let frame = msg.encode();
-    if deliver <= d {
-        pending[deliver as usize].push(InFlight {
-            frame: frame.clone(),
+    let routing = route(t, frng, scenario, faults, d);
+    let frame = if routing.deliver.is_some() || routing.duplicate.is_some() {
+        Some(msg.encode())
+    } else {
+        None
+    };
+    if let Some(at) = routing.deliver {
+        pending[at as usize].push(InFlight {
+            frame: frame.clone().expect("frame encoded"),
             byzantine,
         });
-    } else {
-        faults.expired += 1;
     }
-    if frng.random_bool(scenario.duplicate_prob) {
-        faults.duplicates_injected += 1;
-        // A retransmission typically lands one period after the original.
-        let dup_at = deliver + 1;
-        if dup_at <= d {
-            pending[dup_at as usize].push(InFlight { frame, byzantine });
-        } else {
-            faults.expired += 1;
-        }
+    if let Some(at) = routing.duplicate {
+        pending[at as usize].push(InFlight {
+            frame: frame.expect("frame encoded"),
+            byzantine,
+        });
+    }
+}
+
+/// Batched-mode dispatch: routes one message and appends columnar frame
+/// rows tagged with their emission provenance `(t, emitter)` — the key
+/// [`FrameBatch::merge_ordered`] later sorts by.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_frame(
+    msg: ReportMsg,
+    t: u64,
+    emitter: u32,
+    byzantine: bool,
+    frng: &mut StdRng,
+    scenario: &Scenario,
+    faults: &mut FaultCounts,
+    pending: &mut [FrameBatch],
+    d: u64,
+) {
+    let routing = route(t, frng, scenario, faults, d);
+    let frame = Frame {
+        emitted: t as u32,
+        emitter,
+        user: msg.user,
+        t: msg.t,
+        bit: msg.bit,
+        byzantine,
+    };
+    if let Some(at) = routing.deliver {
+        pending[at as usize].push(frame);
+    }
+    if let Some(at) = routing.duplicate {
+        pending[at as usize].push(frame);
     }
 }
 
@@ -361,6 +651,36 @@ mod tests {
         assert_eq!(sc.faults, FaultCounts::default());
         assert!(sc.delivery.iter().all(|r| r.missing() == 0));
         assert!((sc.accepted_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_pipeline_is_worker_count_invariant_under_faults() {
+        // The hard case for parallel determinism: Byzantine impersonation
+        // races honest reports, so acceptance depends on mailbox order —
+        // which the shard merge must reconstruct exactly.
+        let (params, pop) = setup(130, 32, 3, 68);
+        let scenario = Scenario::honest()
+            .with_dropout(0.05)
+            .with_churn(0.01)
+            .with_stragglers(0.15, 3)
+            .with_duplicates(0.1)
+            .with_byzantine(0.15);
+        let seq = run_scenario_with(&params, &pop, 19, &scenario, ExecMode::Sequential);
+        assert!(
+            seq.faults.byzantine_accepted > 0,
+            "test must exercise the order-sensitive acceptance race"
+        );
+        for w in [1usize, 2, 3, 8] {
+            let par = run_scenario_with(&params, &pop, 19, &scenario, ExecMode::Parallel(w));
+            assert_eq!(par.estimates, seq.estimates, "{w} workers");
+            assert_eq!(par.delivery, seq.delivery, "{w} workers");
+            assert_eq!(par.wire, seq.wire, "{w} workers");
+            assert_eq!(par.faults, seq.faults, "{w} workers");
+            assert_eq!(
+                par.byzantine_accepted_by_period, seq.byzantine_accepted_by_period,
+                "{w} workers"
+            );
+        }
     }
 
     #[test]
@@ -456,8 +776,16 @@ mod tests {
         let out = run_scenario(&params, &pop, 41, &Scenario::honest().with_byzantine(0.2));
         assert!(out.faults.byzantine_messages > 0);
         // Fabrications hit every rejection class at this scale.
-        let rejected: u64 = out.delivery.iter().map(|r| r.rejected).sum();
+        let rejected: u64 = out.delivery.iter().map(|r| r.rejected()).sum();
         assert!(rejected > 0, "random periods must produce rejections");
+        // Random fabrications hit the finer-grained rejection classes too:
+        // off-stride periods dominate, and impersonations of unregistered
+        // ids surface as unknown senders.
+        let invalid: u64 = out.delivery.iter().map(|r| r.invalid_period).sum();
+        let unknown: u64 = out.delivery.iter().map(|r| r.unknown_user).sum();
+        let premature: u64 = out.delivery.iter().map(|r| r.premature).sum();
+        assert_eq!(invalid + unknown + premature, rejected);
+        assert!(invalid > 0 && unknown > 0 && premature > 0);
         assert_eq!(
             out.byzantine_accepted_by_period.iter().sum::<u64>(),
             out.faults.byzantine_accepted

@@ -31,7 +31,8 @@ pub mod engine;
 pub mod oracle;
 
 pub use config::Scenario;
-pub use engine::{run_scenario, FaultCounts, ScenarioOutcome};
+pub use engine::{run_scenario, run_scenario_with, FaultCounts, ScenarioOutcome};
 pub use oracle::{
-    assert_exact_agreement, faulty_envelope, measure_aggregate_agreement, tolerance_band,
+    assert_exact_agreement, assert_mode_agreement, faulty_envelope, measure_aggregate_agreement,
+    measure_aggregate_agreement_with, tolerance_band,
 };

@@ -17,15 +17,27 @@
 //! bands derived from `rtf_analysis::variance`. For faulty scenarios the
 //! oracle supplies an *envelope*: the honest band plus an exact bias
 //! allowance computed from the server's delivery log.
+//!
+//! Orthogonally to the choice of path, the engines carry an execution
+//! *mode* (`rtf_runtime::ExecMode`): the sequential reference schedule
+//! vs the batched multi-worker pipeline. [`assert_mode_agreement`]
+//! proves `sequential ≡ parallel(w)` value-for-value for
+//! `w ∈ {1, 2, 8}` on the honest schedule **and** on arbitrary faulty
+//! scenarios (where mailbox order matters).
 
 use crate::config::Scenario;
-use crate::engine::{run_scenario, ScenarioOutcome};
+use crate::engine::{run_scenario, run_scenario_with, ScenarioOutcome};
 use rtf_analysis::variance::{future_rand_scales, predicted_variance};
 use rtf_core::params::ProtocolParams;
 use rtf_core::protocol::run_in_memory;
+use rtf_runtime::{ExecMode, WorkerPool};
 use rtf_sim::aggregate::run_future_rand_aggregate;
-use rtf_sim::engine::run_event_driven;
+use rtf_sim::engine::{run_event_driven, run_event_driven_with};
 use rtf_streams::population::Population;
+
+/// The worker counts the mode-agreement check proves equivalent to the
+/// sequential schedule.
+pub const MODE_AGREEMENT_WORKERS: [usize; 3] = [1, 2, 8];
 
 /// The values all exact paths agreed on.
 #[derive(Debug, Clone)]
@@ -84,10 +96,61 @@ pub fn assert_exact_agreement(
     assert_eq!(mem.reports_sent(), sc.wire.payload_bits);
     assert_eq!(mem.reports_sent(), agg.reports_sent());
 
+    // The runtime claim: the batched parallel pipeline is the sequential
+    // schedule, value-for-value, for every worker count.
+    assert_mode_agreement(params, population, seed, &Scenario::honest());
+
     ExactAgreement {
         estimates: mem.estimates().to_vec(),
         group_sizes: mem.group_sizes().to_vec(),
         reports: mem.reports_sent(),
+    }
+}
+
+/// Asserts `sequential ≡ parallel(w)` **value-for-value** for every
+/// `w ∈` [`MODE_AGREEMENT_WORKERS`], on both engines that carry an
+/// execution mode:
+///
+/// * the honest event-driven engine (estimates, group sizes, wire
+///   stats), and
+/// * the fault-injected engine under `scenario` (estimates, delivery
+///   log, wire stats, fault counts, per-period Byzantine acceptance).
+///
+/// Frame order matters under Byzantine impersonation, so passing a
+/// faulty scenario here proves the shard merge reconstructs the
+/// sequential mailbox order exactly — not merely that sums commute.
+///
+/// # Panics
+/// Panics naming the first diverging engine/worker count.
+pub fn assert_mode_agreement(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+) {
+    let ev_seq = run_event_driven_with(params, population, seed, ExecMode::Sequential);
+    let sc_seq = run_scenario_with(params, population, seed, scenario, ExecMode::Sequential);
+    for w in MODE_AGREEMENT_WORKERS {
+        let ev = run_event_driven_with(params, population, seed, ExecMode::Parallel(w));
+        assert_eq!(
+            ev.estimates, ev_seq.estimates,
+            "event-driven parallel({w}) diverges from sequential (seed {seed})"
+        );
+        assert_eq!(ev.group_sizes, ev_seq.group_sizes, "parallel({w}) groups");
+        assert_eq!(ev.wire, ev_seq.wire, "parallel({w}) wire stats");
+
+        let sc = run_scenario_with(params, population, seed, scenario, ExecMode::Parallel(w));
+        assert_eq!(
+            sc.estimates, sc_seq.estimates,
+            "scenario parallel({w}) diverges from sequential (seed {seed})"
+        );
+        assert_eq!(sc.delivery, sc_seq.delivery, "parallel({w}) delivery log");
+        assert_eq!(sc.wire, sc_seq.wire, "parallel({w}) wire stats");
+        assert_eq!(sc.faults, sc_seq.faults, "parallel({w}) fault counts");
+        assert_eq!(
+            sc.byzantine_accepted_by_period, sc_seq.byzantine_accepted_by_period,
+            "parallel({w}) per-period Byzantine acceptance"
+        );
     }
 }
 
@@ -132,25 +195,48 @@ impl DistributionalAgreement {
 
 /// Runs `trials` paired executions (seeds `base_seed..base_seed+trials`)
 /// of the aggregate sampler and `run_in_memory` and measures their
-/// distributional agreement per period.
+/// distributional agreement per period. Trials fan out over the worker
+/// pool selected by `RTF_WORKERS` ([`ExecMode::from_env`]).
 pub fn measure_aggregate_agreement(
     params: &ProtocolParams,
     population: &Population,
     base_seed: u64,
     trials: u64,
 ) -> DistributionalAgreement {
+    measure_aggregate_agreement_with(params, population, base_seed, trials, ExecMode::from_env())
+}
+
+/// [`measure_aggregate_agreement`] on an explicit [`ExecMode`]'s pool.
+///
+/// The paired runs are embarrassingly parallel (one seed each); the
+/// moment sums are folded afterwards **in trial order**, so the measured
+/// statistics are bit-identical to the sequential loop for any worker
+/// count — floating-point accumulation order never depends on
+/// scheduling.
+pub fn measure_aggregate_agreement_with(
+    params: &ProtocolParams,
+    population: &Population,
+    base_seed: u64,
+    trials: u64,
+    mode: ExecMode,
+) -> DistributionalAgreement {
     assert!(trials >= 2, "need at least two trials");
     let d = params.d() as usize;
+    let pool = WorkerPool::for_mode(mode);
+    let per_trial: Vec<(Vec<f64>, Vec<f64>)> = pool.map_indexed(trials as usize, |s| {
+        let seed = base_seed + s as u64;
+        let a = run_future_rand_aggregate(params, population, seed);
+        let e = run_in_memory(params, population, seed);
+        (a.estimates().to_vec(), e.estimates().to_vec())
+    });
     let (mut sum_a, mut sum_e) = (vec![0.0; d], vec![0.0; d]);
     let (mut sq_a, mut sq_e) = (vec![0.0; d], vec![0.0; d]);
-    for s in 0..trials {
-        let a = run_future_rand_aggregate(params, population, base_seed + s);
-        let e = run_in_memory(params, population, base_seed + s);
+    for (a, e) in &per_trial {
         for t in 0..d {
-            sum_a[t] += a.estimates()[t];
-            sum_e[t] += e.estimates()[t];
-            sq_a[t] += a.estimates()[t].powi(2);
-            sq_e[t] += e.estimates()[t].powi(2);
+            sum_a[t] += a[t];
+            sum_e[t] += e[t];
+            sq_a[t] += a[t].powi(2);
+            sq_e[t] += e[t].powi(2);
         }
     }
     let predicted = predicted_variance(params, population);
@@ -293,6 +379,43 @@ mod tests {
         let (params, pop) = setup(250, 16, 3, 81);
         let m = measure_aggregate_agreement(&params, &pop, 4_000, 250);
         m.assert_within(6.0, 0.5, 0.35);
+    }
+
+    #[test]
+    fn pooled_aggregate_sampling_matches_sequential_bitwise() {
+        // The parallel fan-out folds moment sums in trial order, so the
+        // measured statistics must be bit-identical for any pool size.
+        let (params, pop) = setup(120, 16, 2, 85);
+        let seq = measure_aggregate_agreement_with(&params, &pop, 9_000, 40, ExecMode::Sequential);
+        for w in [1usize, 3, 8] {
+            let par =
+                measure_aggregate_agreement_with(&params, &pop, 9_000, 40, ExecMode::Parallel(w));
+            assert_eq!(par.trials, seq.trials);
+            assert_eq!(par.max_mean_z.to_bits(), seq.max_mean_z.to_bits(), "{w}");
+            assert_eq!(
+                par.max_var_rel_diff.to_bits(),
+                seq.max_var_rel_diff.to_bits(),
+                "{w}"
+            );
+            assert_eq!(
+                par.max_pred_rel_err.to_bits(),
+                seq.max_pred_rel_err.to_bits(),
+                "{w}"
+            );
+        }
+    }
+
+    #[test]
+    fn mode_agreement_holds_on_a_faulty_scenario() {
+        // sequential ≡ parallel(w) even when faults make the mailbox
+        // order load-bearing.
+        let (params, pop) = setup(150, 16, 2, 86);
+        let storm = Scenario::honest()
+            .with_dropout(0.05)
+            .with_stragglers(0.1, 3)
+            .with_duplicates(0.05)
+            .with_byzantine(0.1);
+        assert_mode_agreement(&params, &pop, 31, &storm);
     }
 
     #[test]

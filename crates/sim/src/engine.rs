@@ -5,16 +5,32 @@
 //! 1. each client observes its own new derivative value `X_u[t]` (clients
 //!    see *only* their own data, one period at a time — the online
 //!    constraint);
-//! 2. clients whose order divides `t` emit a [`ReportMsg`], which is
-//!    *serialised into bytes*, queued in the server's mailbox, decoded and
-//!    ingested — so the accounting reflects real framing;
-//! 3. the server closes the period and publishes `â[t]`.
+//! 2. clients whose order divides `t` emit their report; the server
+//!    ingests it and closes the period, publishing `â[t]`.
 //!
-//! This engine is `O(n·d)` and exists to (a) prove the protocol really is
-//! online, (b) exercise the exact client state machine every period, and
-//! (c) provide ground truth for the fast aggregate path.
+//! Two execution modes run this schedule ([`ExecMode`]):
+//!
+//! * **Sequential** — the reference implementation: every report is
+//!   *serialised into bytes* ([`ReportMsg`]), queued in the server's
+//!   mailbox, decoded and ingested, so the accounting reflects real
+//!   framing. `O(n·d)` with a per-report allocation; this is the oracle.
+//! * **Parallel(w)** — the batched pipeline: users are partitioned into
+//!   `w` contiguous shards, each worker runs its shard's client state
+//!   machines locally, appending reports to columnar
+//!   [`ReportBatch`]es (no per-report allocation) folded into a
+//!   mergeable shard accumulator per period; the server absorbs shard
+//!   accumulators in shard-index order. Because per-user randomness
+//!   derives from `SeedSequence(seed).child(user)` and report sums are
+//!   integer-valued, the result is **value-for-value identical** to
+//!   Sequential for every worker count (asserted by the differential
+//!   oracle in `rtf-scenarios`).
+//!
+//! [`run_event_driven`] picks the mode from `RTF_WORKERS` (see
+//! [`ExecMode::from_env`]), so the entire test pyramid can be replayed
+//! through the parallel pipeline by exporting one variable.
 
 use crate::message::{OrderAnnouncement, ReportMsg, WireStats};
+use rtf_core::accumulator::DenseAccumulator;
 use rtf_core::client::Client;
 use rtf_core::composed::ComposedRandomizer;
 use rtf_core::params::ProtocolParams;
@@ -22,6 +38,7 @@ use rtf_core::randomizer::FutureRand;
 use rtf_core::server::Server;
 use rtf_primitives::seeding::SeedSequence;
 use rtf_primitives::sign::Sign;
+use rtf_runtime::{ExecMode, ReportBatch, WorkerPool};
 use rtf_streams::population::Population;
 
 /// Result of an event-driven execution: estimates plus exact
@@ -36,25 +53,53 @@ pub struct EventDrivenOutcome {
     pub wire: WireStats,
 }
 
-/// Runs the FutureRand protocol through the message-level engine.
+/// Runs the FutureRand protocol through the message-level engine, in the
+/// mode selected by `RTF_WORKERS` ([`ExecMode::from_env`]; default
+/// sequential).
 ///
 /// Produces estimates *identical in distribution* to
 /// [`rtf_core::protocol::run_in_memory`] (and identical value-for-value
 /// given the same seed, since both derive client randomness from
-/// `SeedSequence(seed).child(user)` and consume it in the same order).
+/// `SeedSequence(seed).child(user)` and consume it in the same order) —
+/// in **every** execution mode.
 pub fn run_event_driven(
     params: &ProtocolParams,
     population: &Population,
     seed: u64,
 ) -> EventDrivenOutcome {
+    run_event_driven_with(params, population, seed, ExecMode::from_env())
+}
+
+/// Runs the FutureRand protocol through the message-level engine in an
+/// explicit [`ExecMode`].
+pub fn run_event_driven_with(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    mode: ExecMode,
+) -> EventDrivenOutcome {
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
+    match mode {
+        ExecMode::Sequential => run_sequential(params, population, seed),
+        ExecMode::Parallel(w) => run_batched(params, population, seed, w.max(1)),
+    }
+}
 
-    let composed: Vec<ComposedRandomizer> = (0..params.num_orders())
+fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer> {
+    (0..params.num_orders())
         .map(|h| ComposedRandomizer::for_protocol(params.k_for_order(h), params.epsilon()))
-        .collect();
+        .collect()
+}
 
+/// The single-threaded reference schedule with real (serialised) framing.
+fn run_sequential(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+) -> EventDrivenOutcome {
+    let composed = composed_tables(params);
     let mut server = Server::for_future_rand(*params);
     let mut wire = WireStats::default();
     let root = SeedSequence::new(seed);
@@ -110,6 +155,112 @@ pub fn run_event_driven(
     }
 }
 
+/// One worker's whole-horizon contribution: a mergeable accumulator per
+/// period, plus the shard's share of the registration/wire accounting.
+struct ShardRun {
+    /// `per_period[t-1]` holds the shard's report sums for period `t`.
+    per_period: Vec<DenseAccumulator>,
+    group_sizes: Vec<usize>,
+    wire: WireStats,
+}
+
+/// The batched multi-worker pipeline: contiguous user shards, columnar
+/// report batches, shard accumulators merged in shard-index order.
+fn run_batched(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    workers: usize,
+) -> EventDrivenOutcome {
+    let composed = composed_tables(params);
+    let root = SeedSequence::new(seed);
+    let d = params.d();
+    let orders = params.num_orders() as usize;
+    let pool = WorkerPool::new(workers);
+
+    let shards: Vec<ShardRun> = pool.map_shards(params.n(), |shard| {
+        struct Slot<'a> {
+            user: u32,
+            client: Client<FutureRand>,
+            rng: rand::rngs::StdRng,
+            /// Streaming O(1) view of the user's derivative — replaces a
+            /// per-period binary search on the hottest loop in the repo.
+            cursor: rtf_streams::stream::DerivativeCursor<'a>,
+        }
+        let mut wire = WireStats::default();
+        // Clients grouped by order: at period t only orders dividing t
+        // report, so the round loop walks exactly the reporting clients —
+        // O(reports + changes) per shard instead of O(users · periods).
+        let mut groups: Vec<Vec<Slot<'_>>> = (0..orders).map(|_| Vec::new()).collect();
+        for u in shard.range() {
+            let mut rng = root.child(u as u64).rng();
+            let h = Client::<FutureRand>::sample_order(params, &mut rng);
+            wire.record_announcement();
+            let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+            groups[h as usize].push(Slot {
+                user: u as u32,
+                client: Client::new(params, h, m),
+                rng,
+                cursor: population.stream(u).derivative().cursor(),
+            });
+        }
+        let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+
+        let mut per_period: Vec<DenseAccumulator> =
+            (0..d).map(|_| DenseAccumulator::new(orders)).collect();
+        // One reusable columnar batch — the hot path allocates nothing
+        // per report.
+        let mut batch = ReportBatch::with_capacity(shard.len());
+        for t in 1..=d {
+            batch.clear();
+            let max_h = t.trailing_zeros().min(params.log_d());
+            for h in 0..=max_h {
+                for slot in groups[h as usize].iter_mut() {
+                    // The whole order-h interval ending at t, one step:
+                    // partial sum off the cursor, one randomizer draw.
+                    let s = slot.cursor.sum_to(t);
+                    let report = slot.client.observe_span(t, s, &mut slot.rng);
+                    batch.push(slot.user, h as u8, report.bit);
+                }
+            }
+            batch.fold_into(&mut per_period[(t - 1) as usize]);
+            wire.record_report_batch(batch.len() as u64);
+        }
+
+        ShardRun {
+            per_period,
+            group_sizes,
+            wire,
+        }
+    });
+
+    // Deterministic merge: shard-index order, exactly the order
+    // `map_shards` returned.
+    let mut server = Server::for_future_rand(*params);
+    let mut wire = WireStats::default();
+    for shard in &shards {
+        for (h, &count) in shard.group_sizes.iter().enumerate() {
+            for _ in 0..count {
+                server.register_user(h as u32);
+            }
+        }
+        wire.merge(&shard.wire);
+    }
+    let mut estimates = Vec::with_capacity(d as usize);
+    for t in 1..=d {
+        for shard in &shards {
+            server.absorb_shard(&shard.per_period[(t - 1) as usize]);
+        }
+        estimates.push(server.end_of_period(t));
+    }
+
+    EventDrivenOutcome {
+        estimates,
+        group_sizes: server.group_sizes().to_vec(),
+        wire,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +284,21 @@ mod tests {
         let mem = rtf_core::protocol::run_in_memory(&params, &pop, 99);
         assert_eq!(ev.estimates, mem.estimates());
         assert_eq!(ev.group_sizes, mem.group_sizes());
+    }
+
+    #[test]
+    fn batched_pipeline_is_worker_count_invariant() {
+        // The tentpole determinism claim at unit scale: sequential and
+        // parallel(w) agree value-for-value for every w, including more
+        // workers than convenient shard sizes.
+        let (params, pop) = setup(157, 32, 3, 44);
+        let seq = run_event_driven_with(&params, &pop, 21, ExecMode::Sequential);
+        for w in [1usize, 2, 3, 8] {
+            let par = run_event_driven_with(&params, &pop, 21, ExecMode::Parallel(w));
+            assert_eq!(par.estimates, seq.estimates, "{w} workers");
+            assert_eq!(par.group_sizes, seq.group_sizes, "{w} workers");
+            assert_eq!(par.wire, seq.wire, "{w} workers");
+        }
     }
 
     #[test]

@@ -9,16 +9,20 @@
 //!   report bits, with exact byte/bit accounting (the communication-cost
 //!   experiment `exp_communication`);
 //! * [`engine`] — the event-driven round loop: at every period each client
-//!   observes its own new datum, emits any due report *as a message*, and
-//!   the server consumes the mailbox before closing the period. This is
-//!   the honest `O(n·d)` schedule, used to validate the fast paths;
+//!   observes its own new datum, emits any due report, and the server
+//!   closes the period. Runs either **sequentially** with real serialised
+//!   framing (the reference oracle) or through the **batched
+//!   multi-worker pipeline** of `rtf-runtime` (columnar report batches,
+//!   shard accumulators merged in shard-index order) — value-for-value
+//!   identical for any worker count; `RTF_WORKERS` selects the default;
 //! * [`aggregate`] — a distribution-identical `O(n·(k + d/2^h))`
 //!   aggregate sampler for the FutureRand protocol (zero partial sums
 //!   contribute an exact `Binomial(m, ½)` of uniform bits; non-zero ones
 //!   walk each user's pre-computed `b̃`), enabling million-user
 //!   experiments;
-//! * [`runner`] — a parallel, deterministically seeded trial runner
-//!   (crossbeam scoped threads) returning per-trial metrics.
+//! * [`runner`] — a parallel, deterministically seeded trial runner over
+//!   the shared `rtf_runtime::WorkerPool`, returning per-trial metrics in
+//!   trial order.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -29,6 +33,6 @@ pub mod message;
 pub mod runner;
 
 pub use aggregate::{run_calibrated_aggregate, run_future_rand_aggregate};
-pub use engine::{run_event_driven, EventDrivenOutcome};
+pub use engine::{run_event_driven, run_event_driven_with, EventDrivenOutcome};
 pub use message::{OrderAnnouncement, ReportMsg, WireStats};
 pub use runner::{run_future_rand, run_trials, TrialPlan, TrialResults};

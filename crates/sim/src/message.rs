@@ -108,6 +108,21 @@ impl WireStats {
         self.payload_bits += ReportMsg::PAYLOAD_BITS;
     }
 
+    /// Accounts for a columnar batch of `count` reports at once — the
+    /// batched pipeline's equivalent of `count` `record_report` calls.
+    pub fn record_report_batch(&mut self, count: u64) {
+        self.messages += count;
+        self.wire_bytes += count * ReportMsg::WIRE_BYTES as u64;
+        self.payload_bits += count * ReportMsg::PAYLOAD_BITS;
+    }
+
+    /// Adds another shard's totals into `self` (exact integer merge).
+    pub fn merge(&mut self, other: &WireStats) {
+        self.messages += other.messages;
+        self.wire_bytes += other.wire_bytes;
+        self.payload_bits += other.payload_bits;
+    }
+
     /// Average payload bits per user per period.
     pub fn bits_per_user_period(&self, n: usize, d: u64) -> f64 {
         self.payload_bits as f64 / (n as f64 * d as f64)
@@ -156,6 +171,30 @@ mod tests {
         );
         assert_eq!(s.payload_bits, 2);
         assert!((s.bits_per_user_period(1, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_accounting_matches_per_report() {
+        let mut per_report = WireStats::default();
+        for _ in 0..17 {
+            per_report.record_report();
+        }
+        let mut batched = WireStats::default();
+        batched.record_report_batch(17);
+        assert_eq!(per_report, batched);
+
+        // Shard merge: two halves equal the whole.
+        let mut a = WireStats::default();
+        a.record_announcement();
+        a.record_report_batch(5);
+        let mut b = WireStats::default();
+        b.record_report_batch(12);
+        let mut merged = a;
+        merged.merge(&b);
+        let mut whole = WireStats::default();
+        whole.record_announcement();
+        whole.record_report_batch(17);
+        assert_eq!(merged, whole);
     }
 
     #[test]

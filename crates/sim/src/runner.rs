@@ -2,20 +2,18 @@
 //!
 //! Experiments repeat a protocol execution over many trials (fresh
 //! population and fresh protocol randomness per trial) and summarise a
-//! per-trial metric. Trials are independent, so they fan out over worker
-//! threads (crossbeam scoped threads pulling indices from an atomic
-//! counter); determinism is preserved because trial `i` always uses seeds
-//! derived from `master_seed → child(i)`, regardless of which worker runs
-//! it.
+//! per-trial metric. Trials are independent, so they fan out over the
+//! shared deterministic worker pool (`rtf_runtime::WorkerPool`, whose
+//! injector channel load-balances while results return in trial order);
+//! determinism is preserved because trial `i` always uses seeds derived
+//! from `master_seed → child(i)`, regardless of which worker runs it.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
 use rtf_core::params::ProtocolParams;
 use rtf_core::protocol::ProtocolOutcome;
 use rtf_primitives::seeding::SeedSequence;
+use rtf_runtime::WorkerPool;
 use rtf_streams::generator::StreamGenerator;
 use rtf_streams::population::Population;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The default execution path for applications: the aggregate sampler
 /// (distribution-identical to the event-driven engine, two orders of
@@ -139,33 +137,15 @@ where
 {
     assert!(plan.trials >= 1, "need at least one trial");
     let root = SeedSequence::new(plan.master_seed);
-    let next = AtomicUsize::new(0);
-    let results = Mutex::new(vec![f64::NAN; plan.trials]);
-    let workers = plan.effective_threads();
+    let pool = WorkerPool::new(plan.effective_threads());
 
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= plan.trials {
-                    break;
-                }
-                let trial_seed = root.child(i as u64);
-                let mut pop_rng = trial_seed.child(0).rng();
-                let population = Population::generate(generator, plan.params.n(), &mut pop_rng);
-                let outcome = execute(&plan.params, &population, trial_seed.child(1).seed());
-                let value = metric(&outcome, &population);
-                results.lock()[i] = value;
-            });
-        }
-    })
-    .expect("trial worker panicked");
-
-    let values = results.into_inner();
-    assert!(
-        values.iter().all(|v| !v.is_nan()),
-        "some trials did not complete"
-    );
+    let values = pool.map_indexed(plan.trials, |i| {
+        let trial_seed = root.child(i as u64);
+        let mut pop_rng = trial_seed.child(0).rng();
+        let population = Population::generate(generator, plan.params.n(), &mut pop_rng);
+        let outcome = execute(&plan.params, &population, trial_seed.child(1).seed());
+        metric(&outcome, &population)
+    });
     TrialResults { values }
 }
 

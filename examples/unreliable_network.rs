@@ -59,7 +59,7 @@ fn main() {
             row.accepted,
             row.late,
             row.duplicate,
-            row.rejected,
+            row.rejected(),
         );
     }
 

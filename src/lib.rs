@@ -21,6 +21,9 @@
 //!   response, and the central-model binary tree mechanism;
 //! * [`sim`] (`rtf-sim`) — deterministic message-passing simulation and the
 //!   parallel trial runner;
+//! * [`runtime`] (`rtf-runtime`) — the deterministic parallel runtime:
+//!   execution modes, the sharded worker pool, and the columnar report
+//!   batches the engines run on;
 //! * [`analysis`] (`rtf-analysis`) — exact output distributions, privacy
 //!   audits, error metrics, variance prediction and post-processing;
 //! * [`domain`] (`rtf-domain`) — categorical-domain frequency tracking and
@@ -70,6 +73,7 @@ pub use rtf_core as core;
 pub use rtf_domain as domain;
 pub use rtf_dyadic as dyadic;
 pub use rtf_primitives as primitives;
+pub use rtf_runtime as runtime;
 pub use rtf_scenarios as scenarios;
 pub use rtf_sim as sim;
 pub use rtf_streams as streams;
@@ -80,6 +84,7 @@ pub mod prelude {
     pub use rtf_core::params::ProtocolParams;
     pub use rtf_core::randomizer::FutureRand;
     pub use rtf_primitives::seeding::SeedSequence;
+    pub use rtf_runtime::{ExecMode, WorkerPool};
     pub use rtf_sim::runner::run_future_rand;
     pub use rtf_streams::generator::UniformChanges;
     pub use rtf_streams::population::Population;

@@ -12,7 +12,8 @@
 use randomize_future::core::params::ProtocolParams;
 use randomize_future::primitives::seeding::SeedSequence;
 use randomize_future::scenarios::oracle::{
-    assert_exact_agreement, assert_within_band, faulty_envelope, tolerance_band,
+    assert_exact_agreement, assert_mode_agreement, assert_within_band, faulty_envelope,
+    tolerance_band, MODE_AGREEMENT_WORKERS,
 };
 use randomize_future::scenarios::{run_scenario, Scenario};
 use randomize_future::streams::generator::UniformChanges;
@@ -35,6 +36,25 @@ fn honest_scenario_all_paths_agree() {
             assert_eq!(agreed.estimates.len(), d as usize);
         }
     }
+}
+
+/// The runtime's determinism guarantee, end to end: the sequential
+/// schedule and the batched pipeline at w ∈ {1, 2, 8} workers are
+/// value-for-value identical — on the honest schedule and on a scenario
+/// mixing every fault class (where the mailbox order the shard merge
+/// must reconstruct actually decides acceptances).
+#[test]
+fn sequential_equals_parallel_for_all_worker_counts() {
+    assert_eq!(MODE_AGREEMENT_WORKERS, [1, 2, 8]);
+    let (params, pop) = setup(500, 32, 3, 11);
+    assert_mode_agreement(&params, &pop, 201, &Scenario::honest());
+    let storm = Scenario::honest()
+        .with_dropout(0.05)
+        .with_churn(0.005)
+        .with_stragglers(0.1, 3)
+        .with_duplicates(0.05)
+        .with_byzantine(0.1);
+    assert_mode_agreement(&params, &pop, 201, &storm);
 }
 
 #[test]
@@ -108,6 +128,24 @@ fn byzantine_minority_cannot_break_the_pipeline() {
     // The server screened every fabricated frame without panicking...
     assert!(out.faults.byzantine_messages > 0);
     assert!(out.estimates.iter().all(|e| e.is_finite()));
+    // ...classifying rejections by cause: fabricated periods mostly miss
+    // the sender's stride (invalid), out-of-range ids are unknown, and
+    // future boundaries are premature. The classes partition rejected().
+    let (mut unknown, mut invalid, mut premature) = (0u64, 0u64, 0u64);
+    for row in &out.delivery {
+        unknown += row.unknown_user;
+        invalid += row.invalid_period;
+        premature += row.premature;
+        assert_eq!(
+            row.rejected(),
+            row.unknown_user + row.invalid_period + row.premature,
+            "t={}",
+            row.t
+        );
+    }
+    assert!(unknown > 0, "impersonations of junk ids must surface");
+    assert!(invalid > 0, "off-stride fabrications must surface");
+    assert!(premature > 0, "future-boundary fabrications must surface");
     // ...and the honest majority keeps the estimates inside the envelope
     // (which charges one max-scale unit per missing or accepted-forged
     // report).

@@ -1,19 +1,30 @@
 //! Offline, dependency-free shim for the subset of the [`crossbeam` API]
-//! this workspace uses: `crossbeam::thread::scope` + `Scope::spawn`,
-//! mapped onto `std::thread::scope` (stable since Rust 1.63).
+//! this workspace uses:
+//!
+//! * `crossbeam::thread::scope` + `Scope::spawn`, mapped onto
+//!   `std::thread::scope` (stable since Rust 1.63);
+//! * `crossbeam::channel::{unbounded, bounded}` multi-producer
+//!   **multi-consumer** channels, implemented as a `Mutex<VecDeque>` +
+//!   `Condvar` queue (std's `mpsc` is single-consumer, which is not
+//!   enough for a shared-injector worker pool).
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors minimal re-implementations of its external dependencies under
 //! `vendor/`.
 //!
-//! Behavioural difference: crossbeam collects child panics into the
+//! Behavioural differences: crossbeam collects child panics into the
 //! returned `Result`; `std::thread::scope` re-raises an unjoined child's
 //! panic while unwinding the scope itself. Either way a panicking worker
-//! fails the calling test, which is all the workspace relies on.
+//! fails the calling test, which is all the workspace relies on. The
+//! channel here is a fair FIFO but makes no lock-free guarantees — the
+//! workspace only sends coarse work items (one message per shard or
+//! trial), so queue contention is far off the hot path.
 //!
 //! [`crossbeam` API]: https://docs.rs/crossbeam
 
 #![warn(missing_docs)]
+
+pub mod channel;
 
 /// Scoped threads.
 pub mod thread {

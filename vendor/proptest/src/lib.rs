@@ -33,6 +33,28 @@ pub mod collection;
 pub mod strategy;
 pub mod test_runner;
 
+/// Boolean strategies (`prop::bool::ANY`), mirroring upstream
+/// `proptest::bool`.
+pub mod bool {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+}
+
 /// One-stop imports mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate as prop;
@@ -165,6 +187,18 @@ mod tests {
         fn mut_bindings_work(mut v in prop::collection::vec(0i32..10, 1..8)) {
             v.sort_unstable();
             prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn tuple_and_bool_strategies(
+            pair in (0u32..5, prop::bool::ANY),
+            triple in (0u8..2, 10u64..20, 0.0f64..1.0),
+            pairs in prop::collection::vec((0u32..3, prop::bool::ANY), 0..10),
+        ) {
+            prop_assert!(pair.0 < 5);
+            prop_assert!(triple.0 < 2 && (10..20).contains(&triple.1));
+            prop_assert!((0.0..1.0).contains(&triple.2));
+            prop_assert!(pairs.iter().all(|(a, _)| *a < 3));
         }
     }
 
