@@ -1,0 +1,197 @@
+//! T21 — the accumulator storage-engine trade-off surface.
+//!
+//! The server of Algorithm 2 is a running ±1 sum per open dyadic
+//! interval; *how those sums are laid out in memory* is a free design
+//! axis the paper never pins down. This experiment measures every
+//! backend behind the `rtf_core::accumulator` seam — dense `f64`,
+//! fixed-point `i64`, compressed sparse, SoA count lanes — over an
+//! `(n, d)` grid that includes a large-`log d` regime (the
+//! Bassily–Smith succinct-histogram setting), recording wall time and
+//! the resident bytes of the pipeline's accumulation state.
+//!
+//! Every timed run is asserted **value-for-value identical** to the
+//! dense baseline before its numbers are accepted: all four layouts
+//! store integer-valued sums exactly, so agreement is exact equality,
+//! never tolerance.
+//!
+//! Machine-readable output: `BENCH_backends.json` at the repository
+//! root (validated by the CI smoke step), including the headline check
+//! that the sparse backend beats dense on memory once `log d` is large.
+//!
+//! Run with `cargo bench --bench exp_backends` (full) or
+//! `cargo bench --bench exp_backends -- --smoke` (CI-sized; same JSON
+//! schema, smaller grid).
+
+use rtf_bench::{banner, Table};
+use rtf_core::accumulator::AccumulatorKind;
+use rtf_core::params::ProtocolParams;
+use rtf_primitives::seeding::SeedSequence;
+use rtf_runtime::ExecMode;
+use rtf_sim::engine::{run_event_driven_with_backend, EventDrivenOutcome};
+use rtf_streams::generator::UniformChanges;
+use rtf_streams::population::Population;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct Row {
+    backend: AccumulatorKind,
+    n: usize,
+    d: u64,
+    elapsed_s: f64,
+    reports: u64,
+    reports_per_s: f64,
+    acc_bytes: u64,
+}
+
+fn measure(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    backend: AccumulatorKind,
+) -> (Row, EventDrivenOutcome) {
+    // Parallel(1): the batched pipeline on one worker — the per-period
+    // shard accumulators whose layout the backends differ on, with no
+    // threading noise (the bench box is single-core; any win must be
+    // layout-driven).
+    let start = Instant::now();
+    let outcome =
+        run_event_driven_with_backend(params, population, seed, ExecMode::Parallel(1), backend);
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    let reports = outcome.wire.payload_bits;
+    (
+        Row {
+            backend,
+            n: params.n(),
+            d: params.d(),
+            elapsed_s,
+            reports,
+            reports_per_s: reports as f64 / elapsed_s,
+            acc_bytes: outcome.acc_bytes,
+        },
+        outcome,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("RTF_BACKENDS_SMOKE").is_ok_and(|v| v == "1");
+    // Each grid point pairs a throughput-shaped regime (modest d, large
+    // n) with a large-log d regime (d = 4096 ⇒ 13 orders) where the
+    // sparse layout's compressed per-period maps pay off.
+    let grid: &[(usize, u64)] = if smoke {
+        &[(5_000, 64), (500, 4_096)]
+    } else {
+        &[(100_000, 64), (4_000, 4_096)]
+    };
+    let k = 4usize;
+
+    banner(
+        "T21",
+        &format!(
+            "accumulator storage backends (k={k}, grid {grid:?}{})",
+            if smoke { ", SMOKE" } else { "" }
+        ),
+        "one seam, four exact layouts: fixed-point for bit-exactness, sparse for large log d \
+         memory, SoA for integer-increment hot paths — all value-for-value identical to dense",
+    );
+
+    let table = Table::new(&[
+        ("n", 8),
+        ("d", 6),
+        ("backend", 8),
+        ("wall s", 9),
+        ("Mrep/s", 9),
+        ("acc KiB", 9),
+        ("vs dense", 9),
+    ]);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(n, d) in grid {
+        let params = ProtocolParams::new(n, d, k, 1.0, 0.05).expect("valid parameters");
+        let mut rng = SeedSequence::new(21_000 + n as u64).rng();
+        let population = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
+
+        let (dense_row, baseline) = measure(&params, &population, 42, AccumulatorKind::Dense);
+        let dense_bytes = dense_row.acc_bytes;
+        for backend in AccumulatorKind::ALL {
+            let (row, outcome) = if backend == AccumulatorKind::Dense {
+                // Reuse the baseline measurement rather than re-timing.
+                (dense_row.clone(), None)
+            } else {
+                let (row, outcome) = measure(&params, &population, 42, backend);
+                (row, Some(outcome))
+            };
+            if let Some(outcome) = &outcome {
+                assert_eq!(
+                    outcome.estimates, baseline.estimates,
+                    "{backend} must match dense exactly before its numbers count"
+                );
+                assert_eq!(outcome.wire, baseline.wire, "{backend} wire stats");
+            }
+            table.row(&[
+                format!("{n}"),
+                format!("{d}"),
+                row.backend.to_string(),
+                format!("{:.2}", row.elapsed_s),
+                format!("{:.2}", row.reports_per_s / 1e6),
+                format!("{:.1}", row.acc_bytes as f64 / 1024.0),
+                format!("{:.2}x", row.acc_bytes as f64 / dense_bytes as f64),
+            ]);
+            rows.push(row);
+        }
+    }
+
+    // The acceptance check: in the large-log d regime the compressed
+    // sparse layout must beat dense on resident accumulator bytes.
+    let large_d = grid.iter().map(|&(_, d)| d).max().expect("non-empty grid");
+    let bytes_of = |backend: AccumulatorKind| {
+        rows.iter()
+            .find(|r| r.d == large_d && r.backend == backend)
+            .expect("grid covers every backend")
+            .acc_bytes
+    };
+    assert!(
+        bytes_of(AccumulatorKind::Sparse) < bytes_of(AccumulatorKind::Dense),
+        "sparse ({} B) must beat dense ({} B) on memory at d = {large_d}",
+        bytes_of(AccumulatorKind::Sparse),
+        bytes_of(AccumulatorKind::Dense),
+    );
+
+    // Machine-readable output at the repository root.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"exp_backends\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"n\": {}, \"d\": {}, \"log_d\": {}, \
+             \"elapsed_s\": {:.6}, \"reports\": {}, \"reports_per_s\": {:.1}, \
+             \"acc_bytes\": {}}}{}\n",
+            r.backend,
+            r.n,
+            r.d,
+            r.d.ilog2(),
+            r.elapsed_s,
+            r.reports,
+            r.reports_per_s,
+            r.acc_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backends.json");
+    std::fs::write(path, &json).expect("write BENCH_backends.json");
+
+    let sparse_ratio =
+        bytes_of(AccumulatorKind::Sparse) as f64 / bytes_of(AccumulatorKind::Dense) as f64;
+    println!(
+        "\nresult: all four backends reproduced the dense estimates exactly; at d = {large_d} \
+         the sparse layout holds {:.0}% of dense's accumulator bytes. wrote BENCH_backends.json. \
+         PASS",
+        100.0 * sparse_ratio
+    );
+}

@@ -4,14 +4,21 @@
 //! hardware allows; the LDP benchmarking literature (Cormode–Maddock–
 //! Maple 2021) stresses that protocol comparisons at realistic `n` live
 //! or die on simulation throughput. This experiment measures reports/sec
-//! and wall time of the honest event-driven schedule at `n ∈ {10⁵, 10⁶}`
-//! through every execution mode: the sequential reference engine (per-
-//! report `Bytes` framing) and the batched pipeline at 1/2/4/8 workers
-//! (columnar report batches folded into mergeable shard accumulators).
+//! and wall time at `n ∈ {10⁵, 10⁶}` through every execution mode — the
+//! sequential reference engine (per-report `Bytes` framing) and the
+//! batched pipeline at 1/2/4/8 workers — on **both** mode-carrying
+//! engines: the honest event-driven schedule and the fault-injected
+//! scenario engine (whose batched path additionally pays the
+//! frame-provenance merge).
 //!
-//! Every timed run is asserted **value-for-value identical** to the
-//! sequential baseline before its timing is accepted — a throughput
-//! number for a wrong answer is worthless.
+//! Every timed run is asserted **value-for-value identical** to its
+//! engine's sequential baseline before its timing is accepted — a
+//! throughput number for a wrong answer is worthless.
+//!
+//! The run also measures the cross-run pool-reuse delta (ROADMAP item):
+//! repeated small maps on the per-call scoped `WorkerPool` vs the
+//! process-wide persistent pool `run_trials` now folds over, reporting
+//! the thread-spawn cost each call no longer pays.
 //!
 //! Machine-readable output: `BENCH_throughput.json` at the repository
 //! root, seeding the perf trajectory (validated by the CI smoke step).
@@ -23,8 +30,10 @@
 use rtf_bench::{banner, Table};
 use rtf_core::params::ProtocolParams;
 use rtf_primitives::seeding::SeedSequence;
-use rtf_runtime::ExecMode;
-use rtf_sim::engine::{run_event_driven_with, EventDrivenOutcome};
+use rtf_runtime::{shared_pool, ExecMode, WorkerPool};
+use rtf_scenarios::config::Scenario;
+use rtf_scenarios::engine::run_scenario_with;
+use rtf_sim::engine::run_event_driven_with;
 use rtf_streams::generator::UniformChanges;
 use rtf_streams::population::Population;
 use std::time::Instant;
@@ -33,6 +42,7 @@ use std::time::Instant;
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 struct Measurement {
+    engine: &'static str,
     n: usize,
     d: u64,
     mode: ExecMode,
@@ -41,18 +51,49 @@ struct Measurement {
     reports_per_s: f64,
 }
 
+/// Everything a timed run must reproduce identically for its timing to
+/// count: the estimates plus the full wire accounting (and, for the
+/// scenario engine, the delivery-affecting fault bookkeeping folded into
+/// `wire` by way of delivered frames).
+#[derive(PartialEq, Debug)]
+struct RunValues {
+    estimates: Vec<f64>,
+    wire: rtf_sim::message::WireStats,
+}
+
+/// Times one engine × mode run, returning the measurement plus the
+/// values the caller differences against the sequential baseline.
 fn measure(
+    engine: &'static str,
     params: &ProtocolParams,
     population: &Population,
     seed: u64,
     mode: ExecMode,
-) -> (Measurement, EventDrivenOutcome) {
+    scenario: &Scenario,
+) -> (Measurement, RunValues) {
     let start = Instant::now();
-    let outcome = run_event_driven_with(params, population, seed, mode);
+    let values = match engine {
+        "event" => {
+            let out = run_event_driven_with(params, population, seed, mode);
+            RunValues {
+                estimates: out.estimates,
+                wire: out.wire,
+            }
+        }
+        "scenario" => {
+            let out = run_scenario_with(params, population, seed, scenario, mode);
+            RunValues {
+                estimates: out.estimates,
+                wire: out.wire,
+            }
+        }
+        other => unreachable!("unknown engine {other}"),
+    };
     let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
-    let reports = outcome.wire.payload_bits;
+    let reports = values.wire.payload_bits;
     (
         Measurement {
+            engine,
             n: params.n(),
             d: params.d(),
             mode,
@@ -60,8 +101,40 @@ fn measure(
             reports,
             reports_per_s: reports as f64 / elapsed_s,
         },
-        outcome,
+        values,
     )
+}
+
+/// The cross-run pool-reuse measurement: `calls` repeated small
+/// `map_indexed` fans on the scoped per-call pool vs the persistent
+/// shared pool, at a fixed worker count. Returns
+/// `(scoped_s, persistent_s)` totals.
+fn measure_pool_reuse(workers: usize, calls: usize, jobs: usize) -> (f64, f64) {
+    let work = |i: usize| -> u64 {
+        // Cheap but not optimisable-away per-job work.
+        (0..64u64).fold(i as u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+    };
+    let persistent = shared_pool(workers);
+    // Warm both paths once so neither pays first-call setup in the
+    // timed region.
+    let scoped_pool = WorkerPool::new(workers);
+    let expect = scoped_pool.map_indexed(jobs, work);
+    assert_eq!(persistent.map_indexed(jobs, work), expect);
+
+    let start = Instant::now();
+    for _ in 0..calls {
+        let out = scoped_pool.map_indexed(jobs, work);
+        assert_eq!(out.len(), jobs);
+    }
+    let scoped_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..calls {
+        let out = persistent.map_indexed(jobs, work);
+        assert_eq!(out.len(), jobs);
+    }
+    let persistent_s = start.elapsed().as_secs_f64();
+    (scoped_s, persistent_s)
 }
 
 fn mode_json(mode: ExecMode) -> (&'static str, usize) {
@@ -89,10 +162,20 @@ fn main() {
             "pipeline throughput (d={d}, k={k}, workers {WORKER_COUNTS:?}{})",
             if smoke { ", SMOKE" } else { "" }
         ),
-        "the batched parallel pipeline multiplies reports/sec over the framed sequential engine",
+        "the batched parallel pipeline multiplies reports/sec over the framed sequential engine, \
+         on the honest and the fault-injected schedule alike",
     );
 
+    // A light fault mix for the scenario engine: enough to exercise the
+    // fault layer and the provenance merge, not enough to change the
+    // report volume materially.
+    let storm = Scenario::honest()
+        .with_dropout(0.02)
+        .with_stragglers(0.05, 2)
+        .with_duplicates(0.02);
+
     let table = Table::new(&[
+        ("engine", 9),
         ("n", 9),
         ("mode", 12),
         ("wall s", 9),
@@ -107,37 +190,68 @@ fn main() {
         let mut rng = SeedSequence::new(7_000 + n as u64).rng();
         let population = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
 
-        let (seq, baseline) = measure(&params, &population, 42, ExecMode::Sequential);
-        let seq_rate = seq.reports_per_s;
-        table.row(&[
-            format!("{n}"),
-            "sequential".into(),
-            format!("{:.2}", seq.elapsed_s),
-            format!("{}", seq.reports),
-            format!("{:.2}", seq.reports_per_s / 1e6),
-            "1.00x".into(),
-        ]);
-        rows.push((seq, 1.0));
-
-        for w in WORKER_COUNTS {
-            let (m, outcome) = measure(&params, &population, 42, ExecMode::Parallel(w));
-            assert_eq!(
-                outcome.estimates, baseline.estimates,
-                "parallel({w}) must match sequential before its timing counts"
+        for engine in ["event", "scenario"] {
+            let (seq, baseline) = measure(
+                engine,
+                &params,
+                &population,
+                42,
+                ExecMode::Sequential,
+                &storm,
             );
-            assert_eq!(outcome.wire, baseline.wire);
-            let speedup = m.reports_per_s / seq_rate;
+            let seq_rate = seq.reports_per_s;
             table.row(&[
+                engine.into(),
                 format!("{n}"),
-                format!("parallel({w})"),
-                format!("{:.2}", m.elapsed_s),
-                format!("{}", m.reports),
-                format!("{:.2}", m.reports_per_s / 1e6),
-                format!("{speedup:.2}x"),
+                "sequential".into(),
+                format!("{:.2}", seq.elapsed_s),
+                format!("{}", seq.reports),
+                format!("{:.2}", seq.reports_per_s / 1e6),
+                "1.00x".into(),
             ]);
-            rows.push((m, speedup));
+            rows.push((seq, 1.0));
+
+            for w in WORKER_COUNTS {
+                let (m, values) = measure(
+                    engine,
+                    &params,
+                    &population,
+                    42,
+                    ExecMode::Parallel(w),
+                    &storm,
+                );
+                assert_eq!(
+                    values, baseline,
+                    "{engine} parallel({w}) must match sequential (estimates + wire stats) \
+                     before its timing counts"
+                );
+                let speedup = m.reports_per_s / seq_rate;
+                table.row(&[
+                    engine.into(),
+                    format!("{n}"),
+                    format!("parallel({w})"),
+                    format!("{:.2}", m.elapsed_s),
+                    format!("{}", m.reports),
+                    format!("{:.2}", m.reports_per_s / 1e6),
+                    format!("{speedup:.2}x"),
+                ]);
+                rows.push((m, speedup));
+            }
         }
     }
+
+    // Cross-run pool reuse: what does a map_* call cost when the threads
+    // already exist?
+    let (reuse_workers, reuse_calls, reuse_jobs) = if smoke { (4, 100, 32) } else { (4, 400, 32) };
+    let (scoped_s, persistent_s) = measure_pool_reuse(reuse_workers, reuse_calls, reuse_jobs);
+    let spawn_delta_per_call = (scoped_s - persistent_s) / reuse_calls as f64;
+    println!(
+        "\npool reuse ({reuse_workers} workers, {reuse_calls} calls x {reuse_jobs} jobs): \
+         scoped {:.4}s vs persistent {:.4}s => spawn cost {:.1} us/call",
+        scoped_s,
+        persistent_s,
+        spawn_delta_per_call * 1e6
+    );
 
     // Machine-readable perf trajectory at the repository root.
     let hardware_threads = std::thread::available_parallelism()
@@ -155,9 +269,10 @@ fn main() {
     for (i, (m, speedup)) in rows.iter().enumerate() {
         let (mode, workers) = mode_json(m.mode);
         json.push_str(&format!(
-            "    {{\"n\": {}, \"d\": {}, \"mode\": \"{}\", \"workers\": {}, \
+            "    {{\"engine\": \"{}\", \"n\": {}, \"d\": {}, \"mode\": \"{}\", \"workers\": {}, \
              \"elapsed_s\": {:.6}, \"reports\": {}, \"reports_per_s\": {:.1}, \
              \"speedup_vs_sequential\": {:.4}}}{}\n",
+            m.engine,
             m.n,
             m.d,
             mode,
@@ -169,7 +284,14 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"pool_reuse\": {{\"workers\": {reuse_workers}, \"calls\": {reuse_calls}, \
+         \"jobs\": {reuse_jobs}, \"scoped_s\": {scoped_s:.6}, \
+         \"persistent_s\": {persistent_s:.6}, \
+         \"spawn_delta_s_per_call\": {spawn_delta_per_call:.9}}}\n"
+    ));
+    json.push_str("}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     std::fs::write(path, &json).expect("write BENCH_throughput.json");
 

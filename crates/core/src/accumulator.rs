@@ -1,4 +1,4 @@
-//! Mergeable accumulation state — the parallelism seam of Algorithm 2.
+//! Mergeable accumulation state — the storage-engine layer of Algorithm 2.
 //!
 //! The server's only per-report state is, per order `h`, the running sum
 //! of ±1 report bits of the currently open order-`h` dyadic interval.
@@ -11,12 +11,77 @@
 //! parallel execution value-for-value identical to sequential execution
 //! for any worker count.
 //!
-//! [`Server`](crate::server::Server) owns one [`DenseAccumulator`] and is
+//! The *storage layout* of those per-order sums is a free design axis the
+//! paper never pins down, so this module treats it as a pluggable
+//! backend. Four layouts live behind the one trait, selected by
+//! [`AccumulatorKind`] (env var `RTF_BACKEND`):
+//!
+//! * [`DenseAccumulator`] — one `f64` per order; the reference layout.
+//! * [`FixedPointAccumulator`] — one `i64` per order. Report sums are
+//!   integers, so integer storage is exact, bit-identical across
+//!   platforms/FPUs/worker counts, and saturating-checked against the
+//!   `n·k` bound derived from [`ProtocolParams`].
+//! * [`SparseAccumulator`] — a compressed order→sum map holding only
+//!   *touched* orders. At period `t` only orders with `2ʰ | t` receive
+//!   reports, so per-period shard accumulators in the batched pipeline
+//!   hold ~2 entries on average instead of `1 + log d` lanes — the
+//!   memory win grows with `log d`.
+//! * [`SoaAccumulator`] — two contiguous unsigned count lanes per order
+//!   (`+1` count, `−1` count) in one allocation: the hot `record` path
+//!   is a single integer increment with no floating-point op, and the
+//!   sum is reconstructed exactly on demand.
+//!
+//! All four are **exact** for integer-valued contents, so every backend
+//! produces identical frequency estimates — asserted value-for-value by
+//! the differential oracle (`rtf_scenarios::oracle::
+//! assert_backend_agreement`).
+//!
+//! [`Server`](crate::server::Server) owns one [`AnyAccumulator`] and is
 //! a thin checked-ingestion/finalisation facade over it; the parallel
-//! runtime builds one shard accumulator per worker and merges them in
-//! shard-index order.
+//! runtime builds one shard accumulator per worker (same backend) and
+//! merges them in shard-index order. Mixing backends or shapes across a
+//! merge is a typed [`AccumulatorError`], never UB or a silent wrong
+//! answer.
 
+use crate::params::ProtocolParams;
 use rtf_primitives::sign::Sign;
+
+/// Why two accumulators refused to merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccumulatorError {
+    /// The order counts differ — the shards track different horizons.
+    ShapeMismatch {
+        /// Orders of the accumulator being merged into.
+        expected: usize,
+        /// Orders of the offending shard.
+        got: usize,
+    },
+    /// The storage backends differ — a shard built for one layout was
+    /// handed to a server running another.
+    BackendMismatch {
+        /// Backend of the accumulator being merged into.
+        expected: AccumulatorKind,
+        /// Backend of the offending shard.
+        got: AccumulatorKind,
+    },
+}
+
+impl std::fmt::Display for AccumulatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccumulatorError::ShapeMismatch { expected, got } => write!(
+                f,
+                "cannot merge accumulators of different shapes: {expected} vs {got} orders"
+            ),
+            AccumulatorError::BackendMismatch { expected, got } => write!(
+                f,
+                "cannot merge accumulators of different backends: {expected} vs {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccumulatorError {}
 
 /// Mergeable per-order report accumulation.
 ///
@@ -37,11 +102,21 @@ pub trait Accumulator: Send {
     /// (integer-valued for ±1 bits).
     fn record_batch(&mut self, h: u32, sum: f64, count: u64);
 
+    /// Adds another shard of the same shape into `self`, rejecting
+    /// mismatched shapes with a typed error.
+    fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError>;
+
     /// Adds another shard of the same shape into `self`.
     ///
     /// # Panics
-    /// Panics if the shapes (order counts) differ.
-    fn merge(&mut self, other: &Self);
+    /// Panics if the shapes (order counts) or backends differ; use
+    /// [`try_merge`](Self::try_merge) where a recoverable error is
+    /// wanted.
+    fn merge(&mut self, other: &Self) {
+        if let Err(e) = self.try_merge(other) {
+            panic!("{e}");
+        }
+    }
 
     /// The running sum of the currently open order-`h` interval.
     fn order_sum(&self, h: u32) -> f64;
@@ -52,6 +127,21 @@ pub trait Accumulator: Send {
 
     /// Total number of report bits recorded (including merged shards).
     fn reports(&self) -> u64;
+
+    /// Bytes of heap memory this accumulator's storage currently holds —
+    /// the quantity `exp_backends` compares across layouts.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Converts an integer-valued batch total to `i64`, rejecting fractional
+/// or out-of-range values (±1 report bits can never produce them).
+#[inline]
+fn integral(sum: f64) -> i64 {
+    assert!(
+        sum.fract() == 0.0 && sum.abs() < 2f64.powi(53),
+        "batch sum {sum} is not an exactly-representable integer"
+    );
+    sum as i64
 }
 
 /// The dense per-order shard implementation: one running `f64` sum per
@@ -101,18 +191,18 @@ impl Accumulator for DenseAccumulator {
         self.reports += count;
     }
 
-    fn merge(&mut self, other: &Self) {
-        assert_eq!(
-            self.sums.len(),
-            other.sums.len(),
-            "cannot merge accumulators of different shapes: {} vs {} orders",
-            self.sums.len(),
-            other.sums.len()
-        );
+    fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError> {
+        if self.sums.len() != other.sums.len() {
+            return Err(AccumulatorError::ShapeMismatch {
+                expected: self.sums.len(),
+                got: other.sums.len(),
+            });
+        }
         for (a, b) in self.sums.iter_mut().zip(&other.sums) {
             *a += b;
         }
         self.reports += other.reports;
+        Ok(())
     }
 
     #[inline]
@@ -127,6 +217,542 @@ impl Accumulator for DenseAccumulator {
 
     fn reports(&self) -> u64 {
         self.reports
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.sums.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Integer (`i64`) per-order sums: bit-exact across platforms, FPUs, and
+/// worker counts, with saturating arithmetic checked against a
+/// protocol-derived bound.
+///
+/// Honest traffic can never saturate: between two closings of an order-`h`
+/// interval the server accepts at most one report per registered user, so
+/// `|sum| ≤ n ≤ n·k` — the bound installed by
+/// [`AccumulatorKind::accumulator_for`]. A set [`saturated`]
+/// (`FixedPointAccumulator::saturated`) flag therefore indicates a
+/// protocol violation (or a mis-sized bound), and the sums are clamped
+/// rather than wrapped so the failure is loud and deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedPointAccumulator {
+    sums: Vec<i64>,
+    reports: u64,
+    bound: i64,
+    saturated: bool,
+}
+
+impl FixedPointAccumulator {
+    /// An empty accumulator for `orders` orders with an effectively
+    /// unlimited bound.
+    pub fn new(orders: usize) -> Self {
+        FixedPointAccumulator::with_bound(orders, i64::MAX)
+    }
+
+    /// An empty accumulator whose per-order sums saturate at `±bound`.
+    ///
+    /// # Panics
+    /// Panics if `bound <= 0`.
+    pub fn with_bound(orders: usize, bound: i64) -> Self {
+        assert!(bound > 0, "saturation bound must be positive, got {bound}");
+        FixedPointAccumulator {
+            sums: vec![0; orders],
+            reports: 0,
+            bound,
+            saturated: false,
+        }
+    }
+
+    /// The per-order running sums.
+    pub fn sums(&self) -> &[i64] {
+        &self.sums
+    }
+
+    /// The saturation bound.
+    pub fn bound(&self) -> i64 {
+        self.bound
+    }
+
+    /// Whether any sum ever hit the bound (a protocol violation — honest
+    /// traffic stays below `n ≤ n·k`).
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    #[inline]
+    fn add(&mut self, h: usize, delta: i64) {
+        let next = self.sums[h].saturating_add(delta);
+        if next > self.bound {
+            self.sums[h] = self.bound;
+            self.saturated = true;
+        } else if next < -self.bound {
+            self.sums[h] = -self.bound;
+            self.saturated = true;
+        } else {
+            self.sums[h] = next;
+        }
+    }
+}
+
+impl Accumulator for FixedPointAccumulator {
+    fn orders(&self) -> usize {
+        self.sums.len()
+    }
+
+    #[inline]
+    fn record(&mut self, h: u32, bit: Sign) {
+        self.add(h as usize, i64::from(bit.value()));
+        self.reports += 1;
+    }
+
+    #[inline]
+    fn record_batch(&mut self, h: u32, sum: f64, count: u64) {
+        self.add(h as usize, integral(sum));
+        self.reports += count;
+    }
+
+    fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError> {
+        if self.sums.len() != other.sums.len() {
+            return Err(AccumulatorError::ShapeMismatch {
+                expected: self.sums.len(),
+                got: other.sums.len(),
+            });
+        }
+        for h in 0..other.sums.len() {
+            let delta = other.sums[h];
+            self.add(h, delta);
+        }
+        self.reports += other.reports;
+        self.saturated |= other.saturated;
+        Ok(())
+    }
+
+    #[inline]
+    fn order_sum(&self, h: u32) -> f64 {
+        self.sums[h as usize] as f64
+    }
+
+    #[inline]
+    fn take_order(&mut self, h: u32) -> f64 {
+        std::mem::take(&mut self.sums[h as usize]) as f64
+    }
+
+    fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.sums.capacity() * std::mem::size_of::<i64>()
+    }
+}
+
+/// A compressed order→sum map holding only *touched* orders, kept sorted
+/// by order for `O(log touched)` lookup and `O(touched)` merge.
+///
+/// At period `t` only the orders with `2ʰ | t` receive reports, and
+/// [`take_order`](Accumulator::take_order) removes the entry once the
+/// interval closes — so a per-period shard accumulator in the batched
+/// pipeline holds on average ~2 entries regardless of `log d`, where the
+/// dense layout always holds `1 + log d` lanes. The memory advantage
+/// grows with the horizon (the Bassily–Smith succinct-histogram regime).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseAccumulator {
+    /// `(order, sum)` entries, sorted by order; absent ⇒ sum is zero.
+    entries: Vec<(u32, f64)>,
+    orders: usize,
+    reports: u64,
+}
+
+impl SparseAccumulator {
+    /// An empty accumulator for `orders` orders.
+    pub fn new(orders: usize) -> Self {
+        SparseAccumulator {
+            entries: Vec::new(),
+            orders,
+            reports: 0,
+        }
+    }
+
+    /// Number of orders currently holding an entry.
+    pub fn touched(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn add(&mut self, h: u32, delta: f64) {
+        match self.entries.binary_search_by_key(&h, |&(o, _)| o) {
+            Ok(i) => self.entries[i].1 += delta,
+            Err(i) => {
+                // Exact-fit growth: a per-period accumulator holds ~2
+                // entries, so Vec's amortised-doubling minimum (4 slots)
+                // would double the footprint for nothing — and footprint
+                // is this backend's whole reason to exist.
+                if self.entries.len() == self.entries.capacity() {
+                    self.entries.reserve_exact(1);
+                }
+                self.entries.insert(i, (h, delta));
+            }
+        }
+    }
+}
+
+impl Accumulator for SparseAccumulator {
+    fn orders(&self) -> usize {
+        self.orders
+    }
+
+    #[inline]
+    fn record(&mut self, h: u32, bit: Sign) {
+        debug_assert!((h as usize) < self.orders, "order {h} out of range");
+        self.add(h, bit.as_f64());
+        self.reports += 1;
+    }
+
+    #[inline]
+    fn record_batch(&mut self, h: u32, sum: f64, count: u64) {
+        debug_assert!((h as usize) < self.orders, "order {h} out of range");
+        self.add(h, sum);
+        self.reports += count;
+    }
+
+    fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError> {
+        if self.orders != other.orders {
+            return Err(AccumulatorError::ShapeMismatch {
+                expected: self.orders,
+                got: other.orders,
+            });
+        }
+        for &(h, sum) in &other.entries {
+            self.add(h, sum);
+        }
+        self.reports += other.reports;
+        Ok(())
+    }
+
+    #[inline]
+    fn order_sum(&self, h: u32) -> f64 {
+        match self.entries.binary_search_by_key(&h, |&(o, _)| o) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    #[inline]
+    fn take_order(&mut self, h: u32) -> f64 {
+        match self.entries.binary_search_by_key(&h, |&(o, _)| o) {
+            Ok(i) => self.entries.remove(i).1,
+            Err(_) => 0.0,
+        }
+    }
+
+    fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u32, f64)>()
+    }
+}
+
+/// Structure-of-arrays count lanes: per order, a `+1` count and a `−1`
+/// count in one contiguous `Vec<u64>` (`lanes[2h]` = pluses,
+/// `lanes[2h+1]` = minuses).
+///
+/// The hot `record` path is a single integer increment — no
+/// floating-point op, no sign multiply — and the per-order sum is
+/// reconstructed exactly on demand as `pluses − minuses`. The lanes for
+/// all orders share one allocation sized for the L1 line, which is the
+/// layout the single-core bench box rewards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaAccumulator {
+    /// `lanes[2h]` counts +1 bits of order `h`; `lanes[2h+1]` counts −1s.
+    lanes: Vec<u64>,
+    reports: u64,
+}
+
+impl SoaAccumulator {
+    /// An empty accumulator for `orders` orders.
+    pub fn new(orders: usize) -> Self {
+        SoaAccumulator {
+            lanes: vec![0; 2 * orders],
+            reports: 0,
+        }
+    }
+
+    /// The `(+1 count, −1 count)` lanes of order `h`.
+    pub fn lanes(&self, h: u32) -> (u64, u64) {
+        let i = 2 * h as usize;
+        (self.lanes[i], self.lanes[i + 1])
+    }
+}
+
+impl Accumulator for SoaAccumulator {
+    fn orders(&self) -> usize {
+        self.lanes.len() / 2
+    }
+
+    #[inline]
+    fn record(&mut self, h: u32, bit: Sign) {
+        let lane = 2 * h as usize + usize::from(bit == Sign::Minus);
+        self.lanes[lane] += 1;
+        self.reports += 1;
+    }
+
+    #[inline]
+    fn record_batch(&mut self, h: u32, sum: f64, count: u64) {
+        let s = integral(sum);
+        let c = i64::try_from(count).expect("batch count fits i64");
+        assert!(
+            s.abs() <= c && (c + s) % 2 == 0,
+            "batch sum {s} is not a possible total of {count} ±1 reports"
+        );
+        let plus = ((c + s) / 2) as u64;
+        let i = 2 * h as usize;
+        self.lanes[i] += plus;
+        self.lanes[i + 1] += count - plus;
+        self.reports += count;
+    }
+
+    fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError> {
+        if self.lanes.len() != other.lanes.len() {
+            return Err(AccumulatorError::ShapeMismatch {
+                expected: self.lanes.len() / 2,
+                got: other.lanes.len() / 2,
+            });
+        }
+        for (a, b) in self.lanes.iter_mut().zip(&other.lanes) {
+            *a += b;
+        }
+        self.reports += other.reports;
+        Ok(())
+    }
+
+    #[inline]
+    fn order_sum(&self, h: u32) -> f64 {
+        let i = 2 * h as usize;
+        (self.lanes[i] as i64 - self.lanes[i + 1] as i64) as f64
+    }
+
+    #[inline]
+    fn take_order(&mut self, h: u32) -> f64 {
+        let i = 2 * h as usize;
+        let sum = (self.lanes[i] as i64 - self.lanes[i + 1] as i64) as f64;
+        self.lanes[i] = 0;
+        self.lanes[i + 1] = 0;
+        sum
+    }
+
+    fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.lanes.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// The selectable storage backends, in the order of [`Self::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccumulatorKind {
+    /// [`DenseAccumulator`] — one `f64` per order (the default).
+    Dense,
+    /// [`FixedPointAccumulator`] — `i64` sums, bit-exact cross-platform.
+    Fixed,
+    /// [`SparseAccumulator`] — compressed order→sum map for huge `log d`.
+    Sparse,
+    /// [`SoaAccumulator`] — contiguous ±1 count lanes per order.
+    Soa,
+}
+
+impl AccumulatorKind {
+    /// Every backend, in a fixed order — the iteration set of the
+    /// cross-backend differential checks.
+    pub const ALL: [AccumulatorKind; 4] = [
+        AccumulatorKind::Dense,
+        AccumulatorKind::Fixed,
+        AccumulatorKind::Sparse,
+        AccumulatorKind::Soa,
+    ];
+
+    /// The backend's canonical lowercase name (the `RTF_BACKEND` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            AccumulatorKind::Dense => "dense",
+            AccumulatorKind::Fixed => "fixed",
+            AccumulatorKind::Sparse => "sparse",
+            AccumulatorKind::Soa => "soa",
+        }
+    }
+
+    /// Parses a backend name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AccumulatorKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "dense" => Some(AccumulatorKind::Dense),
+            "fixed" => Some(AccumulatorKind::Fixed),
+            "sparse" => Some(AccumulatorKind::Sparse),
+            "soa" => Some(AccumulatorKind::Soa),
+            _ => None,
+        }
+    }
+
+    /// Reads the backend from the `RTF_BACKEND` environment variable:
+    /// unset or empty means [`AccumulatorKind::Dense`]. The CI backend
+    /// matrix sets `RTF_BACKEND=fixed`/`sparse` to replay the whole test
+    /// pyramid through an alternative backend, so a typo must fail loudly
+    /// rather than silently fall back to dense.
+    ///
+    /// # Panics
+    /// Panics on an unrecognised non-empty value.
+    pub fn from_env() -> Self {
+        match std::env::var("RTF_BACKEND") {
+            Err(_) => AccumulatorKind::Dense,
+            Ok(v) if v.trim().is_empty() => AccumulatorKind::Dense,
+            Ok(v) => AccumulatorKind::parse(&v).unwrap_or_else(|| {
+                panic!("unknown RTF_BACKEND {v:?}; valid values: dense, fixed, sparse, soa")
+            }),
+        }
+    }
+
+    /// An empty accumulator of this backend for `orders` orders, with no
+    /// saturation bound (worker shards; the server's own accumulator
+    /// carries the protocol bound via [`Self::accumulator_for`]).
+    pub fn new_accumulator(self, orders: usize) -> AnyAccumulator {
+        match self {
+            AccumulatorKind::Dense => AnyAccumulator::Dense(DenseAccumulator::new(orders)),
+            AccumulatorKind::Fixed => AnyAccumulator::Fixed(FixedPointAccumulator::new(orders)),
+            AccumulatorKind::Sparse => AnyAccumulator::Sparse(SparseAccumulator::new(orders)),
+            AccumulatorKind::Soa => AnyAccumulator::Soa(SoaAccumulator::new(orders)),
+        }
+    }
+
+    /// An empty accumulator of this backend sized for `params`: the
+    /// fixed-point backend saturates at the `n·k` bound (an order sum can
+    /// never legitimately exceed `n`, and `k ≥ 1`, so `n·k` is a safe
+    /// ceiling that still catches runaway merges).
+    pub fn accumulator_for(self, params: &ProtocolParams) -> AnyAccumulator {
+        let orders = params.num_orders() as usize;
+        match self {
+            AccumulatorKind::Fixed => {
+                let bound = (params.n() as i64).saturating_mul(params.k() as i64);
+                AnyAccumulator::Fixed(FixedPointAccumulator::with_bound(orders, bound))
+            }
+            _ => self.new_accumulator(orders),
+        }
+    }
+}
+
+impl std::fmt::Display for AccumulatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A backend-erased accumulator: enum dispatch over the four layouts, so
+/// `Server` and the engines can hold "some backend" without generics
+/// bleeding through every signature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyAccumulator {
+    /// Dense `f64` lanes.
+    Dense(DenseAccumulator),
+    /// Fixed-point `i64` lanes.
+    Fixed(FixedPointAccumulator),
+    /// Compressed order→sum map.
+    Sparse(SparseAccumulator),
+    /// ±1 count lanes.
+    Soa(SoaAccumulator),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $acc:ident => $body:expr) => {
+        match $self {
+            AnyAccumulator::Dense($acc) => $body,
+            AnyAccumulator::Fixed($acc) => $body,
+            AnyAccumulator::Sparse($acc) => $body,
+            AnyAccumulator::Soa($acc) => $body,
+        }
+    };
+}
+
+impl AnyAccumulator {
+    /// Which backend this accumulator uses.
+    pub fn kind(&self) -> AccumulatorKind {
+        match self {
+            AnyAccumulator::Dense(_) => AccumulatorKind::Dense,
+            AnyAccumulator::Fixed(_) => AccumulatorKind::Fixed,
+            AnyAccumulator::Sparse(_) => AccumulatorKind::Sparse,
+            AnyAccumulator::Soa(_) => AccumulatorKind::Soa,
+        }
+    }
+
+    /// An empty accumulator of the same backend, shape, and (for
+    /// fixed-point) saturation bound — what `Server::new_shard` hands to
+    /// workers.
+    pub fn fresh_like(&self) -> AnyAccumulator {
+        match self {
+            AnyAccumulator::Dense(a) => AnyAccumulator::Dense(DenseAccumulator::new(a.orders())),
+            AnyAccumulator::Fixed(a) => {
+                AnyAccumulator::Fixed(FixedPointAccumulator::with_bound(a.orders(), a.bound()))
+            }
+            AnyAccumulator::Sparse(a) => AnyAccumulator::Sparse(SparseAccumulator::new(a.orders())),
+            AnyAccumulator::Soa(a) => AnyAccumulator::Soa(SoaAccumulator::new(a.orders())),
+        }
+    }
+
+    /// Whether the backend detected saturation (fixed-point only; other
+    /// backends cannot saturate and always return `false`).
+    pub fn is_saturated(&self) -> bool {
+        match self {
+            AnyAccumulator::Fixed(a) => a.saturated(),
+            _ => false,
+        }
+    }
+}
+
+impl Accumulator for AnyAccumulator {
+    fn orders(&self) -> usize {
+        dispatch!(self, a => a.orders())
+    }
+
+    #[inline]
+    fn record(&mut self, h: u32, bit: Sign) {
+        dispatch!(self, a => a.record(h, bit))
+    }
+
+    #[inline]
+    fn record_batch(&mut self, h: u32, sum: f64, count: u64) {
+        dispatch!(self, a => a.record_batch(h, sum, count))
+    }
+
+    fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError> {
+        match (self, other) {
+            (AnyAccumulator::Dense(a), AnyAccumulator::Dense(b)) => a.try_merge(b),
+            (AnyAccumulator::Fixed(a), AnyAccumulator::Fixed(b)) => a.try_merge(b),
+            (AnyAccumulator::Sparse(a), AnyAccumulator::Sparse(b)) => a.try_merge(b),
+            (AnyAccumulator::Soa(a), AnyAccumulator::Soa(b)) => a.try_merge(b),
+            (a, b) => Err(AccumulatorError::BackendMismatch {
+                expected: a.kind(),
+                got: b.kind(),
+            }),
+        }
+    }
+
+    #[inline]
+    fn order_sum(&self, h: u32) -> f64 {
+        dispatch!(self, a => a.order_sum(h))
+    }
+
+    #[inline]
+    fn take_order(&mut self, h: u32) -> f64 {
+        dispatch!(self, a => a.take_order(h))
+    }
+
+    fn reports(&self) -> u64 {
+        dispatch!(self, a => a.reports())
+    }
+
+    fn heap_bytes(&self) -> usize {
+        dispatch!(self, a => a.heap_bytes())
     }
 }
 
@@ -167,6 +793,22 @@ mod tests {
             out.merge(p);
         }
         out
+    }
+
+    /// A parity-consistent random event stream (`(h, Sign)` pairs), valid
+    /// for every backend including the SoA count lanes.
+    fn random_events(rng: &mut impl Rng, orders: usize, events: usize) -> Vec<(u32, Sign)> {
+        (0..events)
+            .map(|_| {
+                let h = rng.random_range(0..orders) as u32;
+                let bit = if rng.random_bool(0.5) {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                };
+                (h, bit)
+            })
+            .collect()
     }
 
     #[test]
@@ -217,17 +859,7 @@ mod tests {
         // same state as recording everything on one accumulator.
         let mut rng = SeedSequence::new(77).rng();
         let orders = 5usize;
-        let events: Vec<(u32, Sign)> = (0..500)
-            .map(|_| {
-                let h = rng.random_range(0..orders) as u32;
-                let bit = if rng.random_bool(0.5) {
-                    Sign::Plus
-                } else {
-                    Sign::Minus
-                };
-                (h, bit)
-            })
-            .collect();
+        let events = random_events(&mut rng, orders, 500);
         let mut whole = DenseAccumulator::new(orders);
         for &(h, bit) in &events {
             whole.record(h, bit);
@@ -267,5 +899,241 @@ mod tests {
     fn shape_mismatch_rejected() {
         let mut a = DenseAccumulator::new(3);
         a.merge(&DenseAccumulator::new(4));
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let mut a = DenseAccumulator::new(3);
+        assert_eq!(
+            a.try_merge(&DenseAccumulator::new(4)),
+            Err(AccumulatorError::ShapeMismatch {
+                expected: 3,
+                got: 4
+            })
+        );
+        let mut any = AccumulatorKind::Sparse.new_accumulator(5);
+        assert_eq!(
+            any.try_merge(&AccumulatorKind::Sparse.new_accumulator(2)),
+            Err(AccumulatorError::ShapeMismatch {
+                expected: 5,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn backend_mismatch_is_a_typed_error() {
+        let mut dense = AccumulatorKind::Dense.new_accumulator(4);
+        let fixed = AccumulatorKind::Fixed.new_accumulator(4);
+        let err = dense.try_merge(&fixed).unwrap_err();
+        assert_eq!(
+            err,
+            AccumulatorError::BackendMismatch {
+                expected: AccumulatorKind::Dense,
+                got: AccumulatorKind::Fixed
+            }
+        );
+        assert!(err.to_string().contains("different backends"));
+    }
+
+    #[test]
+    fn every_backend_matches_dense_on_random_streams() {
+        // The storage-engine contract: identical record/record_batch/
+        // take_order sequences produce identical observable values on all
+        // four layouts — exactly, not within tolerance.
+        let mut rng = SeedSequence::new(2024).rng();
+        for _ in 0..30 {
+            let orders = rng.random_range(1..10usize);
+            let events = random_events(&mut rng, orders, 300);
+            // Parity-consistent batches: sum of `count` actual ±1 draws.
+            let batches: Vec<(u32, f64, u64)> = (0..20)
+                .map(|_| {
+                    let h = rng.random_range(0..orders) as u32;
+                    let count = rng.random_range(0..40u64);
+                    let sum: i64 = (0..count)
+                        .map(|_| if rng.random_bool(0.5) { 1i64 } else { -1 })
+                        .sum();
+                    (h, sum as f64, count)
+                })
+                .collect();
+
+            let mut accs: Vec<AnyAccumulator> = AccumulatorKind::ALL
+                .iter()
+                .map(|k| k.new_accumulator(orders))
+                .collect();
+            for acc in &mut accs {
+                for &(h, bit) in &events {
+                    acc.record(h, bit);
+                }
+                for &(h, sum, count) in &batches {
+                    acc.record_batch(h, sum, count);
+                }
+            }
+            let reference: Vec<f64> = (0..orders as u32).map(|h| accs[0].order_sum(h)).collect();
+            for acc in &mut accs {
+                assert_eq!(acc.orders(), orders);
+                for h in 0..orders as u32 {
+                    assert_eq!(
+                        acc.order_sum(h),
+                        reference[h as usize],
+                        "{} order {h}",
+                        acc.kind()
+                    );
+                }
+                assert_eq!(acc.reports(), accs_reports(&events, &batches));
+                // Draining and re-reading is identical across backends too.
+                for h in 0..orders as u32 {
+                    assert_eq!(acc.take_order(h), reference[h as usize], "{}", acc.kind());
+                    assert_eq!(acc.order_sum(h), 0.0);
+                }
+            }
+        }
+
+        fn accs_reports(events: &[(u32, Sign)], batches: &[(u32, f64, u64)]) -> u64 {
+            events.len() as u64 + batches.iter().map(|&(_, _, c)| c).sum::<u64>()
+        }
+    }
+
+    #[test]
+    fn every_backend_merges_like_dense() {
+        // Sharded accumulation + merge agrees with direct accumulation on
+        // every backend, for several shard counts.
+        let mut rng = SeedSequence::new(31337).rng();
+        let orders = 7usize;
+        let events = random_events(&mut rng, orders, 400);
+        for kind in AccumulatorKind::ALL {
+            let mut direct = kind.new_accumulator(orders);
+            for &(h, bit) in &events {
+                direct.record(h, bit);
+            }
+            for shards in [1usize, 2, 5, 8] {
+                let chunk = events.len().div_ceil(shards);
+                let mut out = kind.new_accumulator(orders);
+                for part in events.chunks(chunk) {
+                    let mut acc = kind.new_accumulator(orders);
+                    for &(h, bit) in part {
+                        acc.record(h, bit);
+                    }
+                    out.try_merge(&acc).unwrap();
+                }
+                for h in 0..orders as u32 {
+                    assert_eq!(
+                        out.order_sum(h),
+                        direct.order_sum(h),
+                        "{kind}, {shards} shards, order {h}"
+                    );
+                }
+                assert_eq!(out.reports(), direct.reports(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_saturates_at_the_bound() {
+        let mut acc = FixedPointAccumulator::with_bound(2, 2);
+        acc.record(0, Sign::Plus);
+        acc.record(0, Sign::Plus);
+        assert!(!acc.saturated());
+        assert_eq!(acc.order_sum(0), 2.0);
+        // One past the bound clamps and flags, deterministically.
+        acc.record(0, Sign::Plus);
+        assert!(acc.saturated());
+        assert_eq!(acc.order_sum(0), 2.0);
+        // Negative direction too.
+        let mut neg = FixedPointAccumulator::with_bound(1, 1);
+        neg.record_batch(0, -5.0, 5);
+        assert!(neg.saturated());
+        assert_eq!(neg.order_sum(0), -1.0);
+        // Merging a saturated shard taints the target.
+        let mut clean = FixedPointAccumulator::with_bound(1, 1);
+        clean.try_merge(&neg).unwrap();
+        assert!(clean.saturated());
+    }
+
+    #[test]
+    fn sparse_stays_compressed_under_take_order() {
+        let mut acc = SparseAccumulator::new(64);
+        assert_eq!(acc.heap_bytes(), 0, "empty map holds no heap");
+        acc.record(7, Sign::Plus);
+        acc.record(63, Sign::Minus);
+        acc.record(7, Sign::Plus);
+        assert_eq!(acc.touched(), 2);
+        assert_eq!(acc.order_sum(7), 2.0);
+        assert_eq!(acc.order_sum(0), 0.0, "untouched order reads zero");
+        // Closing the interval removes the entry — the map never grows
+        // past the touched set.
+        assert_eq!(acc.take_order(7), 2.0);
+        assert_eq!(acc.touched(), 1);
+        assert_eq!(acc.take_order(7), 0.0, "re-draining an absent order");
+        assert_eq!(acc.reports(), 3);
+    }
+
+    #[test]
+    fn soa_lanes_count_signs_exactly() {
+        let mut acc = SoaAccumulator::new(3);
+        acc.record(1, Sign::Plus);
+        acc.record(1, Sign::Plus);
+        acc.record(1, Sign::Minus);
+        assert_eq!(acc.lanes(1), (2, 1));
+        assert_eq!(acc.order_sum(1), 1.0);
+        // Batch decomposition: sum −2 over 4 reports = 1 plus, 3 minus.
+        acc.record_batch(2, -2.0, 4);
+        assert_eq!(acc.lanes(2), (1, 3));
+        assert_eq!(acc.order_sum(2), -2.0);
+        assert_eq!(acc.take_order(2), -2.0);
+        assert_eq!(acc.lanes(2), (0, 0));
+        assert_eq!(acc.reports(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a possible total")]
+    fn soa_rejects_parity_inconsistent_batches() {
+        // 3 ±1 reports can never sum to 2 — the count lanes catch what a
+        // float adder would silently absorb.
+        SoaAccumulator::new(1).record_batch(0, 2.0, 3);
+    }
+
+    #[test]
+    fn kind_parsing_and_construction() {
+        for kind in AccumulatorKind::ALL {
+            assert_eq!(AccumulatorKind::parse(kind.name()), Some(kind));
+            assert_eq!(
+                AccumulatorKind::parse(&kind.name().to_uppercase()),
+                Some(kind)
+            );
+            let acc = kind.new_accumulator(5);
+            assert_eq!(acc.kind(), kind);
+            assert_eq!(acc.orders(), 5);
+            assert_eq!(acc.reports(), 0);
+            let fresh = acc.fresh_like();
+            assert_eq!(fresh.kind(), kind);
+            assert_eq!(fresh.orders(), 5);
+        }
+        assert_eq!(AccumulatorKind::parse("colfam"), None);
+        assert_eq!(AccumulatorKind::Dense.to_string(), "dense");
+    }
+
+    #[test]
+    fn accumulator_for_installs_the_nk_bound() {
+        let params = ProtocolParams::new(100, 8, 2, 1.0, 0.05).unwrap();
+        let acc = AccumulatorKind::Fixed.accumulator_for(&params);
+        let AnyAccumulator::Fixed(fixed) = &acc else {
+            panic!("expected the fixed backend");
+        };
+        assert_eq!(fixed.bound(), 200); // n·k = 100·2
+        assert!(!acc.is_saturated());
+        // fresh_like preserves the bound for worker shards.
+        let AnyAccumulator::Fixed(shard) = acc.fresh_like() else {
+            panic!("expected the fixed backend");
+        };
+        assert_eq!(shard.bound(), 200);
+        // The other backends are bound-free and never saturate.
+        for kind in [
+            AccumulatorKind::Dense,
+            AccumulatorKind::Sparse,
+            AccumulatorKind::Soa,
+        ] {
+            assert!(!kind.accumulator_for(&params).is_saturated());
+        }
     }
 }

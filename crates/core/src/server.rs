@@ -13,14 +13,16 @@
 //! frontier — the order-`h` member of `C(t)` is always the most recently
 //! completed order-`h` interval.
 //!
-//! The per-report accumulation state lives in a mergeable
-//! [`DenseAccumulator`] (see [`crate::accumulator`]); the server itself
-//! is a thin checked-ingestion/finalisation facade over it. Worker shards
-//! built by the parallel runtime accumulate independently and are folded
-//! in via [`Server::absorb_shard`] — value-for-value identical to
-//! sequential ingestion because report sums are integer-valued.
+//! The per-report accumulation state lives in a mergeable, pluggable
+//! storage backend ([`AnyAccumulator`], selected by [`AccumulatorKind`] /
+//! the `RTF_BACKEND` env var — see [`crate::accumulator`]); the server
+//! itself is a thin checked-ingestion/finalisation facade over it. Worker
+//! shards built by the parallel runtime accumulate independently on the
+//! same backend and are folded in via [`Server::absorb_shard`] —
+//! value-for-value identical to sequential ingestion because report sums
+//! are integer-valued and every backend stores them exactly.
 
-use crate::accumulator::{Accumulator, DenseAccumulator};
+use crate::accumulator::{Accumulator, AccumulatorError, AccumulatorKind, AnyAccumulator};
 use crate::params::ProtocolParams;
 use crate::queries::EstimateStore;
 use rtf_dyadic::frontier::Frontier;
@@ -105,7 +107,8 @@ pub struct Server {
     group_sizes: Vec<usize>,
     /// Mergeable accumulation state: per-order running sums of report
     /// bits for the currently open intervals, plus the report counter.
-    acc: DenseAccumulator,
+    /// The storage layout is the pluggable backend axis.
+    acc: AnyAccumulator,
     frontier: Frontier<f64>,
     estimates: Vec<f64>,
     current_t: u64,
@@ -122,13 +125,24 @@ pub struct Server {
 
 impl Server {
     /// Builds a server from explicit per-order preservation gaps
-    /// `c_gap(h)` (index `h ∈ [0..log d]`). The gaps must match the
-    /// clients' randomizers or estimates will be biased.
+    /// `c_gap(h)` (index `h ∈ [0..log d]`), on the accumulator backend
+    /// selected by `RTF_BACKEND` ([`AccumulatorKind::from_env`]; default
+    /// dense). The gaps must match the clients' randomizers or estimates
+    /// will be biased.
     ///
     /// # Panics
     /// Panics if the gap vector has the wrong length or a non-positive
     /// entry.
     pub fn new(params: ProtocolParams, c_gaps: &[f64]) -> Self {
+        Self::with_backend(params, c_gaps, AccumulatorKind::from_env())
+    }
+
+    /// [`new`](Self::new) on an explicit storage backend.
+    ///
+    /// # Panics
+    /// Panics if the gap vector has the wrong length or a non-positive
+    /// entry.
+    pub fn with_backend(params: ProtocolParams, c_gaps: &[f64], backend: AccumulatorKind) -> Self {
         let orders = params.num_orders() as usize;
         assert_eq!(
             c_gaps.len(),
@@ -148,7 +162,7 @@ impl Server {
             params,
             scale,
             group_sizes: vec![0; orders],
-            acc: DenseAccumulator::new(orders),
+            acc: backend.accumulator_for(&params),
             frontier: Frontier::new(params.horizon()),
             estimates: Vec::with_capacity(params.d() as usize),
             current_t: 0,
@@ -178,15 +192,21 @@ impl Server {
 
     /// Builds a server whose per-order gaps are the exact `c_gap` of the
     /// protocol's FutureRand configuration (`k_eff = max(1, min(k, L))`,
-    /// `ε̃ = ε/(5√k_eff)`).
+    /// `ε̃ = ε/(5√k_eff)`), on the `RTF_BACKEND`-selected backend.
     pub fn for_future_rand(params: ProtocolParams) -> Self {
+        Self::for_future_rand_with(params, AccumulatorKind::from_env())
+    }
+
+    /// [`for_future_rand`](Self::for_future_rand) on an explicit storage
+    /// backend.
+    pub fn for_future_rand_with(params: ProtocolParams, backend: AccumulatorKind) -> Self {
         let gaps: Vec<f64> = (0..params.num_orders())
             .map(|h| {
                 crate::gap::WeightClassLaw::for_protocol(params.k_for_order(h), params.epsilon())
                     .c_gap()
             })
             .collect();
-        Self::new(params, &gaps)
+        Self::with_backend(params, &gaps, backend)
     }
 
     /// Registers a user's announced order (Algorithm 2, line 1).
@@ -222,23 +242,25 @@ impl Server {
         self.acc.record(h, bit);
     }
 
-    /// An empty accumulator of this server's shape, for a worker shard to
-    /// fill independently and hand back via
+    /// An empty accumulator of this server's shape **and backend**, for a
+    /// worker shard to fill independently and hand back via
     /// [`absorb_shard`](Self::absorb_shard).
-    pub fn new_shard(&self) -> DenseAccumulator {
-        DenseAccumulator::new(self.params.num_orders() as usize)
+    pub fn new_shard(&self) -> AnyAccumulator {
+        self.acc.fresh_like()
     }
 
     /// Merges a worker shard's accumulated reports into the live
     /// accumulation state — equivalent, report for report, to having
     /// called [`ingest`](Self::ingest) for each of the shard's bits
-    /// (exactly: the sums are integer-valued, so `f64` addition order
-    /// cannot matter).
+    /// (exactly: the sums are integer-valued, so addition order cannot
+    /// matter on any backend).
     ///
-    /// # Panics
-    /// Panics if the shard's shape does not match this server's.
-    pub fn absorb_shard(&mut self, shard: &DenseAccumulator) {
-        self.acc.merge(shard);
+    /// # Errors
+    /// Returns [`AccumulatorError`] — not a debug assertion — when the
+    /// shard's order count or storage backend differs from this server's,
+    /// so a backend-mixing bug fails loudly in release builds too.
+    pub fn absorb_shard(&mut self, shard: &AnyAccumulator) -> Result<(), AccumulatorError> {
+        self.acc.try_merge(shard)
     }
 
     /// Ingests a pre-summed batch of `count` report bits whose ±1 values
@@ -396,8 +418,13 @@ impl Server {
     }
 
     /// The live accumulation state (diagnostic).
-    pub fn accumulator(&self) -> &DenseAccumulator {
+    pub fn accumulator(&self) -> &AnyAccumulator {
         &self.acc
+    }
+
+    /// The storage backend this server accumulates on.
+    pub fn backend(&self) -> AccumulatorKind {
+        self.acc.kind()
     }
 
     /// The protocol parameters.
@@ -676,11 +703,78 @@ mod tests {
             for &bit in &bits[4..] {
                 s2.record(0, bit);
             }
-            sharded.absorb_shard(&s1);
-            sharded.absorb_shard(&s2);
+            sharded.absorb_shard(&s1).unwrap();
+            sharded.absorb_shard(&s2).unwrap();
             assert_eq!(direct.end_of_period(t), sharded.end_of_period(t));
         }
         assert_eq!(direct.reports_ingested(), sharded.reports_ingested());
+    }
+
+    #[test]
+    fn every_backend_reproduces_the_dense_estimates() {
+        // Identical report streams through servers on all four storage
+        // backends: the estimates must agree exactly, per period.
+        use crate::accumulator::AccumulatorKind;
+        let p = params();
+        let mut servers: Vec<Server> = AccumulatorKind::ALL
+            .iter()
+            .map(|&k| Server::for_future_rand_with(p, k))
+            .collect();
+        for s in &mut servers {
+            s.register_user(0);
+            s.register_user(1);
+        }
+        let bits = [Sign::Plus, Sign::Minus, Sign::Minus, Sign::Plus];
+        for t in 1..=8u64 {
+            let mut row = Vec::new();
+            for s in &mut servers {
+                s.ingest(0, bits[(t % 4) as usize]);
+                if t % 2 == 0 {
+                    s.ingest(1, bits[(t % 3) as usize]);
+                }
+                row.push(s.end_of_period(t));
+            }
+            assert!(
+                row.iter().all(|&e| e == row[0]),
+                "t={t}: backends diverge: {row:?}"
+            );
+        }
+        for (s, kind) in servers.iter().zip(AccumulatorKind::ALL) {
+            assert_eq!(s.backend(), kind);
+            assert_eq!(s.reports_ingested(), 8 + 4);
+        }
+    }
+
+    #[test]
+    fn absorb_shard_rejects_mismatches_with_typed_errors() {
+        use crate::accumulator::{AccumulatorError, AccumulatorKind};
+        let p = params();
+        let mut server = Server::for_future_rand_with(p, AccumulatorKind::Dense);
+        // Wrong backend: a fixed-point shard against a dense server.
+        let foreign = AccumulatorKind::Fixed.new_accumulator(4);
+        assert_eq!(
+            server.absorb_shard(&foreign),
+            Err(AccumulatorError::BackendMismatch {
+                expected: AccumulatorKind::Dense,
+                got: AccumulatorKind::Fixed
+            })
+        );
+        // Wrong shape: a shard sized for a different horizon.
+        let misshapen = AccumulatorKind::Dense.new_accumulator(9);
+        assert_eq!(
+            server.absorb_shard(&misshapen),
+            Err(AccumulatorError::ShapeMismatch {
+                expected: 4,
+                got: 9
+            })
+        );
+        // Neither failed merge touched the live state.
+        assert_eq!(server.reports_ingested(), 0);
+        // A well-formed shard still merges.
+        let mut ok = server.new_shard();
+        ok.record(0, Sign::Plus);
+        assert!(server.absorb_shard(&ok).is_ok());
+        assert_eq!(server.reports_ingested(), 1);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! users that allocation/decode pair dominates the run. Workers in the
 //! batched pipeline append to reusable columnar buffers instead — one
 //! `Vec` per field, no per-report allocation — and fold them straight
-//! into a shard [`DenseAccumulator`].
+//! into a shard accumulator of whatever storage backend the deployment
+//! selected ([`rtf_core::accumulator::AccumulatorKind`]).
 //!
 //! Two batch shapes exist:
 //!
@@ -19,7 +20,7 @@
 //!   impersonation depends on frame order, so the merge must reproduce
 //!   it bit-for-bit).
 
-use rtf_core::accumulator::{Accumulator, DenseAccumulator};
+use rtf_core::accumulator::Accumulator;
 use rtf_primitives::sign::Sign;
 
 /// One period's reports for one shard of users, struct-of-arrays.
@@ -79,9 +80,9 @@ impl ReportBatch {
             .map(|((&u, &h), &s)| (u, h, Sign::from_i8(s)))
     }
 
-    /// Folds every row into a shard accumulator — the batched
-    /// replacement for per-report `Server::ingest`.
-    pub fn fold_into(&self, acc: &mut DenseAccumulator) {
+    /// Folds every row into a shard accumulator of any storage backend —
+    /// the batched replacement for per-report `Server::ingest`.
+    pub fn fold_into<A: Accumulator>(&self, acc: &mut A) {
         for (&h, &s) in self.orders.iter().zip(&self.signs) {
             acc.record(u32::from(h), Sign::from_i8(s));
         }
@@ -202,6 +203,7 @@ impl FrameBatch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtf_core::accumulator::{AccumulatorKind, DenseAccumulator};
 
     #[test]
     fn report_batch_folds_like_direct_ingestion() {
@@ -225,6 +227,23 @@ mod tests {
 
         batch.clear();
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn report_batch_folds_identically_into_every_backend() {
+        let mut batch = ReportBatch::new();
+        batch.push(0, 0, Sign::Plus);
+        batch.push(1, 1, Sign::Minus);
+        batch.push(2, 1, Sign::Minus);
+        batch.push(3, 2, Sign::Plus);
+        for kind in AccumulatorKind::ALL {
+            let mut acc = kind.new_accumulator(3);
+            batch.fold_into(&mut acc);
+            assert_eq!(acc.order_sum(0), 1.0, "{kind}");
+            assert_eq!(acc.order_sum(1), -2.0, "{kind}");
+            assert_eq!(acc.order_sum(2), 1.0, "{kind}");
+            assert_eq!(acc.reports(), 4, "{kind}");
+        }
     }
 
     fn frame(emitted: u32, emitter: u32) -> Frame {

@@ -16,7 +16,12 @@
 //!   schedule-independent;
 //! * [`batch`] — columnar `{user, order, sign}` report batches that
 //!   replace per-report `Bytes` frames on the hot path, folding straight
-//!   into mergeable [`rtf_core::accumulator::DenseAccumulator`] shards.
+//!   into mergeable shard accumulators of any storage backend
+//!   ([`AccumulatorKind`], re-exported from `rtf_core::accumulator`;
+//!   `RTF_BACKEND` selects the default next to `RTF_WORKERS`);
+//! * [`persistent`] — [`PersistentPool`]: long-lived worker threads
+//!   shared across `run_trials` executions, so repeated small maps pay
+//!   the thread-spawn cost once per process instead of once per call.
 //!
 //! The execution engines themselves live with their protocols —
 //! `rtf_sim::engine` (honest schedule) and `rtf_scenarios::engine`
@@ -29,8 +34,14 @@
 
 pub mod batch;
 pub mod mode;
+pub mod persistent;
 pub mod pool;
 
 pub use batch::{Frame, FrameBatch, ReportBatch};
 pub use mode::ExecMode;
+pub use persistent::{shared_pool, PersistentPool};
 pub use pool::{partition, Shard, WorkerPool};
+// The storage-backend selector lives with the accumulators in rtf-core;
+// re-exported here so runtime configuration (`RTF_WORKERS` → ExecMode,
+// `RTF_BACKEND` → AccumulatorKind) is importable from one place.
+pub use rtf_core::accumulator::AccumulatorKind;

@@ -1,0 +1,288 @@
+//! A persistent worker pool shared across calls.
+//!
+//! [`WorkerPool`](crate::pool::WorkerPool) spawns scoped threads inside
+//! every `map_*` call — simple and borrow-friendly, but each call pays
+//! the full thread spawn/join cost. Experiments that fan many *small*
+//! maps over the pool (`run_trials` with cheap per-trial work, repeated
+//! oracle samplings) pay that cost per call. [`PersistentPool`] keeps the
+//! worker threads alive instead: jobs are shipped over the shared
+//! injector channel to long-lived workers, and [`shared_pool`] hands out
+//! one process-wide pool per worker count, so every `run_trials`
+//! execution reuses the same threads (the ROADMAP "cross-run pool reuse"
+//! item; the spawn-cost delta is recorded by `exp_throughput`).
+//!
+//! The determinism contract is identical to `WorkerPool::map_indexed`:
+//! results are returned **in job index order**, never completion order,
+//! and the injector channel load-balances jobs across workers without
+//! affecting that order.
+//!
+//! # Borrowed jobs on long-lived threads
+//!
+//! Scoped threads let jobs borrow caller data because the scope joins
+//! before returning. A persistent pool cannot use scoped threads, so
+//! [`PersistentPool::map_indexed`] re-establishes the same guarantee
+//! manually: every submitted job decrements a completion latch (in a
+//! drop guard, so panicking jobs count too) and the call blocks on that
+//! latch before returning. All borrows the jobs capture therefore
+//! outlive every access — the one `unsafe` lifetime erasure below is
+//! sound for exactly that reason, and is the only unsafe code in the
+//! workspace.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex as DataMutex;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A type-erased job shipped to a long-lived worker.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A completion latch: `wait` blocks until `count_down` has been called
+/// `count` times.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch poisoned");
+        }
+    }
+}
+
+/// A fixed-size pool whose worker threads outlive individual `map_*`
+/// calls — and, via [`shared_pool`], individual `run_trials` executions.
+pub struct PersistentPool {
+    /// Job injector; workers drain it until the pool is dropped.
+    tx: Option<Sender<Task>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl PersistentPool {
+    /// Spawns a pool of `workers` long-lived threads (≥ 1; 0 clamps
+    /// to 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = unbounded::<Task>();
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("rtf-pool-{i}"))
+                    .spawn(move || {
+                        // Jobs individually catch panics, so a poisoned
+                        // job never kills its worker thread.
+                        while let Ok(task) = rx.recv() {
+                            task();
+                        }
+                    })
+                    .expect("spawn persistent pool worker")
+            })
+            .collect();
+        PersistentPool {
+            tx: Some(tx),
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps every index in `0..jobs` through `map` on the persistent
+    /// workers and returns the results **in index order** — the same
+    /// contract as `WorkerPool::map_indexed`, without the per-call
+    /// thread spawn.
+    ///
+    /// Blocks until every job has completed, so `map` may borrow caller
+    /// data.
+    ///
+    /// # Panics
+    /// Panics if any job panicked (after all jobs have drained, so the
+    /// pool stays usable).
+    pub fn map_indexed<T, F>(&self, jobs: usize, map: F) -> Vec<T>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        if self.workers == 1 || jobs <= 1 {
+            return (0..jobs).map(map).collect();
+        }
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        let results = DataMutex::new(slots);
+        let latch = Latch::new(jobs);
+        let job_panicked = AtomicBool::new(false);
+        let tx = self.tx.as_ref().expect("pool not shut down");
+
+        for i in 0..jobs {
+            let map = &map;
+            let results = &results;
+            let latch = &latch;
+            let job_panicked = &job_panicked;
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                /// Counts the latch down even when the job panics, so
+                /// `wait` below can never deadlock.
+                struct Complete<'a>(&'a Latch);
+                impl Drop for Complete<'_> {
+                    fn drop(&mut self) {
+                        self.0.count_down();
+                    }
+                }
+                let _complete = Complete(latch);
+                match catch_unwind(AssertUnwindSafe(|| map(i))) {
+                    Ok(value) => results.lock()[i] = Some(value),
+                    Err(_) => job_panicked.store(true, Ordering::SeqCst),
+                }
+            });
+            // SAFETY: the task borrows `map`, `results`, `latch`, and
+            // `job_panicked`, all of which live until this function
+            // returns — and the function returns only after
+            // `latch.wait()` observes every task's completion guard,
+            // which runs at the end of the task body after the last use
+            // of those borrows. Erasing the lifetime to ship the task to
+            // a long-lived worker therefore never lets a worker touch a
+            // dead borrow.
+            #[allow(unsafe_code)]
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+            assert!(
+                tx.send(task).is_ok(),
+                "persistent pool workers disconnected"
+            );
+        }
+
+        latch.wait();
+        if job_panicked.load(Ordering::SeqCst) {
+            panic!("persistent pool job panicked");
+        }
+        results
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every job completed"))
+            .collect()
+    }
+}
+
+impl Drop for PersistentPool {
+    fn drop(&mut self) {
+        // Closing the injector lets every worker's `recv` loop end.
+        self.tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One process-wide [`PersistentPool`] per worker count, created on first
+/// use and alive for the rest of the process — the cross-run reuse
+/// `run_trials` folds its trials over.
+pub fn shared_pool(workers: usize) -> &'static PersistentPool {
+    static SHARED: OnceLock<Mutex<HashMap<usize, &'static PersistentPool>>> = OnceLock::new();
+    let workers = workers.max(1);
+    let registry = SHARED.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut registry = registry.lock().expect("pool registry poisoned");
+    registry
+        .entry(workers)
+        .or_insert_with(|| Box::leak(Box::new(PersistentPool::new(workers))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_index_order_across_reuses() {
+        let pool = PersistentPool::new(4);
+        // The same pool services many calls — the whole point.
+        for round in 0..20usize {
+            let out = pool.map_indexed(37, |i| {
+                if (i + round) % 5 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                i * i + round
+            });
+            let expect: Vec<usize> = (0..37).map(|i| i * i + round).collect();
+            assert_eq!(out, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_the_scoped_pool() {
+        let persistent = PersistentPool::new(3);
+        let scoped = WorkerPool::new(3);
+        let a = persistent.map_indexed(101, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        let b = scoped.map_indexed(101, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let pool = PersistentPool::new(3);
+        let ran = AtomicUsize::new(0);
+        let out = pool.map_indexed(200, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 200);
+        assert_eq!(out, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let pool = PersistentPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert!(pool.map_indexed(0, |i| i).is_empty());
+        assert_eq!(pool.map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn job_panic_propagates_and_pool_survives() {
+        let pool = PersistentPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(10, |i| {
+                if i == 3 {
+                    panic!("job 3 exploded");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err(), "the panic must reach the caller");
+        // The workers survived the poisoned job and keep serving.
+        assert_eq!(pool.map_indexed(5, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn shared_pool_is_one_instance_per_worker_count() {
+        let a = shared_pool(2) as *const PersistentPool;
+        let b = shared_pool(2) as *const PersistentPool;
+        let c = shared_pool(3) as *const PersistentPool;
+        assert_eq!(a, b, "same worker count ⇒ same pool");
+        assert_ne!(a, c, "different worker count ⇒ different pool");
+        assert_eq!(shared_pool(0).workers(), 1, "zero clamps to one");
+    }
+}

@@ -30,6 +30,7 @@
 use crate::config::Scenario;
 use rand::rngs::StdRng;
 use rand::Rng;
+use rtf_core::accumulator::AccumulatorKind;
 use rtf_core::client::Client;
 use rtf_core::composed::ComposedRandomizer;
 use rtf_core::params::ProtocolParams;
@@ -158,9 +159,11 @@ pub fn run_scenario(
     run_scenario_with(params, population, seed, scenario, ExecMode::from_env())
 }
 
-/// Runs the fault-injected engine in an explicit [`ExecMode`]. Every
-/// outcome field — estimates, delivery log, wire stats, fault counts —
-/// is value-for-value identical across modes and worker counts.
+/// Runs the fault-injected engine in an explicit [`ExecMode`], on the
+/// accumulator backend selected by `RTF_BACKEND`
+/// ([`AccumulatorKind::from_env`]; default dense). Every outcome field —
+/// estimates, delivery log, wire stats, fault counts — is
+/// value-for-value identical across modes and worker counts.
 pub fn run_scenario_with(
     params: &ProtocolParams,
     population: &Population,
@@ -168,13 +171,39 @@ pub fn run_scenario_with(
     scenario: &Scenario,
     mode: ExecMode,
 ) -> ScenarioOutcome {
+    run_scenario_with_backend(
+        params,
+        population,
+        seed,
+        scenario,
+        mode,
+        AccumulatorKind::from_env(),
+    )
+}
+
+/// Runs the fault-injected engine in an explicit [`ExecMode`] on an
+/// explicit accumulator backend. The backend is invisible in every
+/// outcome field (integer-exact storage), which
+/// [`crate::oracle::assert_backend_agreement`] proves.
+pub fn run_scenario_with_backend(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+    mode: ExecMode,
+    backend: AccumulatorKind,
+) -> ScenarioOutcome {
     scenario.validate();
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
     match mode {
-        ExecMode::Sequential => run_scenario_sequential(params, population, seed, scenario),
-        ExecMode::Parallel(w) => run_scenario_batched(params, population, seed, scenario, w.max(1)),
+        ExecMode::Sequential => {
+            run_scenario_sequential(params, population, seed, scenario, backend)
+        }
+        ExecMode::Parallel(w) => {
+            run_scenario_batched(params, population, seed, scenario, w.max(1), backend)
+        }
     }
 }
 
@@ -189,10 +218,11 @@ fn run_scenario_sequential(
     population: &Population,
     seed: u64,
     scenario: &Scenario,
+    backend: AccumulatorKind,
 ) -> ScenarioOutcome {
     let composed = composed_tables(params);
 
-    let mut server = Server::for_future_rand(*params);
+    let mut server = Server::for_future_rand_with(*params, backend);
     let mut wire = WireStats::default();
     let mut faults = FaultCounts::default();
     let root = SeedSequence::new(seed);
@@ -335,6 +365,7 @@ fn run_scenario_batched(
     seed: u64,
     scenario: &Scenario,
     workers: usize,
+    backend: AccumulatorKind,
 ) -> ScenarioOutcome {
     let composed = composed_tables(params);
     let root = SeedSequence::new(seed);
@@ -427,7 +458,7 @@ fn run_scenario_batched(
     // Ingestion side: register every user in ascending id order (shards
     // are contiguous and returned in shard-index order), then replay each
     // period's merged mailbox through the checked path.
-    let mut server = Server::for_future_rand(*params);
+    let mut server = Server::for_future_rand_with(*params, backend);
     let mut wire = WireStats::default();
     let mut faults = FaultCounts::default();
     let mut user = 0u32;

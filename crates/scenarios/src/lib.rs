@@ -31,8 +31,10 @@ pub mod engine;
 pub mod oracle;
 
 pub use config::Scenario;
-pub use engine::{run_scenario, run_scenario_with, FaultCounts, ScenarioOutcome};
+pub use engine::{
+    run_scenario, run_scenario_with, run_scenario_with_backend, FaultCounts, ScenarioOutcome,
+};
 pub use oracle::{
-    assert_exact_agreement, assert_mode_agreement, faulty_envelope, measure_aggregate_agreement,
-    measure_aggregate_agreement_with, tolerance_band,
+    assert_backend_agreement, assert_exact_agreement, assert_mode_agreement, faulty_envelope,
+    measure_aggregate_agreement, measure_aggregate_agreement_with, tolerance_band,
 };

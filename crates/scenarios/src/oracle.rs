@@ -24,15 +24,24 @@
 //! proves `sequential ≡ parallel(w)` value-for-value for
 //! `w ∈ {1, 2, 8}` on the honest schedule **and** on arbitrary faulty
 //! scenarios (where mailbox order matters).
+//!
+//! A third axis is the accumulator *storage backend*
+//! (`rtf_core::accumulator::AccumulatorKind`): dense `f64`, fixed-point
+//! `i64`, compressed sparse, SoA count lanes. All report sums are
+//! integer-valued, so every backend stores them exactly and
+//! [`assert_backend_agreement`] proves
+//! `dense ≡ fixed ≡ sparse ≡ soa` **exactly** (not within tolerance) on
+//! honest and faulty schedules at every worker count.
 
 use crate::config::Scenario;
-use crate::engine::{run_scenario, run_scenario_with, ScenarioOutcome};
+use crate::engine::{run_scenario, run_scenario_with, run_scenario_with_backend, ScenarioOutcome};
 use rtf_analysis::variance::{future_rand_scales, predicted_variance};
+use rtf_core::accumulator::AccumulatorKind;
 use rtf_core::params::ProtocolParams;
 use rtf_core::protocol::run_in_memory;
 use rtf_runtime::{ExecMode, WorkerPool};
 use rtf_sim::aggregate::run_future_rand_aggregate;
-use rtf_sim::engine::{run_event_driven, run_event_driven_with};
+use rtf_sim::engine::{run_event_driven, run_event_driven_with, run_event_driven_with_backend};
 use rtf_streams::population::Population;
 
 /// The worker counts the mode-agreement check proves equivalent to the
@@ -151,6 +160,77 @@ pub fn assert_mode_agreement(
             sc.byzantine_accepted_by_period, sc_seq.byzantine_accepted_by_period,
             "parallel({w}) per-period Byzantine acceptance"
         );
+    }
+}
+
+/// Asserts every accumulator storage backend (`dense`, `fixed`,
+/// `sparse`, `soa`) produces **identical** results — exact equality, not
+/// tolerance-based, since integer-valued sums are stored exactly by all
+/// four layouts — on:
+///
+/// * the honest event-driven engine (estimates, group sizes, wire
+///   stats), and
+/// * the fault-injected engine under `scenario` (estimates, delivery
+///   log, wire stats, fault counts, per-period Byzantine acceptance),
+///
+/// each in sequential mode **and** at every worker count in
+/// [`MODE_AGREEMENT_WORKERS`]. The reference is the dense sequential
+/// run — the storage layout the original protocol shipped with.
+///
+/// # Panics
+/// Panics naming the first diverging backend/mode/engine.
+pub fn assert_backend_agreement(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+) {
+    let ev_ref = run_event_driven_with_backend(
+        params,
+        population,
+        seed,
+        ExecMode::Sequential,
+        AccumulatorKind::Dense,
+    );
+    let sc_ref = run_scenario_with_backend(
+        params,
+        population,
+        seed,
+        scenario,
+        ExecMode::Sequential,
+        AccumulatorKind::Dense,
+    );
+    let modes = std::iter::once(ExecMode::Sequential)
+        .chain(MODE_AGREEMENT_WORKERS.into_iter().map(ExecMode::Parallel));
+    for mode in modes {
+        for backend in AccumulatorKind::ALL {
+            if mode == ExecMode::Sequential && backend == AccumulatorKind::Dense {
+                continue; // that combination *is* the reference
+            }
+            let ev = run_event_driven_with_backend(params, population, seed, mode, backend);
+            assert_eq!(
+                ev.estimates, ev_ref.estimates,
+                "event-driven {backend}/{mode} diverges from dense sequential (seed {seed})"
+            );
+            assert_eq!(
+                ev.group_sizes, ev_ref.group_sizes,
+                "{backend}/{mode} groups"
+            );
+            assert_eq!(ev.wire, ev_ref.wire, "{backend}/{mode} wire stats");
+
+            let sc = run_scenario_with_backend(params, population, seed, scenario, mode, backend);
+            assert_eq!(
+                sc.estimates, sc_ref.estimates,
+                "scenario {backend}/{mode} diverges from dense sequential (seed {seed})"
+            );
+            assert_eq!(sc.delivery, sc_ref.delivery, "{backend}/{mode} delivery");
+            assert_eq!(sc.wire, sc_ref.wire, "{backend}/{mode} wire stats");
+            assert_eq!(sc.faults, sc_ref.faults, "{backend}/{mode} fault counts");
+            assert_eq!(
+                sc.byzantine_accepted_by_period, sc_ref.byzantine_accepted_by_period,
+                "{backend}/{mode} per-period Byzantine acceptance"
+            );
+        }
     }
 }
 
@@ -403,6 +483,22 @@ mod tests {
                 "{w}"
             );
         }
+    }
+
+    #[test]
+    fn backend_agreement_holds_on_honest_and_faulty_schedules() {
+        // The storage-engine claim: dense ≡ fixed ≡ sparse ≡ soa exactly,
+        // sequential and at every proven worker count, with and without a
+        // fault storm whose Byzantine acceptance races are order-
+        // sensitive.
+        let (params, pop) = setup(120, 16, 2, 87);
+        assert_backend_agreement(&params, &pop, 41, &Scenario::honest());
+        let storm = Scenario::honest()
+            .with_dropout(0.05)
+            .with_stragglers(0.1, 3)
+            .with_duplicates(0.05)
+            .with_byzantine(0.1);
+        assert_backend_agreement(&params, &pop, 41, &storm);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! through the parallel pipeline by exporting one variable.
 
 use crate::message::{OrderAnnouncement, ReportMsg, WireStats};
-use rtf_core::accumulator::DenseAccumulator;
+use rtf_core::accumulator::{Accumulator, AccumulatorKind, AnyAccumulator};
 use rtf_core::client::Client;
 use rtf_core::composed::ComposedRandomizer;
 use rtf_core::params::ProtocolParams;
@@ -51,6 +51,11 @@ pub struct EventDrivenOutcome {
     pub group_sizes: Vec<usize>,
     /// Wire accounting (announcements + reports, bytes and bits).
     pub wire: WireStats,
+    /// Heap bytes held by the run's accumulation state — in batched mode
+    /// the sum over every per-period shard accumulator (the quantity the
+    /// storage backends trade against time in `exp_backends`); in
+    /// sequential mode just the server's single live accumulator.
+    pub acc_bytes: u64,
 }
 
 /// Runs the FutureRand protocol through the message-level engine, in the
@@ -71,19 +76,34 @@ pub fn run_event_driven(
 }
 
 /// Runs the FutureRand protocol through the message-level engine in an
-/// explicit [`ExecMode`].
+/// explicit [`ExecMode`], on the accumulator backend selected by
+/// `RTF_BACKEND` ([`AccumulatorKind::from_env`]; default dense).
 pub fn run_event_driven_with(
     params: &ProtocolParams,
     population: &Population,
     seed: u64,
     mode: ExecMode,
 ) -> EventDrivenOutcome {
+    run_event_driven_with_backend(params, population, seed, mode, AccumulatorKind::from_env())
+}
+
+/// Runs the FutureRand protocol through the message-level engine in an
+/// explicit [`ExecMode`] on an explicit accumulator backend. Every
+/// mode × backend combination is value-for-value identical (asserted by
+/// `rtf_scenarios::oracle::assert_backend_agreement`).
+pub fn run_event_driven_with_backend(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    mode: ExecMode,
+    backend: AccumulatorKind,
+) -> EventDrivenOutcome {
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
     match mode {
-        ExecMode::Sequential => run_sequential(params, population, seed),
-        ExecMode::Parallel(w) => run_batched(params, population, seed, w.max(1)),
+        ExecMode::Sequential => run_sequential(params, population, seed, backend),
+        ExecMode::Parallel(w) => run_batched(params, population, seed, w.max(1), backend),
     }
 }
 
@@ -98,9 +118,10 @@ fn run_sequential(
     params: &ProtocolParams,
     population: &Population,
     seed: u64,
+    backend: AccumulatorKind,
 ) -> EventDrivenOutcome {
     let composed = composed_tables(params);
-    let mut server = Server::for_future_rand(*params);
+    let mut server = Server::for_future_rand_with(*params, backend);
     let mut wire = WireStats::default();
     let root = SeedSequence::new(seed);
 
@@ -148,20 +169,26 @@ fn run_sequential(
         estimates.push(server.end_of_period(t));
     }
 
+    let acc_bytes = server.accumulator().heap_bytes() as u64;
     EventDrivenOutcome {
         estimates,
         group_sizes: server.group_sizes().to_vec(),
         wire,
+        acc_bytes,
     }
 }
 
 /// One worker's whole-horizon contribution: a mergeable accumulator per
-/// period, plus the shard's share of the registration/wire accounting.
+/// period (on the selected storage backend), plus the shard's share of
+/// the registration/wire accounting.
 struct ShardRun {
     /// `per_period[t-1]` holds the shard's report sums for period `t`.
-    per_period: Vec<DenseAccumulator>,
+    per_period: Vec<AnyAccumulator>,
     group_sizes: Vec<usize>,
     wire: WireStats,
+    /// Heap bytes of this shard's per-period accumulators after the
+    /// horizon completed — the backend memory footprint.
+    acc_bytes: u64,
 }
 
 /// The batched multi-worker pipeline: contiguous user shards, columnar
@@ -171,6 +198,7 @@ fn run_batched(
     population: &Population,
     seed: u64,
     workers: usize,
+    backend: AccumulatorKind,
 ) -> EventDrivenOutcome {
     let composed = composed_tables(params);
     let root = SeedSequence::new(seed);
@@ -206,8 +234,8 @@ fn run_batched(
         }
         let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
 
-        let mut per_period: Vec<DenseAccumulator> =
-            (0..d).map(|_| DenseAccumulator::new(orders)).collect();
+        let mut per_period: Vec<AnyAccumulator> =
+            (0..d).map(|_| backend.new_accumulator(orders)).collect();
         // One reusable columnar batch — the hot path allocates nothing
         // per report.
         let mut batch = ReportBatch::with_capacity(shard.len());
@@ -227,17 +255,20 @@ fn run_batched(
             wire.record_report_batch(batch.len() as u64);
         }
 
+        let acc_bytes: u64 = per_period.iter().map(|a| a.heap_bytes() as u64).sum();
         ShardRun {
             per_period,
             group_sizes,
             wire,
+            acc_bytes,
         }
     });
 
     // Deterministic merge: shard-index order, exactly the order
     // `map_shards` returned.
-    let mut server = Server::for_future_rand(*params);
+    let mut server = Server::for_future_rand_with(*params, backend);
     let mut wire = WireStats::default();
+    let mut acc_bytes = 0u64;
     for shard in &shards {
         for (h, &count) in shard.group_sizes.iter().enumerate() {
             for _ in 0..count {
@@ -245,11 +276,14 @@ fn run_batched(
             }
         }
         wire.merge(&shard.wire);
+        acc_bytes += shard.acc_bytes;
     }
     let mut estimates = Vec::with_capacity(d as usize);
     for t in 1..=d {
         for shard in &shards {
-            server.absorb_shard(&shard.per_period[(t - 1) as usize]);
+            server
+                .absorb_shard(&shard.per_period[(t - 1) as usize])
+                .expect("shard accumulators share the server's backend and shape");
         }
         estimates.push(server.end_of_period(t));
     }
@@ -258,6 +292,7 @@ fn run_batched(
         estimates,
         group_sizes: server.group_sizes().to_vec(),
         wire,
+        acc_bytes,
     }
 }
 
@@ -299,6 +334,57 @@ mod tests {
             assert_eq!(par.group_sizes, seq.group_sizes, "{w} workers");
             assert_eq!(par.wire, seq.wire, "{w} workers");
         }
+    }
+
+    #[test]
+    fn backends_agree_on_the_event_driven_engine() {
+        // The storage-engine claim at unit scale: every backend × mode
+        // combination reproduces the dense sequential estimates exactly.
+        let (params, pop) = setup(150, 32, 3, 45);
+        let baseline = run_event_driven_with_backend(
+            &params,
+            &pop,
+            33,
+            ExecMode::Sequential,
+            AccumulatorKind::Dense,
+        );
+        for kind in AccumulatorKind::ALL {
+            for mode in [ExecMode::Sequential, ExecMode::Parallel(2)] {
+                let out = run_event_driven_with_backend(&params, &pop, 33, mode, kind);
+                assert_eq!(out.estimates, baseline.estimates, "{kind} {mode}");
+                assert_eq!(out.group_sizes, baseline.group_sizes, "{kind} {mode}");
+                assert_eq!(out.wire, baseline.wire, "{kind} {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_backend_is_smaller_at_large_log_d() {
+        // The memory story behind the sparse backend: per-period shard
+        // accumulators touch ~2 orders on average, while dense always
+        // carries 1 + log d lanes.
+        let (params, pop) = setup(60, 64, 3, 46);
+        let dense = run_event_driven_with_backend(
+            &params,
+            &pop,
+            9,
+            ExecMode::Parallel(1),
+            AccumulatorKind::Dense,
+        );
+        let sparse = run_event_driven_with_backend(
+            &params,
+            &pop,
+            9,
+            ExecMode::Parallel(1),
+            AccumulatorKind::Sparse,
+        );
+        assert_eq!(sparse.estimates, dense.estimates);
+        assert!(
+            sparse.acc_bytes < dense.acc_bytes,
+            "sparse {} bytes vs dense {} bytes",
+            sparse.acc_bytes,
+            dense.acc_bytes
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub mod engine;
 pub mod message;
 pub mod runner;
 
-pub use aggregate::{run_calibrated_aggregate, run_future_rand_aggregate};
-pub use engine::{run_event_driven, run_event_driven_with, EventDrivenOutcome};
+pub use aggregate::{
+    run_calibrated_aggregate, run_future_rand_aggregate, run_future_rand_aggregate_with_backend,
+};
+pub use engine::{
+    run_event_driven, run_event_driven_with, run_event_driven_with_backend, EventDrivenOutcome,
+};
 pub use message::{OrderAnnouncement, ReportMsg, WireStats};
-pub use runner::{run_future_rand, run_trials, TrialPlan, TrialResults};
+pub use runner::{run_future_rand, run_trials, run_trials_with, TrialPlan, TrialResults};
