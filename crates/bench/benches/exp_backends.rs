@@ -14,19 +14,31 @@
 //! store integer-valued sums exactly, so agreement is exact equality,
 //! never tolerance.
 //!
+//! The run also measures the **sparse batched folds** optimisation
+//! (`ReportBatch::fold_into` pre-aggregates rows into a per-order
+//! scratch and issues one `record_batch` per touched order, instead of
+//! one binary-searching `record` per row): the before/after timing on
+//! the sparse backend is recorded in the JSON's `fold` section, with
+//! the two paths asserted bit-identical first.
+//!
 //! Machine-readable output: `BENCH_backends.json` at the repository
-//! root (validated by the CI smoke step), including the headline check
-//! that the sparse backend beats dense on memory once `log d` is large.
+//! root (validated by the CI smoke step and enforced as a baseline by
+//! the CI perf-regression gate, `scripts/perf_gate.py`), including the
+//! headline check that the sparse backend beats dense on memory once
+//! `log d` is large.
 //!
 //! Run with `cargo bench --bench exp_backends` (full) or
-//! `cargo bench --bench exp_backends -- --smoke` (CI-sized; same JSON
-//! schema, smaller grid).
+//! `cargo bench --bench exp_backends -- --smoke` (same grid — the grid
+//! is already CI-sized — so every smoke row is directly comparable
+//! against the committed baseline; only the fold micro-bench shrinks).
 
 use rtf_bench::{banner, Table};
+use rtf_core::accumulator::Accumulator;
 use rtf_core::accumulator::AccumulatorKind;
 use rtf_core::params::ProtocolParams;
 use rtf_primitives::seeding::SeedSequence;
-use rtf_runtime::ExecMode;
+use rtf_primitives::sign::Sign;
+use rtf_runtime::{ExecMode, ReportBatch};
 use rtf_sim::engine::{run_event_driven_with_backend, EventDrivenOutcome};
 use rtf_streams::generator::UniformChanges;
 use rtf_streams::population::Population;
@@ -77,12 +89,11 @@ fn main() {
         || std::env::var("RTF_BACKENDS_SMOKE").is_ok_and(|v| v == "1");
     // Each grid point pairs a throughput-shaped regime (modest d, large
     // n) with a large-log d regime (d = 4096 ⇒ 13 orders) where the
-    // sparse layout's compressed per-period maps pay off.
-    let grid: &[(usize, u64)] = if smoke {
-        &[(5_000, 64), (500, 4_096)]
-    } else {
-        &[(100_000, 64), (4_000, 4_096)]
-    };
+    // sparse layout's compressed per-period maps pay off. The grid is
+    // cheap enough to run whole in CI, so smoke keeps it — every smoke
+    // row differences exactly against the committed baseline.
+    let grid: &[(usize, u64)] = &[(100_000, 64), (4_000, 4_096)];
+    let fold_repeats: usize = if smoke { 50 } else { 400 };
     let k = 4usize;
 
     banner(
@@ -157,6 +168,58 @@ fn main() {
         bytes_of(AccumulatorKind::Dense),
     );
 
+    // The sparse-batched-folds before/after: one large mixed-order batch
+    // folded into a sparse accumulator row-by-row (one binary search per
+    // row) vs pre-aggregated (one `record_batch` per touched order).
+    let fold_rows = 8_192usize;
+    let fold_orders = 13u8; // the d = 4096 regime: 13 orders
+    let mut fold_batch = ReportBatch::with_capacity(fold_rows);
+    for i in 0..fold_rows {
+        // Period-like skew: order h carries ~2^-h of the traffic.
+        let mut h = 0u8;
+        let mut bits = i;
+        while bits % 2 == 1 && h + 1 < fold_orders {
+            h += 1;
+            bits /= 2;
+        }
+        let sign = if i % 3 == 0 { Sign::Minus } else { Sign::Plus };
+        fold_batch.push(i as u32, h, sign);
+    }
+    // Equivalence first: a speedup for a wrong answer is worthless.
+    let mut fast = AccumulatorKind::Sparse.new_accumulator(fold_orders as usize);
+    let mut slow = AccumulatorKind::Sparse.new_accumulator(fold_orders as usize);
+    fold_batch.fold_into(&mut fast);
+    fold_batch.fold_into_rows(&mut slow);
+    for h in 0..u32::from(fold_orders) {
+        assert_eq!(
+            fast.order_sum(h),
+            slow.order_sum(h),
+            "fold paths diverge at order {h}"
+        );
+    }
+    assert_eq!(fast.reports(), slow.reports());
+
+    let time_folds = |preaggregated: bool| -> f64 {
+        let start = Instant::now();
+        for _ in 0..fold_repeats {
+            let mut acc = AccumulatorKind::Sparse.new_accumulator(fold_orders as usize);
+            if preaggregated {
+                fold_batch.fold_into(&mut acc);
+            } else {
+                fold_batch.fold_into_rows(&mut acc);
+            }
+            assert_eq!(acc.reports(), fold_rows as u64);
+        }
+        start.elapsed().as_secs_f64().max(1e-9)
+    };
+    let row_by_row_s = time_folds(false);
+    let preaggregated_s = time_folds(true);
+    let fold_speedup = row_by_row_s / preaggregated_s;
+    println!(
+        "\nsparse batched folds ({fold_rows} rows x {fold_repeats} folds, {fold_orders} orders): \
+         row-by-row {row_by_row_s:.4}s vs pre-aggregated {preaggregated_s:.4}s => {fold_speedup:.2}x"
+    );
+
     // Machine-readable output at the repository root.
     let mut json = String::new();
     json.push_str("{\n");
@@ -182,7 +245,14 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fold\": {{\"backend\": \"sparse\", \"rows\": {fold_rows}, \
+         \"orders\": {fold_orders}, \"repeats\": {fold_repeats}, \
+         \"row_by_row_s\": {row_by_row_s:.6}, \"preaggregated_s\": {preaggregated_s:.6}, \
+         \"speedup\": {fold_speedup:.4}}}\n"
+    ));
+    json.push_str("}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backends.json");
     std::fs::write(path, &json).expect("write BENCH_backends.json");
 

@@ -20,20 +20,32 @@
 //! process-wide persistent pool `run_trials` now folds over, reporting
 //! the thread-spawn cost each call no longer pays.
 //!
+//! The streaming ingestion service is measured alongside the offline
+//! modes (`"mode": "live"` rows): the same schedule served through
+//! bounded per-worker mailboxes with period-close flushes — the
+//! intake-pipeline overhead the service pays over the offline batched
+//! fold.
+//!
 //! Machine-readable output: `BENCH_throughput.json` at the repository
-//! root, seeding the perf trajectory (validated by the CI smoke step).
+//! root, seeding the perf trajectory (validated by the CI smoke step
+//! and enforced as a baseline by the CI perf-regression gate,
+//! `scripts/perf_gate.py`).
 //!
 //! Run with `cargo bench --bench exp_throughput` (full) or
-//! `cargo bench --bench exp_throughput -- --smoke` (CI-sized; same JSON
-//! schema, smaller `n`).
+//! `cargo bench --bench exp_throughput -- --smoke` (CI-sized: the
+//! `n = 10⁵` slice of the full grid, so every smoke row is directly
+//! comparable against the committed full-mode baseline).
 
 use rtf_bench::{banner, Table};
+use rtf_core::accumulator::AccumulatorKind;
 use rtf_core::params::ProtocolParams;
 use rtf_primitives::seeding::SeedSequence;
+use rtf_runtime::ingest::LiveConfig;
 use rtf_runtime::{shared_pool, ExecMode, WorkerPool};
 use rtf_scenarios::config::Scenario;
 use rtf_scenarios::engine::run_scenario_with;
 use rtf_sim::engine::run_event_driven_with;
+use rtf_sim::live::run_event_driven_live_with;
 use rtf_streams::generator::UniformChanges;
 use rtf_streams::population::Population;
 use std::time::Instant;
@@ -45,7 +57,10 @@ struct Measurement {
     engine: &'static str,
     n: usize,
     d: u64,
-    mode: ExecMode,
+    /// JSON mode label: `sequential`, `parallel`, or `live`.
+    mode: &'static str,
+    /// Worker count (0 for the sequential reference).
+    workers: usize,
     elapsed_s: f64,
     reports: u64,
     reports_per_s: f64,
@@ -91,17 +106,52 @@ fn measure(
     };
     let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
     let reports = values.wire.payload_bits;
+    let (mode, workers) = mode_json(mode);
     (
         Measurement {
             engine,
             n: params.n(),
             d: params.d(),
             mode,
+            workers,
             elapsed_s,
             reports,
             reports_per_s: reports as f64 / elapsed_s,
         },
         values,
+    )
+}
+
+/// Times the streaming ingestion service on the honest schedule with
+/// `workers` ingestion workers (default mailbox/chunk shape), returning
+/// the measurement plus the values for the baseline difference.
+fn measure_live(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    workers: usize,
+) -> (Measurement, RunValues) {
+    let config = LiveConfig::new(workers);
+    let start = Instant::now();
+    let (out, _stats) =
+        run_event_driven_live_with(params, population, seed, &config, AccumulatorKind::Dense);
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    let reports = out.wire.payload_bits;
+    (
+        Measurement {
+            engine: "event",
+            n: params.n(),
+            d: params.d(),
+            mode: "live",
+            workers,
+            elapsed_s,
+            reports,
+            reports_per_s: reports as f64 / elapsed_s,
+        },
+        RunValues {
+            estimates: out.estimates,
+            wire: out.wire,
+        },
     )
 }
 
@@ -147,9 +197,11 @@ fn mode_json(mode: ExecMode) -> (&'static str, usize) {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("RTF_THROUGHPUT_SMOKE").is_ok_and(|v| v == "1");
-    // Smoke keeps the same schema and worker grid on a CI-sized n.
+    // Smoke runs the n = 1e5 slice of the full grid — same schema, and
+    // every smoke row has a directly comparable committed-baseline row
+    // for the CI perf-regression gate to difference against.
     let sizes: &[usize] = if smoke {
-        &[20_000]
+        &[100_000]
     } else {
         &[100_000, 1_000_000]
     };
@@ -237,6 +289,31 @@ fn main() {
                 ]);
                 rows.push((m, speedup));
             }
+
+            if engine == "event" {
+                // The streaming ingestion service on the same schedule:
+                // what per-period mailbox intake + period-close flushes
+                // cost over the offline batched fold.
+                for w in WORKER_COUNTS {
+                    let (m, values) = measure_live(&params, &population, 42, w);
+                    assert_eq!(
+                        values, baseline,
+                        "live({w}) must match sequential (estimates + wire stats) \
+                         before its timing counts"
+                    );
+                    let speedup = m.reports_per_s / seq_rate;
+                    table.row(&[
+                        engine.into(),
+                        format!("{n}"),
+                        format!("live({w})"),
+                        format!("{:.2}", m.elapsed_s),
+                        format!("{}", m.reports),
+                        format!("{:.2}", m.reports_per_s / 1e6),
+                        format!("{speedup:.2}x"),
+                    ]);
+                    rows.push((m, speedup));
+                }
+            }
         }
     }
 
@@ -267,7 +344,6 @@ fn main() {
     json.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
     json.push_str("  \"results\": [\n");
     for (i, (m, speedup)) in rows.iter().enumerate() {
-        let (mode, workers) = mode_json(m.mode);
         json.push_str(&format!(
             "    {{\"engine\": \"{}\", \"n\": {}, \"d\": {}, \"mode\": \"{}\", \"workers\": {}, \
              \"elapsed_s\": {:.6}, \"reports\": {}, \"reports_per_s\": {:.1}, \
@@ -275,8 +351,8 @@ fn main() {
             m.engine,
             m.n,
             m.d,
-            mode,
-            workers,
+            m.mode,
+            m.workers,
             m.elapsed_s,
             m.reports,
             m.reports_per_s,

@@ -406,6 +406,35 @@ impl Server {
         estimate
     }
 
+    /// Period-close finalisation hook for streaming ingestion fronts:
+    /// absorbs every worker shard flushed for period `t` (in the caller's
+    /// iteration order — the deterministic merge order), then closes the
+    /// period exactly like [`end_of_period`](Self::end_of_period) and
+    /// returns `â[t]`.
+    ///
+    /// A failed shard merge aborts *before* any state change of the
+    /// remaining shards or the period close, so the caller can surface a
+    /// backend/shape mixing bug without the server advancing past it.
+    ///
+    /// # Errors
+    /// Returns the first [`AccumulatorError`] of a mismatched shard.
+    ///
+    /// # Panics
+    /// Panics like `end_of_period` if `t` is out of order or off-horizon.
+    pub fn close_period_with_shards<'a, I>(
+        &mut self,
+        t: u64,
+        shards: I,
+    ) -> Result<f64, AccumulatorError>
+    where
+        I: IntoIterator<Item = &'a AnyAccumulator>,
+    {
+        for shard in shards {
+            self.absorb_shard(shard)?;
+        }
+        Ok(self.end_of_period(t))
+    }
+
     /// All estimates `â[1..t]` produced so far (`estimates()[t−1] = â[t]`).
     pub fn estimates(&self) -> &[f64] {
         &self.estimates
@@ -708,6 +737,44 @@ mod tests {
             assert_eq!(direct.end_of_period(t), sharded.end_of_period(t));
         }
         assert_eq!(direct.reports_ingested(), sharded.reports_ingested());
+    }
+
+    #[test]
+    fn close_period_with_shards_equals_absorb_then_close() {
+        use crate::accumulator::Accumulator;
+        let p = params();
+        let mut split = Server::new(p, &[1.0; 4]);
+        let mut hooked = Server::new(p, &[1.0; 4]);
+        for _ in 0..4 {
+            split.register_user(0);
+            hooked.register_user(0);
+        }
+        for t in 1..=8u64 {
+            let mut s1 = split.new_shard();
+            let mut s2 = split.new_shard();
+            s1.record(0, Sign::Plus);
+            s1.record(0, Sign::Minus);
+            s2.record(0, Sign::Plus);
+            s2.record(0, Sign::Plus);
+            split.absorb_shard(&s1).unwrap();
+            split.absorb_shard(&s2).unwrap();
+            let direct = split.end_of_period(t);
+            let via_hook = hooked
+                .close_period_with_shards(t, [&s1, &s2])
+                .expect("matching shards merge");
+            assert_eq!(via_hook, direct, "t = {t}");
+        }
+        assert_eq!(split.reports_ingested(), hooked.reports_ingested());
+
+        // A mismatched shard aborts before the period close: the horizon
+        // position is unchanged and the period can still be closed. The
+        // server backend is pinned so the mismatch holds under any
+        // RTF_BACKEND (the CI backend matrix replays this test).
+        let foreign = AccumulatorKind::Fixed.new_accumulator(4);
+        let mut fresh = Server::with_backend(p, &[1.0; 4], AccumulatorKind::Dense);
+        assert!(fresh.close_period_with_shards(1, [&foreign]).is_err());
+        assert_eq!(fresh.estimates().len(), 0, "no period closed on error");
+        assert!(fresh.close_period_with_shards(1, []).is_ok());
     }
 
     #[test]

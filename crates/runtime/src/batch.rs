@@ -82,7 +82,51 @@ impl ReportBatch {
 
     /// Folds every row into a shard accumulator of any storage backend —
     /// the batched replacement for per-report `Server::ingest`.
+    ///
+    /// Rows are pre-aggregated into a small per-order scratch (at most
+    /// `1 + log d` orders are ever touched) and handed over as **one
+    /// `record_batch` per touched order**, instead of one `record` per
+    /// row. For integer-valued ±1 rows the result is identical on every
+    /// backend — sums and report counts are exact — while the sparse
+    /// backend pays one binary search per *order* rather than per *row*
+    /// (the ROADMAP "sparse batched folds" item; the before/after timing
+    /// lives in `BENCH_backends.json`). The reference row-by-row path is
+    /// kept as [`fold_into_rows`](Self::fold_into_rows) and asserted
+    /// equivalent by unit + property tests.
     pub fn fold_into<A: Accumulator>(&self, acc: &mut A) {
+        // Tiny batches (streaming chunks go down to one row) cost more
+        // to pre-aggregate than to record: zeroing the scratch dominates.
+        // Both paths are exactly equivalent, so this is timing only.
+        if self.len() < 16 {
+            self.fold_into_rows(acc);
+            return;
+        }
+        // Scratch indexed by order (u8 ⇒ 256 slots, ~4 KiB on the stack);
+        // only touched slots are read or reset, so the cost tracks the
+        // touched-order count, not the scratch size.
+        let mut sums = [0i64; 256];
+        let mut counts = [0u64; 256];
+        let mut touched: Vec<u8> = Vec::new();
+        for (&h, &s) in self.orders.iter().zip(&self.signs) {
+            let i = h as usize;
+            if counts[i] == 0 {
+                touched.push(h);
+            }
+            sums[i] += i64::from(s);
+            counts[i] += 1;
+        }
+        // First-touch order: deterministic for a given batch, and the
+        // per-order batch totals commute across orders on every backend.
+        for &h in &touched {
+            let i = h as usize;
+            acc.record_batch(u32::from(h), sums[i] as f64, counts[i]);
+        }
+    }
+
+    /// The pre-batching reference fold: one `record` call per row. Kept
+    /// for the before/after comparison in `exp_backends` and as the
+    /// equivalence oracle for [`fold_into`](Self::fold_into).
+    pub fn fold_into_rows<A: Accumulator>(&self, acc: &mut A) {
         for (&h, &s) in self.orders.iter().zip(&self.signs) {
             acc.record(u32::from(h), Sign::from_i8(s));
         }
@@ -151,6 +195,29 @@ impl FrameBatch {
     /// Whether the batch holds no frames.
     pub fn is_empty(&self) -> bool {
         self.users.is_empty()
+    }
+
+    /// Appends every frame of `other`, preserving row order — how an
+    /// ingestion worker accumulates the batches streamed into its mailbox
+    /// over one period.
+    pub fn append(&mut self, other: &FrameBatch) {
+        self.reserve(other.len());
+        self.emitted.extend_from_slice(&other.emitted);
+        self.emitter.extend_from_slice(&other.emitter);
+        self.users.extend_from_slice(&other.users);
+        self.periods.extend_from_slice(&other.periods);
+        self.bits.extend_from_slice(&other.bits);
+        self.byzantine.extend_from_slice(&other.byzantine);
+    }
+
+    /// Clears all frames, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.emitted.clear();
+        self.emitter.clear();
+        self.users.clear();
+        self.periods.clear();
+        self.bits.clear();
+        self.byzantine.clear();
     }
 
     /// Iterates frames in row order.
@@ -227,6 +294,51 @@ mod tests {
 
         batch.clear();
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn preaggregated_fold_equals_row_by_row_on_every_backend() {
+        // The sparse-batched-folds claim at unit scale: the per-order
+        // pre-aggregation pass is observation-for-observation identical
+        // to the row-by-row reference on all four layouts, including a
+        // batch that touches one order many times and another not at all.
+        let mut batch = ReportBatch::new();
+        for i in 0..200u32 {
+            let h = [0u8, 0, 3, 5][i as usize % 4];
+            let s = if i % 3 == 0 { Sign::Minus } else { Sign::Plus };
+            batch.push(i, h, s);
+        }
+        for kind in AccumulatorKind::ALL {
+            let mut fast = kind.new_accumulator(6);
+            let mut slow = kind.new_accumulator(6);
+            batch.fold_into(&mut fast);
+            batch.fold_into_rows(&mut slow);
+            for h in 0..6u32 {
+                assert_eq!(fast.order_sum(h), slow.order_sum(h), "{kind} order {h}");
+            }
+            assert_eq!(fast.reports(), slow.reports(), "{kind}");
+            assert_eq!(fast.reports(), 200, "{kind}");
+        }
+        // Empty batches fold to nothing on both paths.
+        let empty = ReportBatch::new();
+        let mut acc = AccumulatorKind::Sparse.new_accumulator(4);
+        empty.fold_into(&mut acc);
+        assert_eq!(acc.reports(), 0);
+    }
+
+    #[test]
+    fn frame_batch_append_preserves_row_order() {
+        let mut a = FrameBatch::new();
+        a.push(frame(1, 0));
+        a.push(frame(1, 2));
+        let mut b = FrameBatch::new();
+        b.push(frame(2, 1));
+        a.append(&b);
+        let keys: Vec<(u32, u32)> = a.iter().map(|f| (f.emitted, f.emitter)).collect();
+        assert_eq!(keys, vec![(1, 0), (1, 2), (2, 1)]);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(b.len(), 1, "append borrows, never drains");
     }
 
     #[test]

@@ -1,0 +1,679 @@
+//! The streaming ingestion service — the long-running front of the
+//! longitudinal pipeline.
+//!
+//! The protocol of Algorithm 2 is inherently a *service*: clients emit
+//! one report per assigned boundary forever, and the server must fold
+//! them in as they arrive, period after period, without ever seeing the
+//! whole horizon at once. The batch engines (`run_event_driven`,
+//! `run_scenario`) simulate that schedule offline over whole-horizon
+//! shards; [`IngestService`] is the online counterpart:
+//!
+//! * **Per-period intake.** Producers stream columnar
+//!   [`ReportBatch`]es (trusted traffic, folded into shard accumulators
+//!   by the owning worker) or [`FrameBatch`]es (untrusted traffic,
+//!   buffered for the period-close checked ingestion) into per-worker
+//!   mailboxes.
+//! * **Bounded mailboxes with backpressure.** Every mailbox is a bounded
+//!   channel of [`LiveConfig::mailbox_cap`] batches (`RTF_MAILBOX_CAP`).
+//!   A full mailbox **blocks the producer** — messages are never dropped
+//!   and never reordered, so the observable outcome is independent of
+//!   how far ahead producers run. Backpressure changes timing, never
+//!   values.
+//! * **Period-close flush.** [`close_period`](IngestService::close_period)
+//!   barriers every worker, collects its shard accumulator and buffered
+//!   frames **in worker index order**, replays the merged frame mailbox
+//!   through the server's checked path, and finalises the period via
+//!   [`Server::close_period_with_shards`] — exactly the merge order of
+//!   the offline batched pipeline, so streaming execution is
+//!   value-for-value identical to batched and sequential execution
+//!   (proven by `rtf_scenarios::oracle::assert_live_agreement`).
+//! * **Restart recovery.** Every submitted batch is journalled (per
+//!   worker, per open period) before it enters a mailbox — a delivery
+//!   log. [`kill_worker`](IngestService::kill_worker) abandons a worker
+//!   thread and its entire un-flushed state mid-period, spawns a
+//!   replacement, and replays the journal into it. Folding is
+//!   deterministic, so the replacement's flush is bit-identical to the
+//!   one the dead worker would have produced: **recovery is exact**, and
+//!   the oracle asserts it on honest and fault-injected schedules alike.
+//!
+//! Journals are truncated at every period close (flushed shards already
+//! live in the server), so the journal holds one open period of traffic
+//! per worker — O(period volume), not O(horizon).
+
+use crate::batch::{FrameBatch, ReportBatch};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use rtf_core::accumulator::{Accumulator, AccumulatorError, AnyAccumulator};
+use rtf_core::server::{Delivery, Server};
+use rtf_primitives::sign::Sign;
+
+/// Default mailbox capacity when `RTF_MAILBOX_CAP` is unset.
+pub const DEFAULT_MAILBOX_CAP: usize = 1024;
+
+/// Parses a mailbox capacity: `None`/empty means
+/// [`DEFAULT_MAILBOX_CAP`]; `0` clamps to 1 (a mailbox must admit the
+/// flush barrier).
+///
+/// # Panics
+/// Panics on an unparsable non-empty value, like the other `RTF_*`
+/// selectors — a typo in CI must fail loudly.
+pub fn parse_mailbox_cap(value: Option<&str>) -> usize {
+    match value {
+        None => DEFAULT_MAILBOX_CAP,
+        Some(v) if v.trim().is_empty() => DEFAULT_MAILBOX_CAP,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("unparsable RTF_MAILBOX_CAP {v:?}; expected an integer"))
+            .max(1),
+    }
+}
+
+/// Reads the mailbox capacity from the `RTF_MAILBOX_CAP` environment
+/// variable (see [`parse_mailbox_cap`]).
+pub fn mailbox_cap_from_env() -> usize {
+    parse_mailbox_cap(std::env::var("RTF_MAILBOX_CAP").ok().as_deref())
+}
+
+/// A mid-horizon worker failure to inject: after period `period`'s
+/// traffic has been submitted (but before the period closes), worker
+/// `worker` is killed and recovered from the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerKill {
+    /// Worker index to kill (taken modulo the worker count).
+    pub worker: usize,
+    /// Period during which the kill strikes (1-based).
+    pub period: u64,
+}
+
+/// Configuration of a live (streaming) run: service shape plus the
+/// driver's submission granularity and optional fault injection.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Number of ingestion workers (≥ 1; 0 clamps to 1).
+    pub workers: usize,
+    /// Bounded mailbox capacity, in batches (≥ 1). Small caps force
+    /// producers to stall on the backpressure path; values never change.
+    pub mailbox_cap: usize,
+    /// Maximum rows per submitted batch — the streaming granularity of
+    /// the live drivers (smaller chunks ⇒ more intake messages per
+    /// period).
+    pub chunk_rows: usize,
+    /// Optional injected worker failure (see [`WorkerKill`]).
+    pub kill: Option<WorkerKill>,
+}
+
+impl LiveConfig {
+    /// A config for `workers` workers with the environment's mailbox
+    /// capacity (`RTF_MAILBOX_CAP`), a 256-row chunk, and no injected
+    /// failure.
+    pub fn new(workers: usize) -> Self {
+        LiveConfig {
+            workers: workers.max(1),
+            mailbox_cap: mailbox_cap_from_env(),
+            chunk_rows: 256,
+            kill: None,
+        }
+    }
+
+    /// Sets the mailbox capacity (0 clamps to 1).
+    pub fn with_mailbox_cap(mut self, cap: usize) -> Self {
+        self.mailbox_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the submission chunk size (0 clamps to 1).
+    pub fn with_chunk_rows(mut self, rows: usize) -> Self {
+        self.chunk_rows = rows.max(1);
+        self
+    }
+
+    /// Injects a worker kill (see [`WorkerKill`]).
+    pub fn with_kill(mut self, worker: usize, period: u64) -> Self {
+        self.kill = Some(WorkerKill { worker, period });
+        self
+    }
+}
+
+/// One intake message for a worker mailbox.
+enum WorkerMsg {
+    /// Trusted rows: fold into the worker's shard accumulator.
+    Reports(ReportBatch),
+    /// Untrusted frames: buffer for the period-close checked ingestion.
+    Frames(FrameBatch),
+    /// Period-close barrier: ship the shard state back and reset.
+    Flush,
+}
+
+/// What a worker hands back at every flush barrier.
+struct ShardFlush {
+    acc: AnyAccumulator,
+    frames: FrameBatch,
+}
+
+/// A journalled intake batch for the currently open period.
+#[derive(Clone)]
+enum JournalEntry {
+    Reports(ReportBatch),
+    Frames(FrameBatch),
+}
+
+/// One live ingestion worker: mailbox sender, flush receiver, thread.
+struct WorkerSlot {
+    tx: Option<Sender<WorkerMsg>>,
+    flushes: Receiver<ShardFlush>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerSlot {
+    fn spawn(index: usize, mailbox_cap: usize, template: AnyAccumulator) -> Self {
+        let (tx, rx) = bounded::<WorkerMsg>(mailbox_cap);
+        let (flush_tx, flushes) = unbounded::<ShardFlush>();
+        let handle = std::thread::Builder::new()
+            .name(format!("rtf-ingest-{index}"))
+            .spawn(move || worker_loop(rx, flush_tx, template))
+            .expect("spawn ingest worker");
+        WorkerSlot {
+            tx: Some(tx),
+            flushes,
+            handle: Some(handle),
+        }
+    }
+
+    /// Closes the mailbox and joins the thread. The worker drains every
+    /// message still queued, then exits on disconnect — its state is
+    /// simply never collected again, which is what "crashed" means to
+    /// the rest of the service.
+    fn stop(&mut self) {
+        self.tx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker body: fold trusted rows, buffer untrusted frames, ship
+/// both back at every flush barrier.
+fn worker_loop(rx: Receiver<WorkerMsg>, out: Sender<ShardFlush>, template: AnyAccumulator) {
+    let mut acc = template.fresh_like();
+    let mut frames = FrameBatch::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Reports(batch) => batch.fold_into(&mut acc),
+            WorkerMsg::Frames(batch) => frames.append(&batch),
+            WorkerMsg::Flush => {
+                let flush = ShardFlush {
+                    acc: std::mem::replace(&mut acc, template.fresh_like()),
+                    frames: std::mem::take(&mut frames),
+                };
+                if out.send(flush).is_err() {
+                    break; // service gone mid-flush: nothing left to serve
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate accounting of one service lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Periods closed.
+    pub periods: u64,
+    /// Intake batches submitted (journal entries written).
+    pub batches: u64,
+    /// Trusted report rows submitted.
+    pub rows: u64,
+    /// Untrusted frames submitted.
+    pub frames: u64,
+    /// Workers killed and recovered.
+    pub recoveries: u64,
+    /// Journal batches replayed into replacement workers.
+    pub replayed_batches: u64,
+    /// Cumulative heap bytes of every flushed shard accumulator — the
+    /// live counterpart of `EventDrivenOutcome::acc_bytes`.
+    pub flushed_acc_bytes: u64,
+}
+
+/// The result of closing one period.
+#[derive(Debug, Clone)]
+pub struct PeriodClose {
+    /// The period just closed.
+    pub t: u64,
+    /// The published estimate `â[t]`.
+    pub estimate: f64,
+    /// The period's untrusted frames in the exact ingestion (sequential
+    /// mailbox) order — empty for trusted-only intake.
+    pub frames: FrameBatch,
+    /// Per-frame classification by the checked ingestion path, parallel
+    /// to [`frames`](Self::frames).
+    pub outcomes: Vec<Delivery>,
+}
+
+/// The long-running streaming ingestion service (see the module docs).
+///
+/// Owns the [`Server`] for the duration of the run;
+/// [`finish`](Self::finish) hands it back with the final accounting.
+pub struct IngestService {
+    /// `Some` until [`finish`](Self::finish) hands the server back.
+    server: Option<Server>,
+    workers: Vec<WorkerSlot>,
+    /// Per-worker delivery log of the currently open period.
+    journal: Vec<Vec<JournalEntry>>,
+    stats: IngestStats,
+    mailbox_cap: usize,
+}
+
+impl IngestService {
+    /// Starts `workers` ingestion workers (≥ 1; 0 clamps to 1) in front
+    /// of `server`, with `mailbox_cap`-batch bounded mailboxes. Worker
+    /// shard accumulators inherit the server's storage backend and shape
+    /// via [`Server::new_shard`].
+    ///
+    /// All user registration must already have happened — the service
+    /// starts at period 1.
+    pub fn new(server: Server, workers: usize, mailbox_cap: usize) -> Self {
+        let workers = workers.max(1);
+        let mailbox_cap = mailbox_cap.max(1);
+        let slots = (0..workers)
+            .map(|i| WorkerSlot::spawn(i, mailbox_cap, server.new_shard()))
+            .collect();
+        IngestService {
+            server: Some(server),
+            workers: slots,
+            journal: vec![Vec::new(); workers],
+            stats: IngestStats::default(),
+            mailbox_cap,
+        }
+    }
+
+    fn server_mut(&mut self) -> &mut Server {
+        self.server.as_mut().expect("service not finished")
+    }
+
+    /// Number of ingestion workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The bounded mailbox capacity, in batches.
+    pub fn mailbox_cap(&self) -> usize {
+        self.mailbox_cap
+    }
+
+    /// The accounting so far.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Streams one trusted report batch into worker `worker`'s mailbox,
+    /// journalling it first. **Blocks while the mailbox is full** — the
+    /// backpressure contract: producers stall, batches are never dropped.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn submit_reports(&mut self, worker: usize, batch: ReportBatch) {
+        self.stats.batches += 1;
+        self.stats.rows += batch.len() as u64;
+        self.journal[worker].push(JournalEntry::Reports(batch.clone()));
+        self.send(worker, WorkerMsg::Reports(batch));
+    }
+
+    /// Streams one untrusted frame batch into worker `worker`'s mailbox,
+    /// journalling it first. Same blocking backpressure contract as
+    /// [`submit_reports`](Self::submit_reports).
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn submit_frames(&mut self, worker: usize, batch: FrameBatch) {
+        self.stats.batches += 1;
+        self.stats.frames += batch.len() as u64;
+        self.journal[worker].push(JournalEntry::Frames(batch.clone()));
+        self.send(worker, WorkerMsg::Frames(batch));
+    }
+
+    fn send(&self, worker: usize, msg: WorkerMsg) {
+        let tx = self.workers[worker]
+            .tx
+            .as_ref()
+            .expect("worker mailbox open");
+        assert!(tx.send(msg).is_ok(), "ingest worker {worker} disconnected");
+    }
+
+    /// Closes period `t`: barriers every worker, absorbs the flushed
+    /// shard accumulators and replays the merged frame mailbox through
+    /// the checked ingestion path (both in deterministic order), then
+    /// finalises `â[t]` and truncates the journals.
+    ///
+    /// # Errors
+    /// Returns [`AccumulatorError`] if a flushed shard does not match the
+    /// server's backend/shape (impossible unless the service is misused —
+    /// shards are cut from the server itself).
+    ///
+    /// # Panics
+    /// Panics like `Server::end_of_period` if `t` is out of order.
+    pub fn close_period(&mut self, t: u64) -> Result<PeriodClose, AccumulatorError> {
+        // Barrier: one flush marker per mailbox. Workers drain in FIFO
+        // order, so everything submitted for this period lands before the
+        // marker.
+        for w in 0..self.workers.len() {
+            self.send(w, WorkerMsg::Flush);
+        }
+        // Collect in worker index order — the deterministic merge order.
+        let mut shard_accs = Vec::with_capacity(self.workers.len());
+        let mut shard_frames = Vec::with_capacity(self.workers.len());
+        for slot in &self.workers {
+            let flush = slot
+                .flushes
+                .recv()
+                .expect("ingest worker answered the flush barrier");
+            self.stats.flushed_acc_bytes += flush.acc.heap_bytes() as u64;
+            shard_accs.push(flush.acc);
+            shard_frames.push(flush.frames);
+        }
+
+        // Untrusted traffic first: reconstruct the sequential mailbox
+        // order across shards and classify every frame.
+        let frames = FrameBatch::merge_ordered(shard_frames.iter());
+        let mut outcomes = Vec::with_capacity(frames.len());
+        let server = self.server_mut();
+        for frame in frames.iter() {
+            let bit = if frame.bit { Sign::Plus } else { Sign::Minus };
+            outcomes.push(server.ingest_checked(frame.user, u64::from(frame.t), bit));
+        }
+
+        let estimate = server.close_period_with_shards(t, shard_accs.iter())?;
+        for entries in &mut self.journal {
+            entries.clear();
+        }
+        self.stats.periods += 1;
+        Ok(PeriodClose {
+            t,
+            estimate,
+            frames,
+            outcomes,
+        })
+    }
+
+    /// Kills worker `worker` mid-period and recovers it: the thread is
+    /// abandoned along with **all** of its un-flushed state (folded
+    /// accumulator, buffered frames, queued mailbox), a replacement is
+    /// spawned, and the open period's journal is replayed into it.
+    /// Folding is deterministic, so the replacement's next flush is
+    /// bit-identical to what the dead worker would have produced.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn kill_worker(&mut self, worker: usize) {
+        self.workers[worker].stop();
+        let template = self.server_mut().new_shard();
+        self.workers[worker] = WorkerSlot::spawn(worker, self.mailbox_cap, template);
+        self.stats.recoveries += 1;
+        // Replay the delivery log. Clones go to the mailbox; the journal
+        // keeps its entries in case this worker dies again before the
+        // period closes.
+        for i in 0..self.journal[worker].len() {
+            self.stats.replayed_batches += 1;
+            let msg = match &self.journal[worker][i] {
+                JournalEntry::Reports(b) => WorkerMsg::Reports(b.clone()),
+                JournalEntry::Frames(b) => WorkerMsg::Frames(b.clone()),
+            };
+            self.send(worker, msg);
+        }
+    }
+
+    /// Stops every worker and hands back the server with the final
+    /// accounting.
+    pub fn finish(mut self) -> (Server, IngestStats) {
+        for slot in &mut self.workers {
+            slot.stop();
+        }
+        let stats = self.stats;
+        // `self` still drops afterwards; `stop` is idempotent and the
+        // server slot is simply empty by then.
+        let server = self.server.take().expect("service finished once");
+        (server, stats)
+    }
+}
+
+impl Drop for IngestService {
+    fn drop(&mut self) {
+        for slot in &mut self.workers {
+            slot.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf_core::accumulator::AccumulatorKind;
+    use rtf_core::params::ProtocolParams;
+
+    fn params() -> ProtocolParams {
+        ProtocolParams::new(100, 8, 2, 1.0, 0.05).unwrap()
+    }
+
+    /// A trusted server with `users` order-0 clients registered.
+    fn trusted_server(users: usize, backend: AccumulatorKind) -> Server {
+        let mut server = Server::for_future_rand_with(params(), backend);
+        for _ in 0..users {
+            server.register_user(0);
+        }
+        server
+    }
+
+    /// A deterministic report batch for one period.
+    fn batch_for(t: u64, users: std::ops::Range<u32>) -> ReportBatch {
+        let mut batch = ReportBatch::new();
+        for u in users {
+            let sign = if (u as u64 + t) % 3 == 0 {
+                Sign::Minus
+            } else {
+                Sign::Plus
+            };
+            batch.push(u, 0, sign);
+        }
+        batch
+    }
+
+    /// Reference: the same traffic pushed straight through a server.
+    fn reference_estimates(backend: AccumulatorKind) -> Vec<f64> {
+        let mut server = trusted_server(12, backend);
+        let mut estimates = Vec::new();
+        for t in 1..=8u64 {
+            let batch = batch_for(t, 0..12);
+            let mut shard = server.new_shard();
+            batch.fold_into(&mut shard);
+            server.absorb_shard(&shard).unwrap();
+            estimates.push(server.end_of_period(t));
+        }
+        estimates
+    }
+
+    #[test]
+    fn streamed_intake_matches_direct_ingestion_on_every_backend() {
+        for backend in AccumulatorKind::ALL {
+            let expect = reference_estimates(backend);
+            for workers in [1usize, 2, 5] {
+                let server = trusted_server(12, backend);
+                let mut svc = IngestService::new(server, workers, 4);
+                let mut estimates = Vec::new();
+                for t in 1..=8u64 {
+                    // Rows split arbitrarily across workers and chunks —
+                    // the shard sums commute exactly.
+                    for (w, span) in [(0usize, 0u32..5), (workers - 1, 5..12)] {
+                        svc.submit_reports(w, batch_for(t, span));
+                    }
+                    estimates.push(svc.close_period(t).unwrap().estimate);
+                }
+                assert_eq!(estimates, expect, "{backend}, {workers} workers");
+                let (server, stats) = svc.finish();
+                assert_eq!(server.reports_ingested(), 12 * 8);
+                assert_eq!(stats.periods, 8);
+                assert_eq!(stats.rows, 12 * 8);
+                assert_eq!(stats.recoveries, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_mailboxes_stall_producers_without_changing_values() {
+        // cap = 1: every second submit must wait for the worker to drain
+        // the first. The values are identical to the uncontended run.
+        let expect = reference_estimates(AccumulatorKind::Dense);
+        let server = trusted_server(12, AccumulatorKind::Dense);
+        let mut svc = IngestService::new(server, 2, 1);
+        assert_eq!(svc.mailbox_cap(), 1);
+        let mut estimates = Vec::new();
+        for t in 1..=8u64 {
+            // Many small chunks through few mailbox slots.
+            for u in 0..12u32 {
+                svc.submit_reports((u % 2) as usize, batch_for(t, u..u + 1));
+            }
+            estimates.push(svc.close_period(t).unwrap().estimate);
+        }
+        assert_eq!(estimates, expect);
+        assert_eq!(svc.stats().batches, 12 * 8);
+    }
+
+    #[test]
+    fn killed_worker_recovers_exactly_from_the_journal() {
+        let expect = reference_estimates(AccumulatorKind::Dense);
+        let server = trusted_server(12, AccumulatorKind::Dense);
+        let mut svc = IngestService::new(server, 3, 2);
+        let mut estimates = Vec::new();
+        for t in 1..=8u64 {
+            svc.submit_reports(0, batch_for(t, 0..4));
+            svc.submit_reports(1, batch_for(t, 4..8));
+            svc.submit_reports(2, batch_for(t, 8..12));
+            if t == 4 {
+                // Mid-period kill: worker 1 has (maybe) folded its batch;
+                // the replacement must replay it from the journal.
+                svc.kill_worker(1);
+            }
+            estimates.push(svc.close_period(t).unwrap().estimate);
+        }
+        assert_eq!(estimates, expect, "recovery must be exact");
+        let (_, stats) = svc.finish();
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.replayed_batches, 1, "one open-period batch replayed");
+    }
+
+    #[test]
+    fn double_kill_in_one_period_still_recovers() {
+        let expect = reference_estimates(AccumulatorKind::Dense);
+        let server = trusted_server(12, AccumulatorKind::Dense);
+        let mut svc = IngestService::new(server, 2, 2);
+        let mut estimates = Vec::new();
+        for t in 1..=8u64 {
+            svc.submit_reports(0, batch_for(t, 0..3));
+            if t == 2 {
+                svc.kill_worker(0); // replays 1 batch
+            }
+            svc.submit_reports(0, batch_for(t, 3..6));
+            if t == 2 {
+                svc.kill_worker(0); // replays 2 batches
+            }
+            svc.submit_reports(1, batch_for(t, 6..12));
+            estimates.push(svc.close_period(t).unwrap().estimate);
+        }
+        assert_eq!(estimates, expect);
+        let (_, stats) = svc.finish();
+        assert_eq!(stats.recoveries, 2);
+        assert_eq!(stats.replayed_batches, 3);
+    }
+
+    #[test]
+    fn frame_intake_replays_the_merged_mailbox_through_the_checked_path() {
+        use crate::batch::Frame;
+        // Two registered order-0 users reporting through frames; a junk
+        // frame must classify, not panic. Frames scattered across workers
+        // must ingest in (emitted, emitter) order.
+        let mut server = Server::for_future_rand_with(params(), AccumulatorKind::Dense);
+        assert!(server.register_client(0, 0));
+        assert!(server.register_client(1, 0));
+        let mut svc = IngestService::new(server, 2, 4);
+        let mut w0 = FrameBatch::new();
+        let mut w1 = FrameBatch::new();
+        w1.push(Frame {
+            emitted: 1,
+            emitter: 1,
+            user: 1,
+            t: 1,
+            bit: false,
+            byzantine: false,
+        });
+        w0.push(Frame {
+            emitted: 1,
+            emitter: 0,
+            user: 0,
+            t: 1,
+            bit: true,
+            byzantine: false,
+        });
+        // A fabrication from an unregistered id.
+        w0.push(Frame {
+            emitted: 1,
+            emitter: 7,
+            user: 99,
+            t: 1,
+            bit: true,
+            byzantine: true,
+        });
+        svc.submit_frames(0, w0);
+        svc.submit_frames(1, w1);
+        let close = svc.close_period(1).unwrap();
+        let order: Vec<u32> = close.frames.iter().map(|f| f.emitter).collect();
+        assert_eq!(order, vec![0, 1, 7], "merged mailbox order");
+        assert_eq!(
+            close.outcomes,
+            vec![
+                Delivery::Accepted,
+                Delivery::Accepted,
+                Delivery::UnknownUser
+            ]
+        );
+        let (server, stats) = svc.finish();
+        assert_eq!(server.delivery_log()[0].accepted, 2);
+        assert_eq!(server.delivery_log()[0].unknown_user, 1);
+        assert_eq!(stats.frames, 3);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_service_does_not_hang() {
+        let server = trusted_server(4, AccumulatorKind::Dense);
+        let mut svc = IngestService::new(server, 2, 1);
+        svc.submit_reports(0, batch_for(1, 0..4));
+        drop(svc); // workers drain and exit on mailbox disconnect
+    }
+
+    #[test]
+    fn mailbox_cap_parsing() {
+        assert_eq!(parse_mailbox_cap(None), DEFAULT_MAILBOX_CAP);
+        assert_eq!(parse_mailbox_cap(Some("")), DEFAULT_MAILBOX_CAP);
+        assert_eq!(parse_mailbox_cap(Some("  ")), DEFAULT_MAILBOX_CAP);
+        assert_eq!(parse_mailbox_cap(Some("7")), 7);
+        assert_eq!(parse_mailbox_cap(Some(" 42 ")), 42);
+        assert_eq!(parse_mailbox_cap(Some("0")), 1, "0 clamps to 1");
+        assert!(std::panic::catch_unwind(|| parse_mailbox_cap(Some("lots"))).is_err());
+    }
+
+    #[test]
+    fn live_config_builders() {
+        let cfg = LiveConfig::new(0);
+        assert_eq!(cfg.workers, 1, "0 workers clamps to 1");
+        assert!(cfg.kill.is_none());
+        let cfg = LiveConfig::new(4)
+            .with_mailbox_cap(0)
+            .with_chunk_rows(0)
+            .with_kill(2, 9);
+        assert_eq!(cfg.mailbox_cap, 1);
+        assert_eq!(cfg.chunk_rows, 1);
+        assert_eq!(
+            cfg.kill,
+            Some(WorkerKill {
+                worker: 2,
+                period: 9
+            })
+        );
+    }
+}

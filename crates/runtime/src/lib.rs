@@ -21,7 +21,14 @@
 //!   `RTF_BACKEND` selects the default next to `RTF_WORKERS`);
 //! * [`persistent`] — [`PersistentPool`]: long-lived worker threads
 //!   shared across `run_trials` executions, so repeated small maps pay
-//!   the thread-spawn cost once per process instead of once per call.
+//!   the thread-spawn cost once per process instead of once per call;
+//! * [`ingest`] — [`IngestService`]: the long-running streaming
+//!   ingestion front — per-period batch intake into bounded per-worker
+//!   mailboxes (backpressure blocks producers, never drops), shard
+//!   accumulators flushed into the server at period close, and a
+//!   delivery-log journal that replays a killed worker's open period
+//!   into its replacement exactly (`RTF_MAILBOX_CAP` sizes the
+//!   mailboxes).
 //!
 //! The execution engines themselves live with their protocols —
 //! `rtf_sim::engine` (honest schedule) and `rtf_scenarios::engine`
@@ -33,14 +40,16 @@
 #![warn(clippy::all)]
 
 pub mod batch;
+pub mod ingest;
 pub mod mode;
 pub mod persistent;
 pub mod pool;
 
 pub use batch::{Frame, FrameBatch, ReportBatch};
+pub use ingest::{IngestService, IngestStats, LiveConfig, PeriodClose, WorkerKill};
 pub use mode::ExecMode;
 pub use persistent::{shared_pool, PersistentPool};
-pub use pool::{partition, Shard, WorkerPool};
+pub use pool::{partition, shard_of, Shard, WorkerPool};
 // The storage-backend selector lives with the accumulators in rtf-core;
 // re-exported here so runtime configuration (`RTF_WORKERS` → ExecMode,
 // `RTF_BACKEND` → AccumulatorKind) is importable from one place.

@@ -184,6 +184,23 @@ impl PersistentPool {
             .map(|slot| slot.expect("every job completed"))
             .collect()
     }
+
+    /// Partitions `0..items` into one contiguous shard per worker and
+    /// maps each shard on the persistent workers, returning results **in
+    /// shard index order** — the same contract as
+    /// [`WorkerPool::map_shards`](crate::pool::WorkerPool::map_shards)
+    /// without the per-call thread spawn.
+    pub fn map_shards<T, F>(&self, items: usize, map: F) -> Vec<T>
+    where
+        F: Fn(crate::pool::Shard) -> T + Sync,
+        T: Send,
+    {
+        let shards = crate::pool::partition(items, self.workers);
+        if self.workers == 1 {
+            return shards.into_iter().map(map).collect();
+        }
+        self.map_indexed(shards.len(), |i| map(shards[i]))
+    }
 }
 
 impl Drop for PersistentPool {
@@ -238,6 +255,16 @@ mod tests {
         let a = persistent.map_indexed(101, |i| (i as u64).wrapping_mul(0x9E37_79B9));
         let b = scoped.map_indexed(101, |i| (i as u64).wrapping_mul(0x9E37_79B9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_shards_agrees_with_the_scoped_pool() {
+        let persistent = PersistentPool::new(3);
+        let scoped = WorkerPool::new(3);
+        let a = persistent.map_shards(103, |s| s.range().sum::<usize>());
+        let b = scoped.map_shards(103, |s| s.range().sum::<usize>());
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<usize>(), (0..103).sum::<usize>());
     }
 
     #[test]

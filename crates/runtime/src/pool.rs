@@ -69,6 +69,27 @@ pub fn partition(items: usize, shards: usize) -> Vec<Shard> {
     out
 }
 
+/// The shard index that owns `item` under `partition(items, shards)`,
+/// computed analytically (no search): the first `items % shards` shards
+/// hold `⌈items/shards⌉` items, the rest `⌊items/shards⌋`. Streaming
+/// fronts use this to route a report to its owner's mailbox without
+/// materialising the partition.
+///
+/// # Panics
+/// Panics if `item >= items` or `shards == 0`.
+pub fn shard_of(items: usize, shards: usize, item: usize) -> usize {
+    assert!(shards >= 1, "need at least one shard");
+    assert!(item < items, "item {item} outside 0..{items}");
+    let base = items / shards;
+    let extra = items % shards;
+    let boundary = extra * (base + 1);
+    if item < boundary {
+        item / (base + 1)
+    } else {
+        extra + (item - boundary) / base
+    }
+}
+
 /// A fixed-size worker pool.
 ///
 /// The pool is a lightweight handle; threads live only for the duration
@@ -177,6 +198,23 @@ mod tests {
                     (lo.min(s.len()), hi.max(s.len()))
                 });
                 assert!(max - min <= 1, "near-equal: {items}/{shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_agrees_with_partition() {
+        for items in [1usize, 2, 7, 100, 101, 1000] {
+            for shards in [1usize, 2, 3, 8, 64] {
+                let parts = partition(items, shards);
+                for item in 0..items {
+                    let owner = shard_of(items, shards, item);
+                    assert!(
+                        parts[owner].range().contains(&item),
+                        "item {item} of {items}/{shards} routed to shard {owner} {:?}",
+                        parts[owner]
+                    );
+                }
             }
         }
     }

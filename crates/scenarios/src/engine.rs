@@ -45,7 +45,7 @@ use rtf_streams::population::Population;
 /// Label of the dedicated fault RNG stream. Far outside the `u32` space
 /// of per-user labels and distinct from the aggregate sampler's server
 /// stream (`0x5E71`), so no protocol randomness is ever reused.
-const FAULT_STREAM: u64 = 0xFA17_B055_ED00_0001;
+pub(crate) const FAULT_STREAM: u64 = 0xFA17_B055_ED00_0001;
 
 /// Tallies of every fault the injection layer applied.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -125,14 +125,14 @@ impl ScenarioOutcome {
     }
 }
 
-struct ClientSlot {
-    client: Client<FutureRand>,
-    rng: StdRng,
+pub(crate) struct ClientSlot {
+    pub(crate) client: Client<FutureRand>,
+    pub(crate) rng: StdRng,
     /// This client's private fault stream.
-    frng: StdRng,
-    byzantine: bool,
+    pub(crate) frng: StdRng,
+    pub(crate) byzantine: bool,
     /// First period at which the client has departed (`u64::MAX` = never).
-    churn_at: u64,
+    pub(crate) churn_at: u64,
 }
 
 /// One message on the unreliable network, with provenance for accounting.
@@ -207,7 +207,7 @@ pub fn run_scenario_with_backend(
     }
 }
 
-fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer> {
+pub(crate) fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer> {
     (0..params.num_orders())
         .map(|h| ComposedRandomizer::for_protocol(params.k_for_order(h), params.epsilon()))
         .collect()
@@ -502,7 +502,7 @@ fn run_scenario_batched(
 
 /// First period at which the client is gone, under a per-period hazard
 /// `p` (geometric via inversion); `u64::MAX` when `p == 0`.
-fn sample_churn_period(rng: &mut StdRng, p: f64) -> u64 {
+pub(crate) fn sample_churn_period(rng: &mut StdRng, p: f64) -> u64 {
     if p <= 0.0 {
         return u64::MAX;
     }
@@ -522,7 +522,11 @@ fn sample_churn_period(rng: &mut StdRng, p: f64) -> u64 {
 /// An arbitrary-but-well-formed report: sometimes the sender's own id
 /// (an insider lying about content/timing), sometimes a random id (an
 /// outsider or impersonator); period and bit are unconstrained.
-fn fabricate_report(rng: &mut StdRng, params: &ProtocolParams, own_id: u32) -> ReportMsg {
+pub(crate) fn fabricate_report(
+    rng: &mut StdRng,
+    params: &ProtocolParams,
+    own_id: u32,
+) -> ReportMsg {
     let user = if rng.random_bool(0.5) {
         own_id
     } else {
@@ -631,7 +635,7 @@ fn dispatch(
 /// rows tagged with their emission provenance `(t, emitter)` — the key
 /// [`FrameBatch::merge_ordered`] later sorts by.
 #[allow(clippy::too_many_arguments)]
-fn dispatch_frame(
+pub(crate) fn dispatch_frame(
     msg: ReportMsg,
     t: u64,
     emitter: u32,

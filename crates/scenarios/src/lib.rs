@@ -14,9 +14,17 @@
 //!   randomness is never touched, so the honest scenario is value-for-
 //!   value identical to `run_event_driven`, and honest clients' bits are
 //!   identical across all scenarios of the same seed;
+//! * [`live`] — [`run_scenario_live`]: the same fault-injected schedule
+//!   served through the streaming ingestion service
+//!   (`rtf_runtime::ingest`): per-emitter bounded mailboxes with
+//!   blocking backpressure, period-close merge back into the exact
+//!   sequential mailbox order, and exact journal-replay recovery of a
+//!   killed worker;
 //! * [`oracle`] — the differential oracle: asserts exact agreement of the
-//!   exact paths under one seed, distributional agreement (tolerance
-//!   bands from `rtf_analysis::variance`) for the aggregate sampler, and
+//!   exact paths under one seed (including
+//!   [`oracle::assert_live_agreement`]: streaming ≡ batched ≡
+//!   sequential), distributional agreement (tolerance bands from
+//!   `rtf_analysis::variance`) for the aggregate sampler, and
 //!   bias-aware envelopes for faulty runs.
 //!
 //! Entry points: [`run_scenario`] for one fault-injected execution,
@@ -28,13 +36,15 @@
 
 pub mod config;
 pub mod engine;
+pub mod live;
 pub mod oracle;
 
 pub use config::Scenario;
 pub use engine::{
     run_scenario, run_scenario_with, run_scenario_with_backend, FaultCounts, ScenarioOutcome,
 };
+pub use live::{run_scenario_live, run_scenario_live_with};
 pub use oracle::{
-    assert_backend_agreement, assert_exact_agreement, assert_mode_agreement, faulty_envelope,
-    measure_aggregate_agreement, measure_aggregate_agreement_with, tolerance_band,
+    assert_backend_agreement, assert_exact_agreement, assert_live_agreement, assert_mode_agreement,
+    faulty_envelope, measure_aggregate_agreement, measure_aggregate_agreement_with, tolerance_band,
 };

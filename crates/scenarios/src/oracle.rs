@@ -35,13 +35,16 @@
 
 use crate::config::Scenario;
 use crate::engine::{run_scenario, run_scenario_with, run_scenario_with_backend, ScenarioOutcome};
+use crate::live::run_scenario_live_with;
 use rtf_analysis::variance::{future_rand_scales, predicted_variance};
 use rtf_core::accumulator::AccumulatorKind;
 use rtf_core::params::ProtocolParams;
 use rtf_core::protocol::run_in_memory;
+use rtf_runtime::ingest::LiveConfig;
 use rtf_runtime::{ExecMode, WorkerPool};
 use rtf_sim::aggregate::run_future_rand_aggregate;
 use rtf_sim::engine::{run_event_driven, run_event_driven_with, run_event_driven_with_backend};
+use rtf_sim::live::run_event_driven_live_with;
 use rtf_streams::population::Population;
 
 /// The worker counts the mode-agreement check proves equivalent to the
@@ -160,6 +163,96 @@ pub fn assert_mode_agreement(
             sc.byzantine_accepted_by_period, sc_seq.byzantine_accepted_by_period,
             "parallel({w}) per-period Byzantine acceptance"
         );
+    }
+}
+
+/// Asserts **streaming ≡ batched ≡ sequential**, value-for-value, on
+/// both engines:
+///
+/// * the honest schedule — sequential `run_event_driven` vs the batched
+///   pipeline vs the streaming ingestion service
+///   (`run_event_driven_live_with`): estimates, group sizes, wire
+///   stats;
+/// * the fault-injected schedule under `scenario` — sequential
+///   `run_scenario` vs batched vs `run_scenario_live_with`: estimates,
+///   delivery log, wire stats, fault counts, per-period Byzantine
+///   acceptance.
+///
+/// The streaming runs use a deliberately hostile service shape — a
+/// 2-batch mailbox and a small chunk size, so producers stall on
+/// backpressure and journals hold several entries — for every worker
+/// count in [`MODE_AGREEMENT_WORKERS`], each **with and without** a
+/// worker killed mid-horizon and recovered from the journal (the
+/// recovery is asserted to have happened). The storage backend comes
+/// from `RTF_BACKEND`, so the CI backend matrix replays this proof on
+/// every layout.
+///
+/// # Panics
+/// Panics naming the first diverging engine/worker count/fault
+/// injection.
+pub fn assert_live_agreement(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+) {
+    let backend = AccumulatorKind::from_env();
+    let ev_seq = run_event_driven_with(params, population, seed, ExecMode::Sequential);
+    let sc_seq = run_scenario_with(params, population, seed, scenario, ExecMode::Sequential);
+    // Complete the three-way claim: the batched pipeline sits between
+    // sequential and streaming.
+    let ev_bat = run_event_driven_with(params, population, seed, ExecMode::Parallel(2));
+    assert_eq!(
+        ev_bat.estimates, ev_seq.estimates,
+        "batched event-driven diverges from sequential (seed {seed})"
+    );
+    assert_eq!(ev_bat.wire, ev_seq.wire, "batched wire stats");
+    let sc_bat = run_scenario_with(params, population, seed, scenario, ExecMode::Parallel(2));
+    assert_eq!(
+        sc_bat.estimates, sc_seq.estimates,
+        "batched scenario diverges from sequential (seed {seed})"
+    );
+    assert_eq!(sc_bat.delivery, sc_seq.delivery, "batched delivery log");
+
+    let kill_at = (params.d() / 2).max(1);
+    for w in MODE_AGREEMENT_WORKERS {
+        for kill in [None, Some(w.saturating_sub(1))] {
+            let mut cfg = LiveConfig::new(w).with_mailbox_cap(2).with_chunk_rows(7);
+            if let Some(worker) = kill {
+                cfg = cfg.with_kill(worker, kill_at);
+            }
+            let label = match kill {
+                None => format!("live({w})"),
+                Some(worker) => format!("live({w}), worker {worker} killed at t={kill_at}"),
+            };
+
+            let (ev, ev_stats) =
+                run_event_driven_live_with(params, population, seed, &cfg, backend);
+            assert_eq!(
+                ev.estimates, ev_seq.estimates,
+                "{label}: event-driven estimates diverge from sequential (seed {seed})"
+            );
+            assert_eq!(ev.group_sizes, ev_seq.group_sizes, "{label}: groups");
+            assert_eq!(ev.wire, ev_seq.wire, "{label}: wire stats");
+
+            let (sc, sc_stats) =
+                run_scenario_live_with(params, population, seed, scenario, &cfg, backend);
+            assert_eq!(
+                sc.estimates, sc_seq.estimates,
+                "{label}: scenario estimates diverge from sequential (seed {seed})"
+            );
+            assert_eq!(sc.group_sizes, sc_seq.group_sizes, "{label}: groups");
+            assert_eq!(sc.delivery, sc_seq.delivery, "{label}: delivery log");
+            assert_eq!(sc.wire, sc_seq.wire, "{label}: wire stats");
+            assert_eq!(sc.faults, sc_seq.faults, "{label}: fault counts");
+            assert_eq!(
+                sc.byzantine_accepted_by_period, sc_seq.byzantine_accepted_by_period,
+                "{label}: per-period Byzantine acceptance"
+            );
+            let expected_recoveries = u64::from(kill.is_some());
+            assert_eq!(ev_stats.recoveries, expected_recoveries, "{label}");
+            assert_eq!(sc_stats.recoveries, expected_recoveries, "{label}");
+        }
     }
 }
 
@@ -499,6 +592,21 @@ mod tests {
             .with_duplicates(0.05)
             .with_byzantine(0.1);
         assert_backend_agreement(&params, &pop, 41, &storm);
+    }
+
+    #[test]
+    fn live_agreement_holds_on_honest_and_faulty_schedules() {
+        // The streaming tentpole claim at unit scale: streaming ≡
+        // batched ≡ sequential on both engines, with backpressure and a
+        // mid-horizon worker kill in the mix.
+        let (params, pop) = setup(110, 16, 2, 88);
+        assert_live_agreement(&params, &pop, 51, &Scenario::honest());
+        let storm = Scenario::honest()
+            .with_dropout(0.05)
+            .with_stragglers(0.1, 3)
+            .with_duplicates(0.05)
+            .with_byzantine(0.1);
+        assert_live_agreement(&params, &pop, 51, &storm);
     }
 
     #[test]

@@ -107,10 +107,55 @@ pub fn run_event_driven_with_backend(
     }
 }
 
-fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer> {
+/// One composed randomizer table per order — shared by the engine's
+/// modes and the live streaming driver ([`crate::live`]).
+pub(crate) fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer> {
     (0..params.num_orders())
         .map(|h| ComposedRandomizer::for_protocol(params.k_for_order(h), params.epsilon()))
         .collect()
+}
+
+/// One client's emission state in the batched/streaming pipelines:
+/// span-stepping cursor + state machine, grouped by order.
+pub(crate) struct GroupedSlot<'a> {
+    pub(crate) user: u32,
+    pub(crate) client: Client<FutureRand>,
+    pub(crate) rng: rand::rngs::StdRng,
+    /// Streaming O(1) view of the user's derivative — replaces a
+    /// per-period binary search on the hottest loop in the repo.
+    pub(crate) cursor: rtf_streams::stream::DerivativeCursor<'a>,
+}
+
+/// Builds one user range's clients grouped by announced order — at
+/// period `t` only orders dividing `t` report, so the round loop walks
+/// exactly the reporting clients: `O(reports + changes)` per shard
+/// instead of `O(users · periods)`.
+///
+/// This is the **one** client-construction path of the batched engine
+/// and the live streaming driver ([`crate::live`]) — they must consume
+/// per-user RNG identically for the batched ≡ streaming ≡ sequential
+/// proofs to hold, so the construction lives in exactly one place.
+pub(crate) fn build_order_groups<'a>(
+    params: &ProtocolParams,
+    population: &'a Population,
+    composed: &[ComposedRandomizer],
+    root: &SeedSequence,
+    users: std::ops::Range<usize>,
+) -> Vec<Vec<GroupedSlot<'a>>> {
+    let orders = params.num_orders() as usize;
+    let mut groups: Vec<Vec<GroupedSlot<'a>>> = (0..orders).map(|_| Vec::new()).collect();
+    for u in users {
+        let mut rng = root.child(u as u64).rng();
+        let h = Client::<FutureRand>::sample_order(params, &mut rng);
+        let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+        groups[h as usize].push(GroupedSlot {
+            user: u as u32,
+            client: Client::new(params, h, m),
+            rng,
+            cursor: population.stream(u).derivative().cursor(),
+        });
+    }
+    groups
 }
 
 /// The single-threaded reference schedule with real (serialised) framing.
@@ -207,31 +252,11 @@ fn run_batched(
     let pool = WorkerPool::new(workers);
 
     let shards: Vec<ShardRun> = pool.map_shards(params.n(), |shard| {
-        struct Slot<'a> {
-            user: u32,
-            client: Client<FutureRand>,
-            rng: rand::rngs::StdRng,
-            /// Streaming O(1) view of the user's derivative — replaces a
-            /// per-period binary search on the hottest loop in the repo.
-            cursor: rtf_streams::stream::DerivativeCursor<'a>,
-        }
         let mut wire = WireStats::default();
-        // Clients grouped by order: at period t only orders dividing t
-        // report, so the round loop walks exactly the reporting clients —
-        // O(reports + changes) per shard instead of O(users · periods).
-        let mut groups: Vec<Vec<Slot<'_>>> = (0..orders).map(|_| Vec::new()).collect();
-        for u in shard.range() {
-            let mut rng = root.child(u as u64).rng();
-            let h = Client::<FutureRand>::sample_order(params, &mut rng);
+        for _ in shard.range() {
             wire.record_announcement();
-            let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
-            groups[h as usize].push(Slot {
-                user: u as u32,
-                client: Client::new(params, h, m),
-                rng,
-                cursor: population.stream(u).derivative().cursor(),
-            });
         }
+        let mut groups = build_order_groups(params, population, &composed, &root, shard.range());
         let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
 
         let mut per_period: Vec<AnyAccumulator> =

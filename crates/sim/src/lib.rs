@@ -22,13 +22,21 @@
 //!   experiments;
 //! * [`runner`] — a parallel, deterministically seeded trial runner over
 //!   the shared `rtf_runtime::WorkerPool`, returning per-trial metrics in
-//!   trial order.
+//!   trial order;
+//! * [`live`] — [`run_event_driven_live`]: the honest schedule driven
+//!   through the **streaming ingestion service**
+//!   (`rtf_runtime::ingest`): per-period chunked intake into bounded
+//!   per-worker mailboxes with blocking backpressure, shard accumulators
+//!   flushed at period close, and exact journal-replay recovery of a
+//!   worker killed mid-horizon — value-for-value identical to the
+//!   offline engines.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod aggregate;
 pub mod engine;
+pub mod live;
 pub mod message;
 pub mod runner;
 
@@ -38,5 +46,6 @@ pub use aggregate::{
 pub use engine::{
     run_event_driven, run_event_driven_with, run_event_driven_with_backend, EventDrivenOutcome,
 };
+pub use live::{run_event_driven_live, run_event_driven_live_with};
 pub use message::{OrderAnnouncement, ReportMsg, WireStats};
 pub use runner::{run_future_rand, run_trials, run_trials_with, TrialPlan, TrialResults};

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the committed BENCH_*.json baselines.
+
+Compares a freshly generated bench JSON (a `--smoke` run of
+`exp_throughput` / `exp_backends`) against the committed baseline of the
+same schema. The bench box is single-core and CI hardware varies, so the
+gate splits fields by nature:
+
+* **deterministic work counts** (`reports`) and **bytes** (`acc_bytes`)
+  are pure functions of (code, n, d, k, seed) and must match the
+  baseline **exactly** — any drift is a semantic change that must be
+  reviewed via a baseline regeneration, not slipped in silently;
+* **wall-clock** (`elapsed_s`) is compared **loosely**: a fresh row may
+  be up to --wall-factor x slower than its baseline row before the gate
+  fires (default 10x — generous across hardware, still catches
+  order-of-magnitude regressions).
+
+Rows are matched by identity key (throughput: engine/n/d/mode/workers;
+backends: backend/n/d). Baseline rows without a fresh counterpart are
+reported as "not measured" and ignored (the smoke grid is a subset of
+the full grid); fresh rows without a baseline are reported as NEW and
+pass (adding coverage is not a regression) — but at least one row must
+match per engine/backend, otherwise the comparison is vacuous and the
+gate fails.
+
+Exit status: 0 = pass, 1 = regression (a readable delta table is
+printed either way).
+"""
+
+import argparse
+import json
+import sys
+
+KINDS = {
+    "throughput": {
+        "key": ("engine", "n", "d", "mode", "workers"),
+        "exact": ("reports",),
+        "loose": ("elapsed_s",),
+        "group": "engine",
+    },
+    "backends": {
+        "key": ("backend", "n", "d"),
+        "exact": ("reports", "acc_bytes"),
+        "loose": ("elapsed_s",),
+        "group": "backend",
+    },
+}
+
+
+def row_key(row, fields):
+    return tuple(row[f] for f in fields)
+
+
+def fmt_key(key):
+    return "/".join(str(k) for k in key)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--kind", choices=sorted(KINDS), required=True)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    ap.add_argument("--fresh", required=True, help="freshly generated BENCH_*.json")
+    ap.add_argument(
+        "--wall-factor",
+        type=float,
+        default=10.0,
+        help="max allowed fresh/baseline wall-clock ratio (default 10)",
+    )
+    args = ap.parse_args()
+    spec = KINDS[args.kind]
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    base_rows = {row_key(r, spec["key"]): r for r in baseline["results"]}
+    fresh_rows = {row_key(r, spec["key"]): r for r in fresh["results"]}
+
+    header = ("row", "field", "baseline", "fresh", "delta", "status")
+    table = []
+    regressions = 0
+    matched_groups = set()
+
+    for key, frow in fresh_rows.items():
+        brow = base_rows.get(key)
+        if brow is None:
+            table.append((fmt_key(key), "-", "-", "-", "-", "NEW"))
+            continue
+        matched_groups.add(frow[spec["group"]])
+        for field in spec["exact"]:
+            b, f_ = brow[field], frow[field]
+            status = "ok" if b == f_ else "EXACT-MISMATCH"
+            if b != f_:
+                regressions += 1
+            table.append(
+                (fmt_key(key), field, str(b), str(f_), str(f_ - b), status)
+            )
+        for field in spec["loose"]:
+            b, f_ = brow[field], frow[field]
+            ratio = f_ / b if b > 0 else float("inf")
+            status = "ok" if ratio <= args.wall_factor else "SLOW"
+            if ratio > args.wall_factor:
+                regressions += 1
+            table.append(
+                (fmt_key(key), field, f"{b:.4f}", f"{f_:.4f}", f"{ratio:.2f}x", status)
+            )
+
+    unmeasured = [k for k in base_rows if k not in fresh_rows]
+    for key in unmeasured:
+        table.append((fmt_key(key), "-", "-", "-", "-", "not measured"))
+
+    groups = {r[spec["group"]] for r in baseline["results"]}
+    missing_groups = groups - matched_groups
+
+    widths = [max(len(h), *(len(row[i]) for row in table)) for i, h in enumerate(header)]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in table:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+    if missing_groups:
+        print(
+            f"\nFAIL: no comparable rows for {sorted(missing_groups)} — "
+            "the comparison is vacuous (did the smoke grid drift off the baseline?)"
+        )
+        return 1
+    if regressions:
+        print(f"\nFAIL: {regressions} regression(s) against {args.baseline}")
+        return 1
+    ok = sum(1 for r in table if r[5] == "ok")
+    print(f"\nPASS: {ok} field comparison(s) within tolerance, 0 regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

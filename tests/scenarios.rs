@@ -12,8 +12,8 @@
 use randomize_future::core::params::ProtocolParams;
 use randomize_future::primitives::seeding::SeedSequence;
 use randomize_future::scenarios::oracle::{
-    assert_backend_agreement, assert_exact_agreement, assert_mode_agreement, assert_within_band,
-    faulty_envelope, tolerance_band, MODE_AGREEMENT_WORKERS,
+    assert_backend_agreement, assert_exact_agreement, assert_live_agreement, assert_mode_agreement,
+    assert_within_band, faulty_envelope, tolerance_band, MODE_AGREEMENT_WORKERS,
 };
 use randomize_future::scenarios::{run_scenario, Scenario};
 use randomize_future::streams::generator::UniformChanges;
@@ -55,6 +55,25 @@ fn sequential_equals_parallel_for_all_worker_counts() {
         .with_duplicates(0.05)
         .with_byzantine(0.1);
     assert_mode_agreement(&params, &pop, 201, &storm);
+}
+
+/// The streaming-service guarantee, end to end: streaming ≡ batched ≡
+/// sequential, value-for-value (estimates, delivery stats, wire stats,
+/// fault counts), on the honest schedule and on a scenario mixing every
+/// fault class — at w ∈ {1, 2, 8} ingestion workers, through single-slot
+/// backpressured mailboxes, each with and without a worker killed
+/// mid-horizon and recovered from the delivery-log journal.
+#[test]
+fn streaming_equals_batched_equals_sequential() {
+    let (params, pop) = setup(400, 32, 3, 13);
+    assert_live_agreement(&params, &pop, 401, &Scenario::honest());
+    let storm = Scenario::honest()
+        .with_dropout(0.05)
+        .with_churn(0.005)
+        .with_stragglers(0.1, 3)
+        .with_duplicates(0.05)
+        .with_byzantine(0.1);
+    assert_live_agreement(&params, &pop, 401, &storm);
 }
 
 /// The storage-engine guarantee, end to end: dense ≡ fixed-point ≡
