@@ -44,6 +44,7 @@
 //! answer.
 
 use crate::params::ProtocolParams;
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use rtf_primitives::sign::Sign;
 
 /// Why two accumulators refused to merge.
@@ -707,6 +708,127 @@ impl AnyAccumulator {
             _ => false,
         }
     }
+
+    /// Serializes the full accumulator state — backend tag, lanes,
+    /// report counter, and (fixed-point) bound + saturation flag — so a
+    /// restore is bit-identical on every backend.
+    pub fn write_state(&self, w: &mut SnapWriter) {
+        match self {
+            AnyAccumulator::Dense(a) => {
+                w.u8(0);
+                w.usize(a.sums.len());
+                for &s in &a.sums {
+                    w.f64(s);
+                }
+                w.u64(a.reports);
+            }
+            AnyAccumulator::Fixed(a) => {
+                w.u8(1);
+                w.usize(a.sums.len());
+                for &s in &a.sums {
+                    w.i64(s);
+                }
+                w.u64(a.reports);
+                w.i64(a.bound);
+                w.bool(a.saturated);
+            }
+            AnyAccumulator::Sparse(a) => {
+                w.u8(2);
+                w.usize(a.orders);
+                w.usize(a.entries.len());
+                for &(h, s) in &a.entries {
+                    w.u32(h);
+                    w.f64(s);
+                }
+                w.u64(a.reports);
+            }
+            AnyAccumulator::Soa(a) => {
+                w.u8(3);
+                w.usize(a.lanes.len());
+                for &c in &a.lanes {
+                    w.u64(c);
+                }
+                w.u64(a.reports);
+            }
+        }
+    }
+
+    /// Rebuilds an accumulator from bytes written by
+    /// [`write_state`](Self::write_state), validating every structural
+    /// invariant (sorted sparse entries, in-range orders, positive
+    /// fixed-point bound, even SoA lane count).
+    ///
+    /// # Errors
+    /// A typed [`SnapshotError`] for truncation or any violated
+    /// invariant — never a panic.
+    pub fn read_state(r: &mut SnapReader<'_>) -> Result<AnyAccumulator, SnapshotError> {
+        match r.u8()? {
+            0 => {
+                let n = r.len(8)?;
+                let mut sums = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sums.push(r.f64()?);
+                }
+                let reports = r.u64()?;
+                Ok(AnyAccumulator::Dense(DenseAccumulator { sums, reports }))
+            }
+            1 => {
+                let n = r.len(8)?;
+                let mut sums = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sums.push(r.i64()?);
+                }
+                let reports = r.u64()?;
+                let bound = r.i64()?;
+                if bound <= 0 {
+                    return Err(SnapshotError::Corrupt("fixed-point bound not positive"));
+                }
+                let saturated = r.bool()?;
+                Ok(AnyAccumulator::Fixed(FixedPointAccumulator {
+                    sums,
+                    reports,
+                    bound,
+                    saturated,
+                }))
+            }
+            2 => {
+                let orders = r.usize()?;
+                let n = r.len(12)?;
+                let mut entries: Vec<(u32, f64)> = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let h = r.u32()?;
+                    if (h as usize) >= orders {
+                        return Err(SnapshotError::Corrupt("sparse entry order out of range"));
+                    }
+                    if let Some(&(prev, _)) = entries.last() {
+                        if h <= prev {
+                            return Err(SnapshotError::Corrupt("sparse entries not sorted"));
+                        }
+                    }
+                    entries.push((h, r.f64()?));
+                }
+                let reports = r.u64()?;
+                Ok(AnyAccumulator::Sparse(SparseAccumulator {
+                    entries,
+                    orders,
+                    reports,
+                }))
+            }
+            3 => {
+                let n = r.len(8)?;
+                if n % 2 != 0 {
+                    return Err(SnapshotError::Corrupt("soa lane count not even"));
+                }
+                let mut lanes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    lanes.push(r.u64()?);
+                }
+                let reports = r.u64()?;
+                Ok(AnyAccumulator::Soa(SoaAccumulator { lanes, reports }))
+            }
+            _ => Err(SnapshotError::Corrupt("unknown accumulator backend tag")),
+        }
+    }
 }
 
 impl Accumulator for AnyAccumulator {
@@ -1135,5 +1257,102 @@ mod tests {
         ] {
             assert!(!kind.accumulator_for(&params).is_saturated());
         }
+    }
+
+    #[test]
+    fn any_accumulator_state_roundtrips_on_every_backend() {
+        let params = ProtocolParams::new(100, 8, 2, 1.0, 0.05).unwrap();
+        for kind in AccumulatorKind::ALL {
+            let mut acc = kind.accumulator_for(&params);
+            acc.record(0, Sign::Plus);
+            acc.record(0, Sign::Plus);
+            acc.record(2, Sign::Minus);
+            acc.record_batch(1, 3.0, 5);
+            let mut w = crate::snapshot::SnapWriter::new();
+            acc.write_state(&mut w);
+            let bytes = w.finish();
+            let mut r = crate::snapshot::SnapReader::new(&bytes).unwrap();
+            let back = AnyAccumulator::read_state(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, acc, "{kind}");
+            // The restored value must serialize to the same bytes again.
+            let mut w2 = crate::snapshot::SnapWriter::new();
+            back.write_state(&mut w2);
+            assert_eq!(w2.finish(), bytes, "{kind}");
+        }
+    }
+
+    #[test]
+    fn accumulator_read_state_rejects_malformed_payloads() {
+        use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
+        let bad = |build: &dyn Fn(&mut SnapWriter)| {
+            let mut w = SnapWriter::new();
+            build(&mut w);
+            let bytes = w.finish();
+            let mut r = SnapReader::new(&bytes).unwrap();
+            AnyAccumulator::read_state(&mut r).unwrap_err()
+        };
+        // Unknown backend tag.
+        assert!(matches!(
+            bad(&|w| w.u8(42)),
+            SnapshotError::Corrupt("unknown accumulator backend tag")
+        ));
+        // Fixed-point with a non-positive bound.
+        assert!(matches!(
+            bad(&|w| {
+                w.u8(1);
+                w.usize(0);
+                w.u64(0);
+                w.i64(0);
+                w.bool(false);
+            }),
+            SnapshotError::Corrupt("fixed-point bound not positive")
+        ));
+        // Sparse entries out of order.
+        assert!(matches!(
+            bad(&|w| {
+                w.u8(2);
+                w.usize(4);
+                w.usize(2);
+                w.u32(3);
+                w.f64(1.0);
+                w.u32(1);
+                w.f64(1.0);
+                w.u64(2);
+            }),
+            SnapshotError::Corrupt("sparse entries not sorted")
+        ));
+        // Sparse entry order beyond the declared shape.
+        assert!(matches!(
+            bad(&|w| {
+                w.u8(2);
+                w.usize(2);
+                w.usize(1);
+                w.u32(7);
+                w.f64(1.0);
+                w.u64(1);
+            }),
+            SnapshotError::Corrupt("sparse entry order out of range")
+        ));
+        // Odd SoA lane count.
+        assert!(matches!(
+            bad(&|w| {
+                w.u8(3);
+                w.usize(3);
+                w.u64(0);
+                w.u64(0);
+                w.u64(0);
+                w.u64(0);
+            }),
+            SnapshotError::Corrupt("soa lane count not even")
+        ));
+        // A dense payload that simply runs out of bytes.
+        assert!(matches!(
+            bad(&|w| {
+                w.u8(0);
+                w.usize(1);
+            }),
+            SnapshotError::Truncated
+        ));
     }
 }

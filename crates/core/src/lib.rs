@@ -64,6 +64,7 @@ pub mod protocol;
 pub mod queries;
 pub mod randomizer;
 pub mod server;
+pub mod snapshot;
 
 pub use accumulator::{
     Accumulator, AccumulatorError, AccumulatorKind, AnyAccumulator, DenseAccumulator,
@@ -79,3 +80,4 @@ pub use protocol::{run_in_memory, ProtocolOutcome};
 pub use queries::EstimateStore;
 pub use randomizer::{FutureRand, IndependentRand, LocalRandomizer};
 pub use server::Server;
+pub use snapshot::{SnapReader, SnapWriter, SnapshotError, SNAPSHOT_VERSION};

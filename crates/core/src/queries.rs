@@ -20,6 +20,7 @@
 //! * `interval_sum(I)` — the raw `Ŝ(I)` for custom post-processing.
 
 use crate::params::ProtocolParams;
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use rtf_dyadic::decompose::{decompose_prefix, decompose_range};
 use rtf_dyadic::interval::DyadicInterval;
 use rtf_dyadic::tree::DyadicTree;
@@ -113,6 +114,45 @@ impl EstimateStore {
     pub fn window_cost(l: u64, r: u64) -> usize {
         decompose_range(l, r).len()
     }
+
+    /// Serializes the store: `finalized_through`, then every interval
+    /// value in canonical tree order (order-major, index-ascending — the
+    /// shape is fully determined by the horizon, so no lengths needed).
+    pub fn write_state(&self, w: &mut SnapWriter) {
+        w.u64(self.finalized_through);
+        for (_, v) in self.tree.iter() {
+            w.f64(*v);
+        }
+    }
+
+    /// Rebuilds a store for `params` from bytes written by
+    /// [`write_state`](Self::write_state).
+    ///
+    /// # Errors
+    /// Typed [`SnapshotError`] on truncation or a `finalized_through`
+    /// beyond the horizon.
+    pub fn read_state(
+        params: &ProtocolParams,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, SnapshotError> {
+        let finalized_through = r.u64()?;
+        if finalized_through > params.d() {
+            return Err(SnapshotError::Corrupt(
+                "estimate store finalized beyond the horizon",
+            ));
+        }
+        let hz = params.horizon();
+        let mut tree = DyadicTree::new(hz);
+        for h in 0..hz.num_orders() {
+            for j in 1..=hz.intervals_at_order(h) {
+                *tree.get_mut(DyadicInterval::new(h, j)) = r.f64()?;
+            }
+        }
+        Ok(EstimateStore {
+            tree,
+            finalized_through,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +231,24 @@ mod tests {
             store.record(DyadicInterval::new(1, 1), 0.0)
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn store_state_roundtrips_bit_identically() {
+        let d = 16u64;
+        let leaves: Vec<f64> = (0..d).map(|i| (i as f64 * 0.3).sin()).collect();
+        let store = exact_store(d, &leaves);
+        let params = ProtocolParams::new(10, d, 1, 1.0, 0.05).unwrap();
+        let mut w = crate::snapshot::SnapWriter::new();
+        store.write_state(&mut w);
+        let bytes = w.finish();
+        let mut r = crate::snapshot::SnapReader::new(&bytes).unwrap();
+        let back = EstimateStore::read_state(&params, &mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.finalized_through(), store.finalized_through());
+        for t in 1..=d {
+            assert_eq!(back.prefix(t).to_bits(), store.prefix(t).to_bits(), "t={t}");
+        }
     }
 
     #[test]

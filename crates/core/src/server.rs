@@ -25,6 +25,7 @@
 use crate::accumulator::{Accumulator, AccumulatorError, AccumulatorKind, AnyAccumulator};
 use crate::params::ProtocolParams;
 use crate::queries::EstimateStore;
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use rtf_dyadic::frontier::Frontier;
 use rtf_dyadic::interval::DyadicInterval;
 use rtf_primitives::sign::Sign;
@@ -465,6 +466,219 @@ impl Server {
     pub fn scales(&self) -> &[f64] {
         &self.scale
     }
+
+    /// Checks that a worker shard could merge into this server — same
+    /// backend, same shape — **without** mutating anything. The error
+    /// order matches [`absorb_shard`](Self::absorb_shard): backend
+    /// first, then shape.
+    ///
+    /// This is what lets a streaming front validate *every* shard of a
+    /// period before committing *any* of them, keeping its close-path
+    /// error handling transactional.
+    ///
+    /// # Errors
+    /// The same [`AccumulatorError`] the merge would have returned.
+    pub fn validate_shard(&self, shard: &AnyAccumulator) -> Result<(), AccumulatorError> {
+        if shard.kind() != self.acc.kind() {
+            return Err(AccumulatorError::BackendMismatch {
+                expected: self.acc.kind(),
+                got: shard.kind(),
+            });
+        }
+        if shard.orders() != self.acc.orders() {
+            return Err(AccumulatorError::ShapeMismatch {
+                expected: self.acc.orders(),
+                got: shard.orders(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the complete server state — parameters, scales, group
+    /// sizes, accumulator lanes, frontier, estimates, retained store,
+    /// roster (sorted by wire id so snapshots of equal state are
+    /// byte-identical), and delivery accounting — into `w`.
+    pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.usize(self.params.n());
+        w.u64(self.params.d());
+        w.usize(self.params.k());
+        w.f64(self.params.epsilon());
+        w.f64(self.params.beta());
+        for &s in &self.scale {
+            w.f64(s);
+        }
+        for &g in &self.group_sizes {
+            w.usize(g);
+        }
+        self.acc.write_state(w);
+        for slot in self.frontier.slots() {
+            match slot {
+                None => w.bool(false),
+                Some((j, v)) => {
+                    w.bool(true);
+                    w.u64(*j);
+                    w.f64(*v);
+                }
+            }
+        }
+        w.u64(self.current_t);
+        for &e in &self.estimates {
+            w.f64(e);
+        }
+        match &self.store {
+            None => w.bool(false),
+            Some(store) => {
+                w.bool(true);
+                store.write_state(w);
+            }
+        }
+        // HashMap iteration order is nondeterministic; sort by wire id so
+        // equal servers always serialize to equal bytes.
+        let mut users: Vec<u32> = self.roster.keys().copied().collect();
+        users.sort_unstable();
+        w.usize(users.len());
+        for user in users {
+            let entry = self.roster[&user];
+            w.u32(user);
+            w.u32(entry.order);
+            w.u64(entry.last_accepted);
+        }
+        write_delivery(w, &self.current_delivery);
+        w.usize(self.delivery_log.len());
+        for row in &self.delivery_log {
+            write_delivery(w, row);
+        }
+    }
+
+    /// Rebuilds a server from bytes written by
+    /// [`write_snapshot`](Self::write_snapshot). Every field is
+    /// validated against the protocol invariants (parameter validity,
+    /// per-order shape, frontier indices on the horizon, roster orders
+    /// within `log d`, estimate count equal to the closed-period count).
+    ///
+    /// # Errors
+    /// A typed [`SnapshotError`]; malformed bytes never panic and never
+    /// produce a structurally invalid server.
+    pub fn read_snapshot(r: &mut SnapReader<'_>) -> Result<Server, SnapshotError> {
+        let n = r.usize()?;
+        let d = r.u64()?;
+        let k = r.usize()?;
+        let epsilon = r.f64()?;
+        let beta = r.f64()?;
+        let params = ProtocolParams::new(n, d, k, epsilon, beta)
+            .map_err(|_| SnapshotError::Corrupt("invalid protocol parameters"))?;
+        let orders = params.num_orders() as usize;
+        let mut scale = Vec::with_capacity(orders);
+        for _ in 0..orders {
+            let s = r.f64()?;
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(SnapshotError::Corrupt("non-positive per-order scale"));
+            }
+            scale.push(s);
+        }
+        let mut group_sizes = Vec::with_capacity(orders);
+        for _ in 0..orders {
+            group_sizes.push(r.usize()?);
+        }
+        let acc = AnyAccumulator::read_state(r)?;
+        if acc.orders() != orders {
+            return Err(SnapshotError::Corrupt("accumulator shape off the horizon"));
+        }
+        let mut slots: Vec<Option<(u64, f64)>> = Vec::with_capacity(orders);
+        for _ in 0..orders {
+            slots.push(if r.bool()? {
+                Some((r.u64()?, r.f64()?))
+            } else {
+                None
+            });
+        }
+        let frontier =
+            Frontier::from_slots(params.horizon(), slots).map_err(SnapshotError::Corrupt)?;
+        let current_t = r.u64()?;
+        if current_t > d {
+            return Err(SnapshotError::Corrupt("current period beyond the horizon"));
+        }
+        let mut estimates = Vec::with_capacity(current_t as usize);
+        for _ in 0..current_t {
+            estimates.push(r.f64()?);
+        }
+        let store = if r.bool()? {
+            Some(EstimateStore::read_state(&params, r)?)
+        } else {
+            None
+        };
+        let roster_len = r.len(16)?;
+        let mut roster = HashMap::with_capacity(roster_len);
+        let mut prev_user: Option<u32> = None;
+        for _ in 0..roster_len {
+            let user = r.u32()?;
+            if prev_user.is_some_and(|p| user <= p) {
+                return Err(SnapshotError::Corrupt("roster not sorted by wire id"));
+            }
+            prev_user = Some(user);
+            let order = r.u32()?;
+            if order > params.log_d() {
+                return Err(SnapshotError::Corrupt("roster order beyond log d"));
+            }
+            let last_accepted = r.u64()?;
+            if last_accepted > d {
+                return Err(SnapshotError::Corrupt("roster acceptance beyond horizon"));
+            }
+            roster.insert(
+                user,
+                RosterEntry {
+                    order,
+                    last_accepted,
+                },
+            );
+        }
+        let current_delivery = read_delivery(r)?;
+        let log_len = r.len(64)?;
+        if log_len as u64 > current_t {
+            return Err(SnapshotError::Corrupt("delivery log longer than horizon"));
+        }
+        let mut delivery_log = Vec::with_capacity(log_len);
+        for _ in 0..log_len {
+            delivery_log.push(read_delivery(r)?);
+        }
+        Ok(Server {
+            params,
+            scale,
+            group_sizes,
+            acc,
+            frontier,
+            estimates,
+            current_t,
+            store,
+            roster,
+            current_delivery,
+            delivery_log,
+        })
+    }
+}
+
+fn write_delivery(w: &mut SnapWriter, row: &PeriodDelivery) {
+    w.u64(row.t);
+    w.u64(row.due);
+    w.u64(row.accepted);
+    w.u64(row.duplicate);
+    w.u64(row.late);
+    w.u64(row.unknown_user);
+    w.u64(row.invalid_period);
+    w.u64(row.premature);
+}
+
+fn read_delivery(r: &mut SnapReader<'_>) -> Result<PeriodDelivery, SnapshotError> {
+    Ok(PeriodDelivery {
+        t: r.u64()?,
+        due: r.u64()?,
+        accepted: r.u64()?,
+        duplicate: r.u64()?,
+        late: r.u64()?,
+        unknown_user: r.u64()?,
+        invalid_period: r.u64()?,
+        premature: r.u64()?,
+    })
 }
 
 #[cfg(test)]
@@ -854,6 +1068,113 @@ mod tests {
             let _ = server.end_of_period(t);
         }
         assert!(server.delivery_log().is_empty());
+    }
+
+    #[test]
+    fn validate_shard_mirrors_absorb_without_mutating() {
+        use crate::accumulator::{AccumulatorError, AccumulatorKind};
+        let server = Server::for_future_rand_with(params(), AccumulatorKind::Dense);
+        assert_eq!(
+            server.validate_shard(&AccumulatorKind::Fixed.new_accumulator(4)),
+            Err(AccumulatorError::BackendMismatch {
+                expected: AccumulatorKind::Dense,
+                got: AccumulatorKind::Fixed
+            })
+        );
+        assert_eq!(
+            server.validate_shard(&AccumulatorKind::Dense.new_accumulator(9)),
+            Err(AccumulatorError::ShapeMismatch {
+                expected: 4,
+                got: 9
+            })
+        );
+        assert!(server.validate_shard(&server.new_shard()).is_ok());
+    }
+
+    /// Drives a server mid-horizon through the checked path (roster,
+    /// delivery accounting, retained store, a partially filled period),
+    /// snapshots it, restores, and demands byte-identical re-snapshots
+    /// plus field-level equality of everything observable.
+    #[test]
+    fn server_snapshot_roundtrips_mid_horizon_on_every_backend() {
+        use crate::accumulator::AccumulatorKind;
+        use crate::snapshot::{SnapReader, SnapWriter};
+        for backend in AccumulatorKind::ALL {
+            let mut server = Server::for_future_rand_with(params(), backend);
+            server.enable_store();
+            for u in 0..12u32 {
+                assert!(server.register_client(u, u % 3));
+            }
+            for t in 1..=5u64 {
+                for u in 0..12u32 {
+                    let h = u % 3;
+                    if t % (1 << h) == 0 {
+                        let bit = if (u + t as u32) % 3 == 0 {
+                            Sign::Minus
+                        } else {
+                            Sign::Plus
+                        };
+                        server.ingest_checked(u, t, bit);
+                    }
+                }
+                let _ = server.end_of_period(t);
+            }
+            // Half-fill period 6 so open-interval state is live too.
+            for u in 0..6u32 {
+                if u % 3 == 0 {
+                    server.ingest_checked(u, 6, Sign::Plus);
+                }
+            }
+            let mut w = SnapWriter::new();
+            server.write_snapshot(&mut w);
+            let bytes = w.finish();
+            let mut r = SnapReader::new(&bytes).unwrap();
+            let back = Server::read_snapshot(&mut r).unwrap();
+            r.finish().unwrap();
+            let mut w2 = SnapWriter::new();
+            back.write_snapshot(&mut w2);
+            assert_eq!(w2.finish(), bytes, "{backend}: re-snapshot differs");
+            assert_eq!(back.estimates(), server.estimates(), "{backend}");
+            assert_eq!(back.delivery_log(), server.delivery_log(), "{backend}");
+            assert_eq!(back.group_sizes(), server.group_sizes(), "{backend}");
+            assert_eq!(back.reports_ingested(), server.reports_ingested());
+            assert_eq!(back.backend(), backend);
+            // Both copies must close the remaining horizon identically.
+            let mut live = server.clone();
+            let mut restored = back;
+            for t in 6..=8u64 {
+                assert_eq!(
+                    live.end_of_period(t).to_bits(),
+                    restored.end_of_period(t).to_bits(),
+                    "{backend}: t={t}"
+                );
+            }
+            assert_eq!(live.delivery_log(), restored.delivery_log(), "{backend}");
+        }
+    }
+
+    #[test]
+    fn server_snapshot_rejects_inconsistent_fields() {
+        use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
+        let server = Server::for_future_rand(params());
+        // A wrong parameter quintuple (d not a power of two) is Corrupt.
+        let mut w = SnapWriter::new();
+        w.usize(100);
+        w.u64(7);
+        w.usize(2);
+        w.f64(1.0);
+        w.f64(0.05);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert_eq!(
+            Server::read_snapshot(&mut r).unwrap_err(),
+            SnapshotError::Corrupt("invalid protocol parameters")
+        );
+        // Truncating a valid snapshot anywhere is caught by the checksum.
+        let mut w = SnapWriter::new();
+        server.write_snapshot(&mut w);
+        let bytes = w.finish();
+        assert!(SnapReader::new(&bytes[..bytes.len() / 2]).is_err());
     }
 
     #[test]

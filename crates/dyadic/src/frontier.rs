@@ -32,6 +32,34 @@ impl<T> Frontier<T> {
         self.horizon
     }
 
+    /// The raw per-order slots, `slots[h] = (index, value)` of the last
+    /// completed order-`h` interval — the serialization seam used by
+    /// `rtf-core`'s snapshots.
+    pub fn slots(&self) -> &[Option<(u64, T)>] {
+        &self.slots
+    }
+
+    /// Rebuilds a frontier from raw slots (the inverse of
+    /// [`slots`](Self::slots)), validating that the slot count matches the
+    /// horizon and every index names a real interval of its order; the
+    /// error string says what failed.
+    pub fn from_slots(
+        horizon: Horizon,
+        slots: Vec<Option<(u64, T)>>,
+    ) -> Result<Self, &'static str> {
+        if slots.len() != horizon.num_orders() as usize {
+            return Err("frontier slot count does not match horizon");
+        }
+        for (h, slot) in slots.iter().enumerate() {
+            if let Some((j, _)) = slot {
+                if *j < 1 || *j > horizon.intervals_at_order(h as u32) {
+                    return Err("frontier slot index outside horizon");
+                }
+            }
+        }
+        Ok(Frontier { horizon, slots })
+    }
+
     /// Records the aggregate `value` of a completed interval.
     ///
     /// Intervals of each order must be recorded in left-to-right temporal
@@ -162,6 +190,33 @@ mod tests {
             expect.sort();
             assert_eq!(seen, expect, "t = {t}");
         }
+    }
+
+    #[test]
+    fn slots_roundtrip_through_from_slots() {
+        let hz = Horizon::new(16);
+        let mut f = Frontier::new(hz);
+        f.record(DyadicInterval::new(0, 3), 1.5);
+        f.record(DyadicInterval::new(2, 1), -2.0);
+        let rebuilt = Frontier::from_slots(hz, f.slots().to_vec()).unwrap();
+        assert_eq!(rebuilt.slots(), f.slots());
+        assert_eq!(
+            rebuilt.latest(2).map(|(i, v)| (i.index(), *v)),
+            Some((1, -2.0))
+        );
+    }
+
+    #[test]
+    fn from_slots_rejects_malformed_state() {
+        let hz = Horizon::new(8);
+        // Wrong slot count.
+        assert!(Frontier::<f64>::from_slots(hz, vec![None; 2]).is_err());
+        // Index 0 and index beyond the horizon are both invalid.
+        let mut slots: Vec<Option<(u64, f64)>> = vec![None; hz.num_orders() as usize];
+        slots[0] = Some((0, 1.0));
+        assert!(Frontier::from_slots(hz, slots.clone()).is_err());
+        slots[0] = Some((9, 1.0));
+        assert!(Frontier::from_slots(hz, slots).is_err());
     }
 
     #[test]

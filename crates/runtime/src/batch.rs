@@ -21,6 +21,7 @@
 //!   it bit-for-bit).
 
 use rtf_core::accumulator::Accumulator;
+use rtf_core::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use rtf_primitives::sign::Sign;
 
 /// One period's reports for one shard of users, struct-of-arrays.
@@ -130,6 +131,52 @@ impl ReportBatch {
         for (&h, &s) in self.orders.iter().zip(&self.signs) {
             acc.record(u32::from(h), Sign::from_i8(s));
         }
+    }
+
+    /// Serializes the batch (one shared row count, then each column) —
+    /// used by the ingestion service to persist open-period journals.
+    pub fn write_state(&self, w: &mut SnapWriter) {
+        w.usize(self.len());
+        for &u in &self.users {
+            w.u32(u);
+        }
+        for &h in &self.orders {
+            w.u8(h);
+        }
+        for &s in &self.signs {
+            w.i8(s);
+        }
+    }
+
+    /// Rebuilds a batch from bytes written by
+    /// [`write_state`](Self::write_state), rejecting sign bytes outside
+    /// `{−1, +1}` (which would panic later in `Sign::from_i8`).
+    ///
+    /// # Errors
+    /// A typed [`SnapshotError`] on truncation or an invalid sign.
+    pub fn read_state(r: &mut SnapReader<'_>) -> Result<ReportBatch, SnapshotError> {
+        let rows = r.len(6)?;
+        let mut users = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            users.push(r.u32()?);
+        }
+        let mut orders = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            orders.push(r.u8()?);
+        }
+        let mut signs = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let s = r.i8()?;
+            if s != 1 && s != -1 {
+                return Err(SnapshotError::Corrupt("report sign not ±1"));
+            }
+            signs.push(s);
+        }
+        Ok(ReportBatch {
+            users,
+            orders,
+            signs,
+        })
     }
 }
 
@@ -265,6 +312,68 @@ impl FrameBatch {
         self.bits.reserve(rows);
         self.byzantine.reserve(rows);
     }
+
+    /// Serializes the batch (one shared row count, then each column) —
+    /// used by the ingestion service to persist open-period journals.
+    pub fn write_state(&self, w: &mut SnapWriter) {
+        w.usize(self.len());
+        for &e in &self.emitted {
+            w.u32(e);
+        }
+        for &e in &self.emitter {
+            w.u32(e);
+        }
+        for &u in &self.users {
+            w.u32(u);
+        }
+        for &t in &self.periods {
+            w.u32(t);
+        }
+        for &b in &self.bits {
+            w.bool(b);
+        }
+        for &b in &self.byzantine {
+            w.bool(b);
+        }
+    }
+
+    /// Rebuilds a batch from bytes written by
+    /// [`write_state`](Self::write_state).
+    ///
+    /// # Errors
+    /// A typed [`SnapshotError`] on truncation or a malformed boolean
+    /// column.
+    pub fn read_state(r: &mut SnapReader<'_>) -> Result<FrameBatch, SnapshotError> {
+        let rows = r.len(18)?;
+        let read_u32s = |r: &mut SnapReader<'_>| -> Result<Vec<u32>, SnapshotError> {
+            let mut col = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                col.push(r.u32()?);
+            }
+            Ok(col)
+        };
+        let emitted = read_u32s(r)?;
+        let emitter = read_u32s(r)?;
+        let users = read_u32s(r)?;
+        let periods = read_u32s(r)?;
+        let read_bools = |r: &mut SnapReader<'_>| -> Result<Vec<bool>, SnapshotError> {
+            let mut col = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                col.push(r.bool()?);
+            }
+            Ok(col)
+        };
+        let bits = read_bools(r)?;
+        let byzantine = read_bools(r)?;
+        Ok(FrameBatch {
+            emitted,
+            emitter,
+            users,
+            periods,
+            bits,
+            byzantine,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -398,5 +507,46 @@ mod tests {
         let swapped_keys: Vec<(u32, u32)> =
             swapped.iter().map(|f| (f.emitted, f.emitter)).collect();
         assert_eq!(swapped_keys, expect);
+    }
+
+    #[test]
+    fn batches_roundtrip_through_snapshot_state() {
+        use rtf_core::snapshot::{SnapReader, SnapWriter};
+        let mut rb = ReportBatch::new();
+        rb.push(7, 0, Sign::Plus);
+        rb.push(8, 3, Sign::Minus);
+        let mut fb = FrameBatch::new();
+        fb.push(frame(1, 4));
+        fb.push(frame(2, 9));
+        let mut w = SnapWriter::new();
+        rb.write_state(&mut w);
+        fb.write_state(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let rb2 = ReportBatch::read_state(&mut r).unwrap();
+        let fb2 = FrameBatch::read_state(&mut r).unwrap();
+        r.finish().unwrap();
+        let rows: Vec<_> = rb.iter().collect();
+        let rows2: Vec<_> = rb2.iter().collect();
+        assert_eq!(rows, rows2);
+        let frames: Vec<Frame> = fb.iter().collect();
+        let frames2: Vec<Frame> = fb2.iter().collect();
+        assert_eq!(frames, frames2);
+    }
+
+    #[test]
+    fn report_batch_rejects_non_sign_bytes() {
+        use rtf_core::snapshot::{SnapReader, SnapWriter, SnapshotError};
+        let mut w = SnapWriter::new();
+        w.usize(1);
+        w.u32(0); // user
+        w.u8(0); // order
+        w.i8(3); // not a ±1 sign
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert_eq!(
+            ReportBatch::read_state(&mut r).unwrap_err(),
+            SnapshotError::Corrupt("report sign not ±1")
+        );
     }
 }

@@ -39,12 +39,30 @@
 //! Journals are truncated at every period close (flushed shards already
 //! live in the server), so the journal holds one open period of traffic
 //! per worker — O(period volume), not O(horizon).
+//!
+//! * **Whole-service snapshot/restart.** The pair above — closed-period
+//!   server state plus open-period journals — is *exactly* the durable
+//!   state of the service, so [`snapshot`](IngestService::snapshot)
+//!   serializes it (versioned, checksummed — see `rtf_core::snapshot`)
+//!   and [`restore`](IngestService::restore) rebuilds a bit-identical
+//!   service in a fresh process: fresh workers are spawned and the open
+//!   period's journals are replayed into them, exactly like
+//!   `kill_worker` recovers a single worker.
+//!   [`restart`](IngestService::restart) composes the two in place and
+//!   surfaces the event in [`IngestStats::restarts`]. File-backed
+//!   convenience wrappers are gated on the `RTF_SNAPSHOT_DIR`
+//!   environment variable. The chaos suite
+//!   (`rtf_scenarios::chaos`) proves restarted ≡ streaming ≡ batched ≡
+//!   sequential, value for value, under proptest-chosen kill/restart
+//!   placements.
 
 use crate::batch::{FrameBatch, ReportBatch};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rtf_core::accumulator::{Accumulator, AccumulatorError, AnyAccumulator};
 use rtf_core::server::{Delivery, Server};
+use rtf_core::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use rtf_primitives::sign::Sign;
+use std::path::{Path, PathBuf};
 
 /// Default mailbox capacity when `RTF_MAILBOX_CAP` is unset.
 pub const DEFAULT_MAILBOX_CAP: usize = 1024;
@@ -85,9 +103,23 @@ pub struct WorkerKill {
     pub period: u64,
 }
 
+/// A whole-service restart to inject: at period `period` the service is
+/// snapshotted, torn down, and restored from its own bytes — as if the
+/// process had been killed and relaunched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceRestart {
+    /// Period during which the restart strikes (1-based).
+    pub period: u64,
+    /// `true`: restart *mid-period*, after the period's traffic has been
+    /// submitted but before the close — the worst moment, forcing a full
+    /// journal replay. `false`: restart between periods, after the close,
+    /// when the journals are empty.
+    pub mid_period: bool,
+}
+
 /// Configuration of a live (streaming) run: service shape plus the
 /// driver's submission granularity and optional fault injection.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LiveConfig {
     /// Number of ingestion workers (≥ 1; 0 clamps to 1).
     pub workers: usize,
@@ -98,8 +130,13 @@ pub struct LiveConfig {
     /// the live drivers (smaller chunks ⇒ more intake messages per
     /// period).
     pub chunk_rows: usize,
-    /// Optional injected worker failure (see [`WorkerKill`]).
-    pub kill: Option<WorkerKill>,
+    /// Injected worker failures (see [`WorkerKill`]); applied in order
+    /// when their period arrives, after any same-period mid-period
+    /// restarts.
+    pub kills: Vec<WorkerKill>,
+    /// Injected whole-service restarts (see [`ServiceRestart`]), applied
+    /// in order when their period arrives.
+    pub restarts: Vec<ServiceRestart>,
 }
 
 impl LiveConfig {
@@ -111,7 +148,8 @@ impl LiveConfig {
             workers: workers.max(1),
             mailbox_cap: mailbox_cap_from_env(),
             chunk_rows: 256,
-            kill: None,
+            kills: Vec::new(),
+            restarts: Vec::new(),
         }
     }
 
@@ -127,10 +165,97 @@ impl LiveConfig {
         self
     }
 
-    /// Injects a worker kill (see [`WorkerKill`]).
+    /// Adds a worker kill (see [`WorkerKill`]). May be called repeatedly
+    /// — every added kill fires.
     pub fn with_kill(mut self, worker: usize, period: u64) -> Self {
-        self.kill = Some(WorkerKill { worker, period });
+        self.kills.push(WorkerKill { worker, period });
         self
+    }
+
+    /// Adds a *mid-period* whole-service restart at `period`: the
+    /// service is snapshotted and rebuilt after the period's traffic is
+    /// in flight, before the close. May be called repeatedly.
+    pub fn with_restart(mut self, period: u64) -> Self {
+        self.restarts.push(ServiceRestart {
+            period,
+            mid_period: true,
+        });
+        self
+    }
+
+    /// Adds a *between-periods* whole-service restart: the service is
+    /// snapshotted and rebuilt right after period `period` closes.
+    pub fn with_restart_after(mut self, period: u64) -> Self {
+        self.restarts.push(ServiceRestart {
+            period,
+            mid_period: false,
+        });
+        self
+    }
+
+    /// Total number of injected faults (kills + restarts) — what
+    /// [`IngestStats::recoveries`] + [`IngestStats::restarts`] must sum
+    /// to after a run on a horizon that contains them all.
+    pub fn fault_count(&self) -> usize {
+        self.kills.len() + self.restarts.len()
+    }
+
+    /// Panics unless every configured fault lands on the horizon
+    /// `[1..d]`. A fault scheduled at period 0 or past `d` would
+    /// silently never fire — turning a chaos test into a vacuous pass —
+    /// so the live drivers call this before running.
+    ///
+    /// # Panics
+    /// Panics, naming the offending fault, if any kill or restart period
+    /// is outside `[1..d]`.
+    pub fn validate_for_horizon(&self, d: u64) {
+        for kill in &self.kills {
+            assert!(
+                (1..=d).contains(&kill.period),
+                "configured worker kill at period {} can never fire on horizon d={d}",
+                kill.period
+            );
+        }
+        for restart in &self.restarts {
+            assert!(
+                (1..=d).contains(&restart.period),
+                "configured service restart at period {} can never fire on horizon d={d}",
+                restart.period
+            );
+        }
+    }
+
+    /// Applies this config's faults that strike during period `t`,
+    /// *before* the close: mid-period restarts first (in config order),
+    /// then worker kills — so a restart-then-kill composition exercises
+    /// a kill inside a freshly restored service.
+    pub fn apply_pre_close(&self, mut service: IngestService, t: u64) -> IngestService {
+        for restart in &self.restarts {
+            if restart.mid_period && restart.period == t {
+                service = service
+                    .restart()
+                    .expect("a service's own snapshot always restores");
+            }
+        }
+        for kill in &self.kills {
+            if kill.period == t {
+                service.kill_worker(kill.worker);
+            }
+        }
+        service
+    }
+
+    /// Applies this config's between-period restarts that strike right
+    /// after period `t` closes.
+    pub fn apply_post_close(&self, mut service: IngestService, t: u64) -> IngestService {
+        for restart in &self.restarts {
+            if !restart.mid_period && restart.period == t {
+                service = service
+                    .restart()
+                    .expect("a service's own snapshot always restores");
+            }
+        }
+        service
     }
 }
 
@@ -226,11 +351,17 @@ pub struct IngestStats {
     pub frames: u64,
     /// Workers killed and recovered.
     pub recoveries: u64,
-    /// Journal batches replayed into replacement workers.
+    /// Journal batches replayed into replacement workers — by
+    /// single-worker recovery, by whole-service restarts, and by the
+    /// journal-rebuild path of an aborted period close.
     pub replayed_batches: u64,
     /// Cumulative heap bytes of every flushed shard accumulator — the
     /// live counterpart of `EventDrivenOutcome::acc_bytes`.
     pub flushed_acc_bytes: u64,
+    /// Whole-service snapshot/restore restarts performed (see
+    /// [`IngestService::restart`]) — the proof a configured restart
+    /// actually fired.
+    pub restarts: u64,
 }
 
 /// The result of closing one period.
@@ -346,7 +477,12 @@ impl IngestService {
     /// # Errors
     /// Returns [`AccumulatorError`] if a flushed shard does not match the
     /// server's backend/shape (impossible unless the service is misused —
-    /// shards are cut from the server itself).
+    /// shards are cut from the server itself). The failure is
+    /// **transactional**: every shard is validated *before* any frame is
+    /// classified or any accumulator merged, and the open period's
+    /// journals are replayed into the (barrier-reset) workers, so on
+    /// `Err` the service is exactly where it was before the call —
+    /// journals intact, delivery log untouched, stats unadvanced.
     ///
     /// # Panics
     /// Panics like `Server::end_of_period` if `t` is out of order.
@@ -365,9 +501,33 @@ impl IngestService {
                 .flushes
                 .recv()
                 .expect("ingest worker answered the flush barrier");
-            self.stats.flushed_acc_bytes += flush.acc.heap_bytes() as u64;
             shard_accs.push(flush.acc);
             shard_frames.push(flush.frames);
+        }
+
+        // Validate every shard before mutating ANY state — otherwise a
+        // bad shard would abort a close that had already pushed frames
+        // through the checked path and reset the workers, leaving the
+        // journal claiming traffic the server half-consumed.
+        let server = self.server.as_ref().expect("service not finished");
+        if let Err(err) = shard_accs
+            .iter()
+            .try_for_each(|shard| server.validate_shard(shard))
+        {
+            // The flush barrier already reset the workers; rebuild their
+            // open-period state from the journal (exactly the kill_worker
+            // recovery path) so the service is coherent after the abort.
+            for w in 0..self.workers.len() {
+                for i in 0..self.journal[w].len() {
+                    self.stats.replayed_batches += 1;
+                    let msg = match &self.journal[w][i] {
+                        JournalEntry::Reports(b) => WorkerMsg::Reports(b.clone()),
+                        JournalEntry::Frames(b) => WorkerMsg::Frames(b.clone()),
+                    };
+                    self.send(w, msg);
+                }
+            }
+            return Err(err);
         }
 
         // Untrusted traffic first: reconstruct the sequential mailbox
@@ -380,7 +540,12 @@ impl IngestService {
             outcomes.push(server.ingest_checked(frame.user, u64::from(frame.t), bit));
         }
 
-        let estimate = server.close_period_with_shards(t, shard_accs.iter())?;
+        let estimate = server
+            .close_period_with_shards(t, shard_accs.iter())
+            .expect("every shard validated before the merge");
+        for shard in &shard_accs {
+            self.stats.flushed_acc_bytes += shard.heap_bytes() as u64;
+        }
         for entries in &mut self.journal {
             entries.clear();
         }
@@ -393,16 +558,19 @@ impl IngestService {
         })
     }
 
-    /// Kills worker `worker` mid-period and recovers it: the thread is
-    /// abandoned along with **all** of its un-flushed state (folded
-    /// accumulator, buffered frames, queued mailbox), a replacement is
-    /// spawned, and the open period's journal is replayed into it.
-    /// Folding is deterministic, so the replacement's next flush is
-    /// bit-identical to what the dead worker would have produced.
+    /// Kills worker `worker % workers()` mid-period and recovers it: the
+    /// thread is abandoned along with **all** of its un-flushed state
+    /// (folded accumulator, buffered frames, queued mailbox), a
+    /// replacement is spawned, and the open period's journal is replayed
+    /// into it. Folding is deterministic, so the replacement's next
+    /// flush is bit-identical to what the dead worker would have
+    /// produced.
     ///
-    /// # Panics
-    /// Panics if `worker` is out of range.
+    /// The index is taken modulo the worker count — matching the
+    /// documented [`WorkerKill`] contract, so every caller can pass a
+    /// raw configured index without its own wrap-around copy.
     pub fn kill_worker(&mut self, worker: usize) {
+        let worker = worker % self.workers.len();
         self.workers[worker].stop();
         let template = self.server_mut().new_shard();
         self.workers[worker] = WorkerSlot::spawn(worker, self.mailbox_cap, template);
@@ -418,6 +586,192 @@ impl IngestService {
             };
             self.send(worker, msg);
         }
+    }
+
+    /// Serializes the whole service — worker count, mailbox capacity,
+    /// accounting, the complete server state, and every open-period
+    /// journal — into versioned, checksummed snapshot bytes.
+    ///
+    /// The un-flushed in-worker state is deliberately *not* serialized:
+    /// between closes it is a pure deterministic function of the
+    /// journals, so [`restore`](Self::restore) rebuilds it by replay.
+    /// Snapshotting is non-destructive and deterministic: equal service
+    /// states produce equal bytes, and a restored service re-snapshots
+    /// to exactly the bytes it was restored from.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.usize(self.workers.len());
+        w.usize(self.mailbox_cap);
+        let s = &self.stats;
+        for v in [
+            s.periods,
+            s.batches,
+            s.rows,
+            s.frames,
+            s.recoveries,
+            s.replayed_batches,
+            s.flushed_acc_bytes,
+            s.restarts,
+        ] {
+            w.u64(v);
+        }
+        self.server
+            .as_ref()
+            .expect("service not finished")
+            .write_snapshot(&mut w);
+        for entries in &self.journal {
+            w.usize(entries.len());
+            for entry in entries {
+                match entry {
+                    JournalEntry::Reports(b) => {
+                        w.u8(0);
+                        b.write_state(&mut w);
+                    }
+                    JournalEntry::Frames(b) => {
+                        w.u8(1);
+                        b.write_state(&mut w);
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a service from [`snapshot`](Self::snapshot) bytes — in
+    /// this process or a completely fresh one. Fresh workers are spawned
+    /// and the open period's journals are replayed into their mailboxes
+    /// (without re-journalling), so the first subsequent
+    /// [`close_period`](Self::close_period) flushes exactly what the
+    /// snapshotted workers would have: recovery is bit-identical.
+    ///
+    /// Restoring is pure state reconstruction — stats are restored
+    /// verbatim, so `restore(snapshot())` re-snapshots byte-identically.
+    /// Use [`restart`](Self::restart) to also account the event.
+    ///
+    /// # Errors
+    /// A typed [`SnapshotError`] for anything malformed: truncated or
+    /// corrupted bytes, a foreign file, an unsupported format version,
+    /// or any violated structural invariant. Never panics on bad bytes.
+    pub fn restore(bytes: &[u8]) -> Result<IngestService, SnapshotError> {
+        let mut r = SnapReader::new(bytes)?;
+        let workers = r.usize()?;
+        if workers == 0 {
+            return Err(SnapshotError::Corrupt("service has no workers"));
+        }
+        if workers > 65_536 {
+            return Err(SnapshotError::Corrupt("implausible worker count"));
+        }
+        let mailbox_cap = r.usize()?;
+        if mailbox_cap == 0 {
+            return Err(SnapshotError::Corrupt("zero mailbox capacity"));
+        }
+        let stats = IngestStats {
+            periods: r.u64()?,
+            batches: r.u64()?,
+            rows: r.u64()?,
+            frames: r.u64()?,
+            recoveries: r.u64()?,
+            replayed_batches: r.u64()?,
+            flushed_acc_bytes: r.u64()?,
+            restarts: r.u64()?,
+        };
+        let server = Server::read_snapshot(&mut r)?;
+        let mut journal = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let entries_len = r.len(1)?;
+            let mut entries = Vec::with_capacity(entries_len);
+            for _ in 0..entries_len {
+                entries.push(match r.u8()? {
+                    0 => JournalEntry::Reports(ReportBatch::read_state(&mut r)?),
+                    1 => JournalEntry::Frames(FrameBatch::read_state(&mut r)?),
+                    _ => return Err(SnapshotError::Corrupt("unknown journal entry tag")),
+                });
+            }
+            journal.push(entries);
+        }
+        r.finish()?;
+        let slots = (0..workers)
+            .map(|i| WorkerSlot::spawn(i, mailbox_cap, server.new_shard()))
+            .collect();
+        let service = IngestService {
+            server: Some(server),
+            workers: slots,
+            journal,
+            stats,
+            mailbox_cap,
+        };
+        // Rebuild the open period inside the fresh workers. The entries
+        // stay journalled (they are still un-flushed), so a later kill
+        // or second restart replays them again.
+        for (w, entries) in service.journal.iter().enumerate() {
+            for entry in entries {
+                let msg = match entry {
+                    JournalEntry::Reports(b) => WorkerMsg::Reports(b.clone()),
+                    JournalEntry::Frames(b) => WorkerMsg::Frames(b.clone()),
+                };
+                service.send(w, msg);
+            }
+        }
+        Ok(service)
+    }
+
+    /// Kills and relaunches the whole service in place:
+    /// [`snapshot`](Self::snapshot), tear everything down, then
+    /// [`restore`](Self::restore) — the in-process equivalent of a
+    /// process crash between or during periods. The event is surfaced in
+    /// [`IngestStats::restarts`], and the journal batches the restore
+    /// replayed are counted in [`IngestStats::replayed_batches`], so a
+    /// chaos schedule can assert every configured restart actually
+    /// fired.
+    ///
+    /// # Errors
+    /// A [`SnapshotError`] only if the snapshot/restore roundtrip itself
+    /// is broken — which the proptests prove it is not.
+    pub fn restart(self) -> Result<IngestService, SnapshotError> {
+        let bytes = self.snapshot();
+        let replayed: u64 = self.journal.iter().map(|j| j.len() as u64).sum();
+        drop(self); // every worker thread joins; nothing survives
+        let mut service = IngestService::restore(&bytes)?;
+        service.stats.restarts += 1;
+        service.stats.replayed_batches += replayed;
+        Ok(service)
+    }
+
+    /// Writes [`snapshot`](Self::snapshot) bytes to `dir/name`, creating
+    /// `dir` if needed, and returns the full path.
+    ///
+    /// # Errors
+    /// Any I/O error from creating the directory or writing the file.
+    pub fn write_snapshot_to(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        std::fs::write(&path, self.snapshot())?;
+        Ok(path)
+    }
+
+    /// [`write_snapshot_to`](Self::write_snapshot_to) into the
+    /// `RTF_SNAPSHOT_DIR` directory; returns `Ok(None)` without touching
+    /// the filesystem when the variable is unset or empty.
+    ///
+    /// # Errors
+    /// Any I/O error from the underlying write.
+    pub fn write_snapshot_file(&self, name: &str) -> std::io::Result<Option<PathBuf>> {
+        match snapshot_dir_from_env() {
+            Some(dir) => self.write_snapshot_to(&dir, name).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Restores a service from a snapshot file written by
+    /// [`write_snapshot_to`](Self::write_snapshot_to) /
+    /// [`write_snapshot_file`](Self::write_snapshot_file).
+    ///
+    /// # Errors
+    /// [`SnapshotFileError::Io`] if the file cannot be read,
+    /// [`SnapshotFileError::Snapshot`] if its bytes are rejected.
+    pub fn restore_from_file(path: &Path) -> Result<IngestService, SnapshotFileError> {
+        let bytes = std::fs::read(path)?;
+        Ok(IngestService::restore(&bytes)?)
     }
 
     /// Stops every worker and hands back the server with the final
@@ -439,6 +793,55 @@ impl Drop for IngestService {
         for slot in &mut self.workers {
             slot.stop();
         }
+    }
+}
+
+/// The snapshot directory selected by the `RTF_SNAPSHOT_DIR` environment
+/// variable; `None` when unset or empty (file-backed snapshotting off).
+pub fn snapshot_dir_from_env() -> Option<PathBuf> {
+    match std::env::var("RTF_SNAPSHOT_DIR") {
+        Ok(dir) if !dir.trim().is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// Why a file-backed snapshot restore failed: the file itself, or its
+/// contents.
+#[derive(Debug)]
+pub enum SnapshotFileError {
+    /// The snapshot file could not be read.
+    Io(std::io::Error),
+    /// The file's bytes were rejected by the snapshot parser.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for SnapshotFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotFileError::Io(e) => write!(f, "reading snapshot file: {e}"),
+            SnapshotFileError::Snapshot(e) => write!(f, "parsing snapshot file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotFileError::Io(e) => Some(e),
+            SnapshotFileError::Snapshot(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotFileError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotFileError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for SnapshotFileError {
+    fn from(e: SnapshotError) -> Self {
+        SnapshotFileError::Snapshot(e)
     }
 }
 
@@ -661,19 +1064,290 @@ mod tests {
     fn live_config_builders() {
         let cfg = LiveConfig::new(0);
         assert_eq!(cfg.workers, 1, "0 workers clamps to 1");
-        assert!(cfg.kill.is_none());
+        assert!(cfg.kills.is_empty());
+        assert!(cfg.restarts.is_empty());
+        assert_eq!(cfg.fault_count(), 0);
         let cfg = LiveConfig::new(4)
             .with_mailbox_cap(0)
             .with_chunk_rows(0)
-            .with_kill(2, 9);
+            .with_kill(2, 9)
+            .with_kill(0, 3)
+            .with_restart(5)
+            .with_restart_after(7);
         assert_eq!(cfg.mailbox_cap, 1);
         assert_eq!(cfg.chunk_rows, 1);
         assert_eq!(
-            cfg.kill,
-            Some(WorkerKill {
-                worker: 2,
-                period: 9
-            })
+            cfg.kills,
+            vec![
+                WorkerKill {
+                    worker: 2,
+                    period: 9
+                },
+                WorkerKill {
+                    worker: 0,
+                    period: 3
+                }
+            ]
         );
+        assert_eq!(
+            cfg.restarts,
+            vec![
+                ServiceRestart {
+                    period: 5,
+                    mid_period: true
+                },
+                ServiceRestart {
+                    period: 7,
+                    mid_period: false
+                }
+            ]
+        );
+        assert_eq!(cfg.fault_count(), 4);
+    }
+
+    #[test]
+    fn off_horizon_faults_fail_validation_loudly() {
+        // A fault period past the horizon (or zero) would silently never
+        // fire, making a chaos test vacuous — validation must catch it.
+        LiveConfig::new(2).with_kill(0, 8).validate_for_horizon(8);
+        LiveConfig::new(2).with_restart(1).validate_for_horizon(8);
+        for bad in [
+            LiveConfig::new(2).with_kill(0, 9),
+            LiveConfig::new(2).with_kill(0, 0),
+            LiveConfig::new(2).with_restart(99),
+            LiveConfig::new(2).with_restart_after(0),
+        ] {
+            let caught = std::panic::catch_unwind(|| bad.validate_for_horizon(8));
+            assert!(caught.is_err(), "fault config {bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn kill_worker_wraps_out_of_range_indices() {
+        // The WorkerKill contract says "taken modulo the worker count";
+        // kill_worker itself must honor it instead of panicking.
+        let expect = reference_estimates(AccumulatorKind::Dense);
+        let server = trusted_server(12, AccumulatorKind::Dense);
+        let mut svc = IngestService::new(server, 3, 2);
+        let mut estimates = Vec::new();
+        for t in 1..=8u64 {
+            svc.submit_reports(0, batch_for(t, 0..6));
+            svc.submit_reports(2, batch_for(t, 6..12));
+            if t == 3 {
+                svc.kill_worker(5); // 5 % 3 = worker 2, which holds a batch
+            }
+            estimates.push(svc.close_period(t).unwrap().estimate);
+        }
+        assert_eq!(estimates, expect);
+        let (_, stats) = svc.finish();
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.replayed_batches, 1);
+    }
+
+    #[test]
+    fn failed_close_aborts_cleanly_and_the_service_recovers() {
+        use rtf_core::accumulator::AccumulatorError;
+        // Force the AccumulatorError path: replace worker 0 with one
+        // whose shard template is a foreign backend, so its flush cannot
+        // merge into the dense server.
+        let expect = reference_estimates(AccumulatorKind::Dense);
+        let server = trusted_server(12, AccumulatorKind::Dense);
+        let mut svc = IngestService::new(server, 2, 4);
+        svc.workers[0] = WorkerSlot::spawn(0, 4, AccumulatorKind::Fixed.new_accumulator(4));
+        svc.submit_reports(0, batch_for(1, 0..6));
+        svc.submit_reports(1, batch_for(1, 6..12));
+
+        let err = svc.close_period(1).unwrap_err();
+        assert_eq!(
+            err,
+            AccumulatorError::BackendMismatch {
+                expected: AccumulatorKind::Dense,
+                got: AccumulatorKind::Fixed
+            }
+        );
+        // The abort must be clean: nothing closed, nothing ingested,
+        // journals still hold the open period.
+        assert_eq!(svc.stats().periods, 0);
+        assert_eq!(svc.stats().flushed_acc_bytes, 0);
+        assert_eq!(svc.journal[0].len(), 1, "journal not truncated on abort");
+        assert_eq!(svc.journal[1].len(), 1, "journal not truncated on abort");
+        {
+            let server = svc.server.as_ref().unwrap();
+            assert!(server.estimates().is_empty(), "no period closed");
+            assert_eq!(server.reports_ingested(), 0, "no frame/shard consumed");
+            assert!(server.delivery_log().is_empty());
+        }
+
+        // kill_worker replaces the poisoned worker with a proper shard
+        // and replays the journal; the close then succeeds and the whole
+        // horizon completes value-for-value with the reference.
+        svc.kill_worker(0);
+        let mut estimates = vec![svc.close_period(1).unwrap().estimate];
+        for t in 2..=8u64 {
+            svc.submit_reports(0, batch_for(t, 0..6));
+            svc.submit_reports(1, batch_for(t, 6..12));
+            estimates.push(svc.close_period(t).unwrap().estimate);
+        }
+        assert_eq!(estimates, expect, "service coherent after aborted close");
+        let (_, stats) = svc.finish();
+        assert_eq!(stats.periods, 8);
+        assert_eq!(stats.recoveries, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_mid_period_on_every_backend() {
+        for backend in AccumulatorKind::ALL {
+            let expect = reference_estimates(backend);
+            let server = trusted_server(12, backend);
+            let mut svc = IngestService::new(server, 2, 3);
+            let mut estimates = Vec::new();
+            for t in 1..=3u64 {
+                svc.submit_reports(0, batch_for(t, 0..6));
+                svc.submit_reports(1, batch_for(t, 6..12));
+                estimates.push(svc.close_period(t).unwrap().estimate);
+            }
+            // Period 4 is open with un-flushed traffic when we snapshot.
+            svc.submit_reports(0, batch_for(4, 0..6));
+            svc.submit_reports(1, batch_for(4, 6..12));
+            let bytes = svc.snapshot();
+            drop(svc); // the "process" dies mid-period
+
+            let mut restored = IngestService::restore(&bytes).unwrap();
+            assert_eq!(
+                restored.snapshot(),
+                bytes,
+                "{backend}: restore must re-snapshot byte-identically"
+            );
+            for t in 4..=8u64 {
+                if t > 4 {
+                    restored.submit_reports(0, batch_for(t, 0..6));
+                    restored.submit_reports(1, batch_for(t, 6..12));
+                }
+                estimates.push(restored.close_period(t).unwrap().estimate);
+            }
+            assert_eq!(estimates, expect, "{backend}: exact recovery");
+            let (server, stats) = restored.finish();
+            assert_eq!(server.reports_ingested(), 12 * 8, "{backend}");
+            assert_eq!(stats.periods, 8, "{backend}");
+        }
+    }
+
+    #[test]
+    fn restart_in_place_is_exact_and_accounted() {
+        let expect = reference_estimates(AccumulatorKind::Dense);
+        let server = trusted_server(12, AccumulatorKind::Dense);
+        let mut svc = IngestService::new(server, 3, 2);
+        let mut estimates = Vec::new();
+        for t in 1..=8u64 {
+            svc.submit_reports(0, batch_for(t, 0..4));
+            svc.submit_reports(1, batch_for(t, 4..8));
+            svc.submit_reports(2, batch_for(t, 8..12));
+            if t == 5 {
+                svc = svc.restart().unwrap(); // worst moment: mid-period
+            }
+            estimates.push(svc.close_period(t).unwrap().estimate);
+            if t == 6 {
+                svc = svc.restart().unwrap(); // between periods too
+            }
+        }
+        assert_eq!(estimates, expect, "restarted run must be exact");
+        let (_, stats) = svc.finish();
+        assert_eq!(stats.restarts, 2);
+        assert_eq!(
+            stats.replayed_batches, 3,
+            "mid-period restart replays the open period's 3 batches; the \
+             between-periods restart has nothing to replay"
+        );
+        assert_eq!(stats.recoveries, 0, "restarts are not worker kills");
+        assert_eq!(stats.periods, 8);
+        assert_eq!(stats.rows, 12 * 8);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_bytes_with_typed_errors() {
+        use rtf_core::snapshot::SnapshotError;
+        assert_eq!(
+            IngestService::restore(b"not a snapshot").err().unwrap(),
+            SnapshotError::BadMagic
+        );
+        let server = trusted_server(4, AccumulatorKind::Dense);
+        let mut svc = IngestService::new(server, 2, 2);
+        svc.submit_reports(0, batch_for(1, 0..4));
+        let bytes = svc.snapshot();
+        // Truncation at any point fails (checksum or header).
+        for cut in [bytes.len() - 1, bytes.len() / 2, 10] {
+            assert!(
+                IngestService::restore(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // A future format version is named, not guessed at.
+        let mut vers = bytes.clone();
+        vers[8..12].copy_from_slice(&7u32.to_le_bytes());
+        assert_eq!(
+            IngestService::restore(&vers).err().unwrap(),
+            SnapshotError::UnsupportedVersion { found: 7 }
+        );
+        // Every single-bit corruption of the payload is caught.
+        let mut evil = bytes.clone();
+        evil[bytes.len() / 2] ^= 0x10;
+        assert!(IngestService::restore(&evil).is_err());
+        // The pristine bytes still restore.
+        let restored = IngestService::restore(&bytes).unwrap();
+        assert_eq!(restored.workers(), 2);
+    }
+
+    #[test]
+    fn file_backed_snapshots_roundtrip_via_explicit_dir() {
+        // Exercises the file layer through write_snapshot_to (the
+        // explicit-directory core of the RTF_SNAPSHOT_DIR convenience;
+        // the env wrapper is not driven here because env mutation races
+        // parallel test threads).
+        let expect = reference_estimates(AccumulatorKind::Dense);
+        let dir = std::env::temp_dir().join(format!("rtf-snap-test-{}", std::process::id()));
+        let server = trusted_server(12, AccumulatorKind::Dense);
+        let mut svc = IngestService::new(server, 2, 2);
+        for t in 1..=4u64 {
+            svc.submit_reports(0, batch_for(t, 0..6));
+            svc.submit_reports(1, batch_for(t, 6..12));
+            svc.close_period(t).unwrap();
+        }
+        let path = svc.write_snapshot_to(&dir, "mid-horizon.rtfsnap").unwrap();
+        drop(svc);
+
+        let mut restored = IngestService::restore_from_file(&path).unwrap();
+        let mut estimates = Vec::new();
+        for t in 5..=8u64 {
+            restored.submit_reports(0, batch_for(t, 0..6));
+            restored.submit_reports(1, batch_for(t, 6..12));
+            estimates.push(restored.close_period(t).unwrap().estimate);
+        }
+        assert_eq!(estimates, expect[4..], "resumed from disk exactly");
+
+        // Missing files and corrupt files surface as typed errors.
+        assert!(matches!(
+            IngestService::restore_from_file(&dir.join("absent.rtfsnap")),
+            Err(SnapshotFileError::Io(_))
+        ));
+        std::fs::write(dir.join("junk.rtfsnap"), b"junk").unwrap();
+        assert!(matches!(
+            IngestService::restore_from_file(&dir.join("junk.rtfsnap")),
+            Err(SnapshotFileError::Snapshot(SnapshotError::BadMagic))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_dir_env_parsing_is_the_only_env_touchpoint() {
+        // Read-only check of the parser contract (set/remove_var would
+        // race other tests): whatever the ambient value, the function
+        // returns None exactly when the variable is unset or blank.
+        let ambient = std::env::var("RTF_SNAPSHOT_DIR").ok();
+        let parsed = snapshot_dir_from_env();
+        match ambient {
+            None => assert!(parsed.is_none()),
+            Some(v) if v.trim().is_empty() => assert!(parsed.is_none()),
+            Some(v) => assert_eq!(parsed, Some(std::path::PathBuf::from(v))),
+        }
     }
 }

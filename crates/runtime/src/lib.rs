@@ -25,10 +25,13 @@
 //! * [`ingest`] — [`IngestService`]: the long-running streaming
 //!   ingestion front — per-period batch intake into bounded per-worker
 //!   mailboxes (backpressure blocks producers, never drops), shard
-//!   accumulators flushed into the server at period close, and a
+//!   accumulators flushed into the server at period close, a
 //!   delivery-log journal that replays a killed worker's open period
 //!   into its replacement exactly (`RTF_MAILBOX_CAP` sizes the
-//!   mailboxes).
+//!   mailboxes), and whole-service snapshot/restore — a versioned,
+//!   checksummed byte format covering server state, stats, and open
+//!   journals, so a killed process resumes bit-identically
+//!   (`RTF_SNAPSHOT_DIR` gates the file-backed convenience wrappers).
 //!
 //! The execution engines themselves live with their protocols —
 //! `rtf_sim::engine` (honest schedule) and `rtf_scenarios::engine`
@@ -46,7 +49,10 @@ pub mod persistent;
 pub mod pool;
 
 pub use batch::{Frame, FrameBatch, ReportBatch};
-pub use ingest::{IngestService, IngestStats, LiveConfig, PeriodClose, WorkerKill};
+pub use ingest::{
+    snapshot_dir_from_env, IngestService, IngestStats, LiveConfig, PeriodClose, ServiceRestart,
+    SnapshotFileError, WorkerKill,
+};
 pub use mode::ExecMode;
 pub use persistent::{shared_pool, PersistentPool};
 pub use pool::{partition, shard_of, Shard, WorkerPool};

@@ -25,7 +25,12 @@
 //!   [`oracle::assert_live_agreement`]: streaming ≡ batched ≡
 //!   sequential), distributional agreement (tolerance bands from
 //!   `rtf_analysis::variance`) for the aggregate sampler, and
-//!   bias-aware envelopes for faulty runs.
+//!   bias-aware envelopes for faulty runs;
+//! * [`chaos`] — the crash-recovery harness: [`ChaosPlan`]s compose
+//!   worker kills, mid-period whole-service snapshot/restarts, and
+//!   between-period restarts; [`chaos::assert_chaos_recovery`] proves
+//!   every plan recovers bit-identically on both engines and that every
+//!   configured fault actually fired.
 //!
 //! Entry points: [`run_scenario`] for one fault-injected execution,
 //! [`oracle::assert_exact_agreement`] /
@@ -34,11 +39,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod live;
 pub mod oracle;
 
+pub use chaos::{assert_chaos_recovery, ChaosPlan};
 pub use config::Scenario;
 pub use engine::{
     run_scenario, run_scenario_with, run_scenario_with_backend, FaultCounts, ScenarioOutcome,

@@ -16,9 +16,10 @@
 //! is what makes the streaming outcome **value-for-value identical** to
 //! the sequential and batched engines — estimates, delivery log, wire
 //! stats, fault counts — for every worker count, mailbox capacity,
-//! chunk size, and across an injected worker kill (journal replay
-//! restores the lost buffer exactly). Proven by
-//! [`crate::oracle::assert_live_agreement`].
+//! chunk size, and across injected worker kills and whole-service
+//! snapshot/restarts (journal replay restores the lost buffers
+//! exactly). Proven by [`crate::oracle::assert_live_agreement`] and the
+//! [`crate::chaos`] proptest suite.
 
 use crate::config::Scenario;
 use crate::engine::{
@@ -63,6 +64,10 @@ pub fn run_scenario_live(
 
 /// [`run_scenario_live`] under an explicit [`LiveConfig`] and storage
 /// backend, also returning the service's [`IngestStats`].
+///
+/// # Panics
+/// Panics up front if any configured fault names a period outside
+/// `1..=d` (see [`LiveConfig::validate_for_horizon`]).
 pub fn run_scenario_live_with(
     params: &ProtocolParams,
     population: &Population,
@@ -80,6 +85,7 @@ pub fn run_scenario_live_with(
     let root = SeedSequence::new(seed);
     let fault_root = root.child(FAULT_STREAM);
     let d = params.d();
+    config.validate_for_horizon(d);
     let n = params.n();
     let workers = config.workers.max(1);
     let chunk = config.chunk_rows.max(1);
@@ -194,12 +200,9 @@ pub fn run_scenario_live_with(
             }
         }
 
-        if let Some(kill) = config.kill {
-            if kill.period == t {
-                service.kill_worker(kill.worker % workers);
-            }
-        }
-
+        // Faults strike after this period's frames are in flight and
+        // before the close — recovery must come from journals alone.
+        service = config.apply_pre_close(service, t);
         let close = service
             .close_period(t)
             .expect("service shards share the server's backend and shape");
@@ -211,6 +214,7 @@ pub fn run_scenario_live_with(
             }
         }
         estimates.push(close.estimate);
+        service = config.apply_post_close(service, t);
     }
 
     let (server, stats) = service.finish();
@@ -298,6 +302,33 @@ mod tests {
                 run_scenario_live_with(&params, &pop, 11, &storm(), &cfg, AccumulatorKind::Dense);
             assert_outcomes_equal(&live, &seq, &format!("kill at w={workers}"));
             assert_eq!(stats.recoveries, 1);
+        }
+    }
+
+    #[test]
+    fn service_restart_mid_storm_recovers_exactly() {
+        // The hardest composition: restart the whole service mid-period
+        // while the storm is raging (journals hold frames whose order is
+        // load-bearing), then kill a worker in the same period later,
+        // then restart again cleanly between periods.
+        let (params, pop) = setup(120, 32, 3, 71);
+        let seq = run_scenario_with(&params, &pop, 17, &storm(), ExecMode::Sequential);
+        assert!(
+            seq.faults.byzantine_accepted > 0,
+            "the storm must exercise the order-sensitive acceptance race"
+        );
+        for workers in [1usize, 2, 8] {
+            let cfg = LiveConfig::new(workers)
+                .with_mailbox_cap(2)
+                .with_chunk_rows(4)
+                .with_restart(12)
+                .with_kill(workers.saturating_sub(1), 12)
+                .with_restart_after(20);
+            let (live, stats) =
+                run_scenario_live_with(&params, &pop, 17, &storm(), &cfg, AccumulatorKind::Dense);
+            assert_outcomes_equal(&live, &seq, &format!("restart at w={workers}"));
+            assert_eq!(stats.restarts, 2, "w={workers}: both restarts fired");
+            assert_eq!(stats.recoveries, 1, "w={workers}: the kill fired");
         }
     }
 }

@@ -181,11 +181,18 @@ pub fn assert_mode_agreement(
 /// The streaming runs use a deliberately hostile service shape — a
 /// 2-batch mailbox and a small chunk size, so producers stall on
 /// backpressure and journals hold several entries — for every worker
-/// count in [`MODE_AGREEMENT_WORKERS`], each **with and without** a
-/// worker killed mid-horizon and recovered from the journal (the
-/// recovery is asserted to have happened). The storage backend comes
-/// from `RTF_BACKEND`, so the CI backend matrix replays this proof on
-/// every layout.
+/// count in [`MODE_AGREEMENT_WORKERS`], each under four fault plans:
+///
+/// 1. no faults;
+/// 2. a worker killed mid-horizon and recovered from the journal;
+/// 3. a whole-service snapshot/restart mid-period (journals full);
+/// 4. the composition — a mid-period restart *and* a worker kill in the
+///    same period, plus a clean between-periods restart later.
+///
+/// Every configured fault is asserted to have actually fired (via
+/// `IngestStats::{recoveries, restarts}`), so none of these legs can
+/// pass vacuously. The storage backend comes from `RTF_BACKEND`, so the
+/// CI backend matrix replays this proof on every layout.
 ///
 /// # Panics
 /// Panics naming the first diverging engine/worker count/fault
@@ -214,18 +221,37 @@ pub fn assert_live_agreement(
     );
     assert_eq!(sc_bat.delivery, sc_seq.delivery, "batched delivery log");
 
-    let kill_at = (params.d() / 2).max(1);
+    let fault_at = (params.d() / 2).max(1);
+    let later = (params.d() * 3 / 4).max(1);
     for w in MODE_AGREEMENT_WORKERS {
-        for kill in [None, Some(w.saturating_sub(1))] {
-            let mut cfg = LiveConfig::new(w).with_mailbox_cap(2).with_chunk_rows(7);
-            if let Some(worker) = kill {
-                cfg = cfg.with_kill(worker, kill_at);
-            }
-            let label = match kill {
-                None => format!("live({w})"),
-                Some(worker) => format!("live({w}), worker {worker} killed at t={kill_at}"),
-            };
-
+        let base = || LiveConfig::new(w).with_mailbox_cap(2).with_chunk_rows(7);
+        let victim = w.saturating_sub(1);
+        // (config, label, expected kills fired, expected restarts fired)
+        let plans: [(LiveConfig, String, u64, u64); 4] = [
+            (base(), format!("live({w})"), 0, 0),
+            (
+                base().with_kill(victim, fault_at),
+                format!("live({w}), worker {victim} killed at t={fault_at}"),
+                1,
+                0,
+            ),
+            (
+                base().with_restart(fault_at),
+                format!("live({w}), service restarted mid-period t={fault_at}"),
+                0,
+                1,
+            ),
+            (
+                base()
+                    .with_restart(fault_at)
+                    .with_kill(victim, fault_at)
+                    .with_restart_after(later),
+                format!("live({w}), restart+kill at t={fault_at}, clean restart after t={later}"),
+                1,
+                2,
+            ),
+        ];
+        for (cfg, label, kills, restarts) in plans {
             let (ev, ev_stats) =
                 run_event_driven_live_with(params, population, seed, &cfg, backend);
             assert_eq!(
@@ -249,9 +275,11 @@ pub fn assert_live_agreement(
                 sc.byzantine_accepted_by_period, sc_seq.byzantine_accepted_by_period,
                 "{label}: per-period Byzantine acceptance"
             );
-            let expected_recoveries = u64::from(kill.is_some());
-            assert_eq!(ev_stats.recoveries, expected_recoveries, "{label}");
-            assert_eq!(sc_stats.recoveries, expected_recoveries, "{label}");
+            // No vacuous passes: every configured fault must have fired.
+            for stats in [&ev_stats, &sc_stats] {
+                assert_eq!(stats.recoveries, kills, "{label}: kills fired");
+                assert_eq!(stats.restarts, restarts, "{label}: restarts fired");
+            }
         }
     }
 }
@@ -597,8 +625,9 @@ mod tests {
     #[test]
     fn live_agreement_holds_on_honest_and_faulty_schedules() {
         // The streaming tentpole claim at unit scale: streaming ≡
-        // batched ≡ sequential on both engines, with backpressure and a
-        // mid-horizon worker kill in the mix.
+        // batched ≡ sequential on both engines, with backpressure,
+        // mid-horizon worker kills, and whole-service restarts (and
+        // their composition) in the mix.
         let (params, pop) = setup(110, 16, 2, 88);
         assert_live_agreement(&params, &pop, 51, &Scenario::honest());
         let storm = Scenario::honest()

@@ -14,8 +14,9 @@
 //! `SeedSequence(seed).child(user)` and shard sums merge exactly, the
 //! streaming outcome is **value-for-value identical** to the sequential
 //! and batched engines for every worker count, mailbox capacity, chunk
-//! size — and across an injected worker kill mid-horizon (the journal
-//! replay restores the lost shard exactly). The differential oracle
+//! size — and across injected worker kills and whole-service
+//! snapshot/restarts mid-horizon (journal replay restores the lost
+//! state exactly). The differential oracle
 //! (`rtf_scenarios::oracle::assert_live_agreement`) proves it.
 
 use crate::engine::{build_order_groups, composed_tables, EventDrivenOutcome};
@@ -51,9 +52,15 @@ pub fn run_event_driven_live(
 }
 
 /// [`run_event_driven_live`] under an explicit [`LiveConfig`] (mailbox
-/// capacity, chunk size, optional injected worker kill) and storage
-/// backend. Also returns the service's [`IngestStats`] — periods,
-/// batches, recoveries, replays, flushed accumulator bytes.
+/// capacity, chunk size, injected worker kills and whole-service
+/// restarts) and storage backend. Also returns the service's
+/// [`IngestStats`] — periods, batches, recoveries, restarts, replays,
+/// flushed accumulator bytes.
+///
+/// # Panics
+/// Panics up front if any configured fault names a period outside
+/// `1..=d` — such a fault would silently never fire, turning a chaos
+/// test vacuous.
 pub fn run_event_driven_live_with(
     params: &ProtocolParams,
     population: &Population,
@@ -68,6 +75,7 @@ pub fn run_event_driven_live_with(
     let composed = composed_tables(params);
     let root = SeedSequence::new(seed);
     let d = params.d();
+    config.validate_for_horizon(d);
     let workers = config.workers.max(1);
     let chunk = config.chunk_rows.max(1);
     let shards = partition(params.n(), workers);
@@ -115,17 +123,15 @@ pub fn run_event_driven_live_with(
                 service.submit_reports(w, batch);
             }
         }
-        if let Some(kill) = config.kill {
-            if kill.period == t {
-                // The failure strikes after this period's traffic is in
-                // flight and before the close — the worst moment.
-                service.kill_worker(kill.worker % workers);
-            }
-        }
+        // Faults strike after this period's traffic is in flight and
+        // before the close — the worst moment (mid-period restarts and
+        // kills must recover from journals alone).
+        service = config.apply_pre_close(service, t);
         let close = service
             .close_period(t)
             .expect("service shards share the server's backend and shape");
         estimates.push(close.estimate);
+        service = config.apply_post_close(service, t);
     }
 
     let (server, stats) = service.finish();
@@ -199,6 +205,43 @@ mod tests {
             assert_eq!(stats.recoveries, 1, "{workers} workers");
             assert!(stats.replayed_batches > 0, "journal replay must happen");
         }
+    }
+
+    #[test]
+    fn service_restart_mid_horizon_recovers_exactly() {
+        let (params, pop) = setup(140, 32, 3, 94);
+        let seq = run_event_driven_with(&params, &pop, 29, ExecMode::Sequential);
+        for workers in [1usize, 2, 8] {
+            // A mid-period restart at t=16 (journals full), a clean
+            // restart after t=24 closes, and a worker kill at t=20 —
+            // every composition must still be value-for-value exact.
+            let cfg = LiveConfig::new(workers)
+                .with_mailbox_cap(2)
+                .with_chunk_rows(5)
+                .with_restart(16)
+                .with_kill(workers + 1, 20)
+                .with_restart_after(24);
+            let (live, stats) =
+                run_event_driven_live_with(&params, &pop, 29, &cfg, AccumulatorKind::Dense);
+            assert_eq!(live.estimates, seq.estimates, "{workers} workers");
+            assert_eq!(live.wire, seq.wire, "{workers} workers");
+            assert_eq!(stats.restarts, 2, "{workers} workers: both restarts fired");
+            assert_eq!(stats.recoveries, 1, "{workers} workers: the kill fired");
+            assert!(
+                stats.replayed_batches > 0,
+                "{workers} workers: the mid-period restart replays journals"
+            );
+        }
+    }
+
+    #[test]
+    fn off_horizon_fault_config_is_rejected() {
+        let (params, pop) = setup(60, 8, 2, 95);
+        let cfg = LiveConfig::new(2).with_restart(9);
+        let caught = std::panic::catch_unwind(|| {
+            run_event_driven_live_with(&params, &pop, 1, &cfg, AccumulatorKind::Dense)
+        });
+        assert!(caught.is_err(), "a fault that can never fire must panic");
     }
 
     #[test]
