@@ -19,7 +19,10 @@
 //! scratch and issues one `record_batch` per touched order, instead of
 //! one binary-searching `record` per row): the before/after timing on
 //! the sparse backend is recorded in the JSON's `fold` section, with
-//! the two paths asserted bit-identical first.
+//! the two paths asserted bit-identical first. The **bit-packed
+//! sign-lane fold** (word-at-a-time popcounts over `SignLane` vs one
+//! decoded sign per row) is measured the same way on the SoA count
+//! lanes and recorded under `fold_packed`.
 //!
 //! Machine-readable output: `BENCH_backends.json` at the repository
 //! root (validated by the CI smoke step and enforced as a baseline by
@@ -38,7 +41,7 @@ use rtf_core::accumulator::AccumulatorKind;
 use rtf_core::params::ProtocolParams;
 use rtf_primitives::seeding::SeedSequence;
 use rtf_primitives::sign::Sign;
-use rtf_runtime::{ExecMode, ReportBatch};
+use rtf_runtime::{ExecMode, ReportBatch, SignLane};
 use rtf_sim::engine::{run_event_driven_with_backend, EventDrivenOutcome};
 use rtf_streams::generator::UniformChanges;
 use rtf_streams::population::Population;
@@ -220,6 +223,63 @@ fn main() {
          row-by-row {row_by_row_s:.4}s vs pre-aggregated {preaggregated_s:.4}s => {fold_speedup:.2}x"
     );
 
+    // The bit-packed sign-lane fold on the SoA count lanes: `fold_into`
+    // run-detects order runs and popcounts the packed sign words
+    // (64 signs per load), where the row reference decodes one sign per
+    // row. The batch is built order-major through `extend_packed` — the
+    // shape the span-batched client emission actually produces (one
+    // order per bulk append), where runs are long enough for word ops
+    // to pay. Equivalence on SoA first, then the before/after timing.
+    let mut lane = SignLane::new();
+    for i in 0..fold_rows {
+        lane.push(if i % 3 == 0 { Sign::Minus } else { Sign::Plus });
+    }
+    let users: Vec<u32> = (0..fold_rows as u32).collect();
+    let mut packed_batch = ReportBatch::with_capacity(fold_rows);
+    let mut at = 0usize;
+    for h in 0..fold_orders {
+        // Order h carries ~2^-(h+1) of the traffic, like a dyadic period.
+        let span = ((fold_rows - at) / 2).max(1).min(fold_rows - at);
+        packed_batch.extend_packed(&users[at..at + span], h, &lane, at..at + span);
+        at += span;
+        if at == fold_rows {
+            break;
+        }
+    }
+    packed_batch.extend_packed(&users[at..], 0, &lane, at..fold_rows);
+    let mut fast = AccumulatorKind::Soa.new_accumulator(fold_orders as usize);
+    let mut slow = AccumulatorKind::Soa.new_accumulator(fold_orders as usize);
+    packed_batch.fold_into(&mut fast);
+    packed_batch.fold_into_rows(&mut slow);
+    for h in 0..u32::from(fold_orders) {
+        assert_eq!(
+            fast.order_sum(h),
+            slow.order_sum(h),
+            "packed fold paths diverge at order {h}"
+        );
+    }
+    assert_eq!(fast.reports(), slow.reports());
+    let time_packed = |packed: bool| -> f64 {
+        let start = Instant::now();
+        for _ in 0..fold_repeats {
+            let mut acc = AccumulatorKind::Soa.new_accumulator(fold_orders as usize);
+            if packed {
+                packed_batch.fold_into(&mut acc);
+            } else {
+                packed_batch.fold_into_rows(&mut acc);
+            }
+            assert_eq!(acc.reports(), fold_rows as u64);
+        }
+        start.elapsed().as_secs_f64().max(1e-9)
+    };
+    let packed_row_s = time_packed(false);
+    let packed_word_s = time_packed(true);
+    let packed_speedup = packed_row_s / packed_word_s;
+    println!(
+        "packed sign-lane folds on soa ({fold_rows} rows x {fold_repeats} folds): \
+         per-row {packed_row_s:.4}s vs word-at-a-time {packed_word_s:.4}s => {packed_speedup:.2}x"
+    );
+
     // Machine-readable output at the repository root.
     let mut json = String::new();
     json.push_str("{\n");
@@ -250,7 +310,13 @@ fn main() {
         "  \"fold\": {{\"backend\": \"sparse\", \"rows\": {fold_rows}, \
          \"orders\": {fold_orders}, \"repeats\": {fold_repeats}, \
          \"row_by_row_s\": {row_by_row_s:.6}, \"preaggregated_s\": {preaggregated_s:.6}, \
-         \"speedup\": {fold_speedup:.4}}}\n"
+         \"speedup\": {fold_speedup:.4}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"fold_packed\": {{\"backend\": \"soa\", \"rows\": {fold_rows}, \
+         \"orders\": {fold_orders}, \"repeats\": {fold_repeats}, \
+         \"per_row_s\": {packed_row_s:.6}, \"word_s\": {packed_word_s:.6}, \
+         \"speedup\": {packed_speedup:.4}}}\n"
     ));
     json.push_str("}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backends.json");

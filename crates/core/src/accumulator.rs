@@ -103,6 +103,16 @@ pub trait Accumulator: Send {
     /// (integer-valued for ±1 bits).
     fn record_batch(&mut self, h: u32, sum: f64, count: u64);
 
+    /// Records a batch given as separate `+1`/`−1` counts — the shape the
+    /// packed sign lanes produce from masked popcounts. Equivalent by
+    /// definition to `record_batch(h, (plus − minus) as f64,
+    /// plus + minus)`; backends override it to take the word-at-a-time
+    /// path (pure integer arithmetic, no `f64` round-trip).
+    #[inline]
+    fn record_counts(&mut self, h: u32, plus: u64, minus: u64) {
+        self.record_batch(h, (plus as i64 - minus as i64) as f64, plus + minus);
+    }
+
     /// Adds another shard of the same shape into `self`, rejecting
     /// mismatched shapes with a typed error.
     fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError>;
@@ -190,6 +200,14 @@ impl Accumulator for DenseAccumulator {
     fn record_batch(&mut self, h: u32, sum: f64, count: u64) {
         self.sums[h as usize] += sum;
         self.reports += count;
+    }
+
+    #[inline]
+    fn record_counts(&mut self, h: u32, plus: u64, minus: u64) {
+        // Integer difference first, one exact f64 add after — identical
+        // value to record_batch (the difference is integral and small).
+        self.sums[h as usize] += (plus as i64 - minus as i64) as f64;
+        self.reports += plus + minus;
     }
 
     fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError> {
@@ -311,6 +329,14 @@ impl Accumulator for FixedPointAccumulator {
     fn record_batch(&mut self, h: u32, sum: f64, count: u64) {
         self.add(h as usize, integral(sum));
         self.reports += count;
+    }
+
+    #[inline]
+    fn record_counts(&mut self, h: u32, plus: u64, minus: u64) {
+        // Already integer: skip the f64 round-trip and its exactness
+        // assertion entirely.
+        self.add(h as usize, plus as i64 - minus as i64);
+        self.reports += plus + minus;
     }
 
     fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError> {
@@ -513,6 +539,16 @@ impl Accumulator for SoaAccumulator {
         self.lanes[i] += plus;
         self.lanes[i + 1] += count - plus;
         self.reports += count;
+    }
+
+    #[inline]
+    fn record_counts(&mut self, h: u32, plus: u64, minus: u64) {
+        // The popcount totals ARE the lanes — two adds, no sum/count
+        // reconstruction round-trip.
+        let i = 2 * h as usize;
+        self.lanes[i] += plus;
+        self.lanes[i + 1] += minus;
+        self.reports += plus + minus;
     }
 
     fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError> {
@@ -846,6 +882,11 @@ impl Accumulator for AnyAccumulator {
         dispatch!(self, a => a.record_batch(h, sum, count))
     }
 
+    #[inline]
+    fn record_counts(&mut self, h: u32, plus: u64, minus: u64) {
+        dispatch!(self, a => a.record_counts(h, plus, minus))
+    }
+
     fn try_merge(&mut self, other: &Self) -> Result<(), AccumulatorError> {
         match (self, other) {
             (AnyAccumulator::Dense(a), AnyAccumulator::Dense(b)) => a.try_merge(b),
@@ -1113,6 +1154,39 @@ mod tests {
 
         fn accs_reports(events: &[(u32, Sign)], batches: &[(u32, f64, u64)]) -> u64 {
             events.len() as u64 + batches.iter().map(|&(_, _, c)| c).sum::<u64>()
+        }
+    }
+
+    #[test]
+    fn record_counts_equals_record_batch_on_every_backend() {
+        // The packed-lane entry point must be value-identical to the
+        // sum/count form it restates, on every backend (three of which
+        // override the default for the integer fast path).
+        let mut rng = SeedSequence::new(777).rng();
+        let orders = 6usize;
+        let batches: Vec<(u32, u64, u64)> = (0..60)
+            .map(|_| {
+                let h = rng.random_range(0..orders) as u32;
+                let plus = rng.random_range(0..100u64);
+                let minus = rng.random_range(0..100u64);
+                (h, plus, minus)
+            })
+            .collect();
+        for kind in AccumulatorKind::ALL {
+            let mut via_counts = kind.new_accumulator(orders);
+            let mut via_batch = kind.new_accumulator(orders);
+            for &(h, plus, minus) in &batches {
+                via_counts.record_counts(h, plus, minus);
+                via_batch.record_batch(h, (plus as i64 - minus as i64) as f64, plus + minus);
+            }
+            for h in 0..orders as u32 {
+                assert_eq!(
+                    via_counts.order_sum(h),
+                    via_batch.order_sum(h),
+                    "{kind} order {h}"
+                );
+            }
+            assert_eq!(via_counts.reports(), via_batch.reports(), "{kind}");
         }
     }
 

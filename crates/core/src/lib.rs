@@ -78,6 +78,6 @@ pub use gap::WeightClassLaw;
 pub use params::{ParamsError, ProtocolParams};
 pub use protocol::{run_in_memory, ProtocolOutcome};
 pub use queries::EstimateStore;
-pub use randomizer::{FutureRand, IndependentRand, LocalRandomizer};
+pub use randomizer::{FutureRand, IndependentRand, LocalRandomizer, SpanRandomizers};
 pub use server::Server;
 pub use snapshot::{SnapReader, SnapWriter, SnapshotError, SNAPSHOT_VERSION};

@@ -167,6 +167,135 @@ impl LocalRandomizer for FutureRand {
     }
 }
 
+/// A whole order group's [`FutureRand`] lanes in one contiguous arena —
+/// the batched client-side randomizer of the hot pipelines.
+///
+/// Every client in an order group reports at the same boundaries, so
+/// their randomizer positions advance in lockstep: one shared `position`
+/// replaces a per-client counter, the pre-computed `b̃` vectors pack
+/// into a single `lanes × k` arena (no per-client heap allocation or
+/// pointer chase), and [`fill_span`](Self::fill_span) draws the group's
+/// whole ±1 report vector for one span in a single monomorphized pass —
+/// no per-report `dyn RngCore` dispatch.
+///
+/// **Bit-compatible with the sequential stream**: each lane consumes its
+/// own RNG exactly as `FutureRand::next` would (one uniform draw per
+/// zero partial sum, `b̃[nnz]` for non-zeros), so existing seeds
+/// reproduce — the `span_lanes_match_per_report_draws` tests and the
+/// `proptest_randomizer` suite pin it down bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct SpanRandomizers {
+    l: usize,
+    k: usize,
+    c_gap: f64,
+    /// Shared position: every lane has consumed this many elements.
+    position: usize,
+    /// Per-lane non-zero count (`nnz < k` or the protocol was violated).
+    nnz: Vec<u32>,
+    /// Packed `b̃` arena: lane `i` owns `b_tilde[i*k .. (i+1)*k]`.
+    b_tilde: Vec<Sign>,
+}
+
+impl SpanRandomizers {
+    /// An empty group of length-`l` lanes drawing from `composed`'s
+    /// `(k, ε̃)` parameterisation.
+    pub fn new(l: usize, composed: &ComposedRandomizer) -> Self {
+        SpanRandomizers {
+            l,
+            k: composed.k(),
+            c_gap: composed.c_gap(),
+            position: 0,
+            nnz: Vec::new(),
+            b_tilde: Vec::new(),
+        }
+    }
+
+    /// Adopts one client's freshly initialised [`FutureRand`] as a lane,
+    /// copying its `b̃` into the arena. The randomizer must be unused
+    /// (position 0) and shaped like the group.
+    ///
+    /// # Panics
+    /// Panics on a length/sparsity mismatch or a non-fresh randomizer.
+    pub fn push_lane(&mut self, m: &FutureRand) {
+        assert_eq!(m.sequence_len(), self.l, "lane length mismatch");
+        assert_eq!(m.k(), self.k, "lane sparsity mismatch");
+        assert_eq!(m.position(), 0, "lane must be unused");
+        assert_eq!(m.nnz(), 0, "lane must be unused");
+        assert_eq!(m.b_tilde().len(), self.k, "b̃ must hold k entries");
+        self.nnz.push(0);
+        self.b_tilde.extend_from_slice(m.b_tilde());
+    }
+
+    /// Number of lanes (clients) in the group.
+    pub fn len(&self) -> usize {
+        self.nnz.len()
+    }
+
+    /// Whether the group holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.nnz.is_empty()
+    }
+
+    /// The shared lane position — how many spans every lane has emitted.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The declared per-lane sequence length `L`.
+    pub fn sequence_len(&self) -> usize {
+        self.l
+    }
+
+    /// The preservation gap shared by every lane.
+    pub fn c_gap(&self) -> f64 {
+        self.c_gap
+    }
+
+    /// Draws the group's whole ±1 report vector for the next span:
+    /// `sums[i]` is lane `i`'s partial sum over the span, `rngs[i]` its
+    /// own RNG stream, and `out` receives the report signs in lane
+    /// order. Each lane's draw is bit-identical to what
+    /// `FutureRand::next(sums[i], rng)` would produce.
+    ///
+    /// # Panics
+    /// Panics on exhausted lanes (`position ≥ L`), a lane exceeding its
+    /// sparsity bound, or mismatched slice lengths — the same protocol
+    /// violations [`LocalRandomizer::next`] panics on.
+    pub fn fill_span<R, F>(&mut self, sums: &[Ternary], rngs: &mut [R], mut out: F)
+    where
+        R: Rng,
+        F: FnMut(Sign),
+    {
+        assert_eq!(sums.len(), self.nnz.len(), "one sum per lane");
+        assert_eq!(rngs.len(), self.nnz.len(), "one RNG per lane");
+        if self.position >= self.l {
+            panic!(
+                "randomizer protocol violation: {}",
+                RandomizerError::SequenceExhausted { l: self.l }
+            );
+        }
+        self.position += 1;
+        let k = self.k;
+        for (i, (&s, rng)) in sums.iter().zip(rngs.iter_mut()).enumerate() {
+            let bit = match s {
+                Ternary::Zero => Sign::uniform(rng),
+                nonzero => {
+                    let n = self.nnz[i] as usize;
+                    if n >= k {
+                        panic!(
+                            "randomizer protocol violation: {}",
+                            RandomizerError::TooManyNonZeros { k }
+                        );
+                    }
+                    self.nnz[i] = (n + 1) as u32;
+                    nonzero.mul_sign(self.b_tilde[i * k + n])
+                }
+            };
+            out(bit);
+        }
+    }
+}
+
 /// The naive independent randomizer of Example 4.2: each non-zero element
 /// gets an independent basic randomized response with budget `ε/k`; zeros
 /// are uniform.
@@ -373,6 +502,97 @@ mod tests {
             m2.try_next(Ternary::Minus, &mut rng).unwrap_err(),
             RandomizerError::TooManyNonZeros { k: 1 }
         );
+    }
+
+    #[test]
+    fn span_lanes_match_per_report_draws() {
+        // The batched group randomizer must be bit-identical to driving
+        // each lane's FutureRand per report — outputs AND RNG streams.
+        let composed = ComposedRandomizer::for_protocol(3, 1.0);
+        let l = 6;
+        let lanes = 5;
+        let mut init_rng = StdRng::seed_from_u64(7);
+        let mut per_report: Vec<FutureRand> = (0..lanes)
+            .map(|_| FutureRand::init(l, &composed, &mut init_rng))
+            .collect();
+        let mut group = SpanRandomizers::new(l, &composed);
+        for m in &per_report {
+            group.push_lane(m);
+        }
+        assert_eq!(group.len(), lanes);
+
+        let mut rngs_a: Vec<StdRng> = (0..lanes)
+            .map(|i| StdRng::seed_from_u64(100 + i as u64))
+            .collect();
+        let mut rngs_b = rngs_a.clone();
+
+        // Deterministic sum pattern with ≤ k non-zeros per lane.
+        let pattern = |lane: usize, t: usize| match (lane + t) % 3 {
+            0 => Ternary::Zero,
+            1 => {
+                if t < 3 {
+                    Ternary::Plus
+                } else {
+                    Ternary::Zero
+                }
+            }
+            _ => {
+                if t < 3 {
+                    Ternary::Minus
+                } else {
+                    Ternary::Zero
+                }
+            }
+        };
+
+        for t in 0..l {
+            let sums: Vec<Ternary> = (0..lanes).map(|i| pattern(i, t)).collect();
+            let mut batched = Vec::new();
+            group.fill_span(&sums, &mut rngs_a, |s| batched.push(s));
+            let scalar: Vec<Sign> = sums
+                .iter()
+                .zip(per_report.iter_mut().zip(rngs_b.iter_mut()))
+                .map(|(&s, (m, rng))| m.next(s, rng))
+                .collect();
+            assert_eq!(batched, scalar, "span {t} diverged");
+        }
+        assert_eq!(group.position(), l);
+        for (m, (a, b)) in per_report
+            .iter()
+            .zip(rngs_a.iter_mut().zip(rngs_b.iter_mut()))
+        {
+            assert_eq!(m.position(), l);
+            // Identical residual RNG state: same number of draws consumed.
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn span_lanes_reject_exhaustion_and_excess_nonzeros() {
+        let composed = ComposedRandomizer::for_protocol(1, 1.0);
+        let mut group = SpanRandomizers::new(1, &composed);
+        let mut init_rng = StdRng::seed_from_u64(8);
+        group.push_lane(&FutureRand::init(1, &composed, &mut init_rng));
+        let mut rngs = vec![StdRng::seed_from_u64(9)];
+        group.fill_span(&[Ternary::Plus], &mut rngs, |_| {});
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            group.fill_span(&[Ternary::Zero], &mut rngs, |_| {});
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("longer than declared L"), "{msg}");
+
+        let mut group = SpanRandomizers::new(4, &composed);
+        let mut init_rng = StdRng::seed_from_u64(10);
+        group.push_lane(&FutureRand::init(4, &composed, &mut init_rng));
+        let mut rngs = vec![StdRng::seed_from_u64(11)];
+        group.fill_span(&[Ternary::Plus], &mut rngs, |_| {});
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            group.fill_span(&[Ternary::Minus], &mut rngs, |_| {});
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("more than k"), "{msg}");
     }
 
     #[test]

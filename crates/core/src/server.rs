@@ -351,6 +351,29 @@ impl Server {
         Delivery::Accepted
     }
 
+    /// Records a *pre-classified rejection* in the current period's
+    /// delivery tally without re-walking the roster — the bookkeeping
+    /// half of [`ingest_checked`](Self::ingest_checked) for callers that
+    /// already know a frame's verdict (the duplicate-storm pre-filter:
+    /// a repeat of a `(user, period)` pair this period resolves to a
+    /// known rejection, and rejections mutate nothing but the tally).
+    ///
+    /// # Panics
+    /// Panics on [`Delivery::Accepted`]: acceptance mutates roster and
+    /// accumulator state and must go through `ingest_checked`.
+    pub fn note_delivery(&mut self, outcome: Delivery) {
+        match outcome {
+            Delivery::Accepted => {
+                panic!("note_delivery records rejections; acceptance must be ingested")
+            }
+            Delivery::UnknownUser => self.current_delivery.unknown_user += 1,
+            Delivery::InvalidPeriod => self.current_delivery.invalid_period += 1,
+            Delivery::Duplicate => self.current_delivery.duplicate += 1,
+            Delivery::Late => self.current_delivery.late += 1,
+            Delivery::Premature => self.current_delivery.premature += 1,
+        }
+    }
+
     /// One finalised [`PeriodDelivery`] row per closed period, in period
     /// order. Only populated when the checked path is in use (at least one
     /// [`register_client`](Self::register_client) call); the trusted

@@ -211,4 +211,76 @@ proptest! {
             );
         }
     }
+
+    /// The batched span randomizer is bit-for-bit the per-report
+    /// randomizer: over random lane counts, sequence lengths, sparsity
+    /// budgets, privacy levels and k-sparse ternary inputs, every
+    /// emitted sign matches `FutureRand::next` draw for draw — and the
+    /// per-lane RNGs land in the identical state afterwards.
+    #[test]
+    fn span_randomizers_match_future_rand_bit_for_bit(
+        lanes in 1usize..8,
+        l in 1usize..24,
+        k in 1usize..6,
+        eps in 0.05f64..=1.0,
+        seed in 0u64..1_000_000,
+        data in proptest::collection::vec(0u8..3, 0..256),
+    ) {
+        use rand::Rng;
+        use rtf_core::randomizer::SpanRandomizers;
+
+        let composed = ComposedRandomizer::for_protocol(k, eps);
+        let mut spans = SpanRandomizers::new(l, &composed);
+        let mut ms = Vec::with_capacity(lanes);
+        let mut rngs = Vec::with_capacity(lanes);
+        let mut ref_rngs = Vec::with_capacity(lanes);
+        for i in 0..lanes {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let m = FutureRand::init(l, &composed, &mut rng);
+            spans.push_lane(&m);
+            ms.push(m);
+            ref_rngs.push(rng.clone());
+            rngs.push(rng);
+        }
+
+        // k-sparse ternary inputs per lane, shaped by the raw data vec.
+        let mut nnz = vec![0usize; lanes];
+        let mut inputs: Vec<Vec<Ternary>> = vec![Vec::with_capacity(l); lanes];
+        for t in 0..l {
+            for (i, lane_nnz) in nnz.iter_mut().enumerate() {
+                let raw = data.get(i * l + t).copied().unwrap_or(0);
+                let x = if raw == 0 || *lane_nnz >= k {
+                    Ternary::Zero
+                } else {
+                    *lane_nnz += 1;
+                    if raw == 1 { Ternary::Plus } else { Ternary::Minus }
+                };
+                inputs[i].push(x);
+            }
+        }
+
+        // t-major / lane-minor: the exact emission order of the span
+        // drivers, so index loops are the honest spelling here.
+        let mut expect = Vec::with_capacity(lanes * l);
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..l {
+            for i in 0..lanes {
+                expect.push(ms[i].next(inputs[i][t], &mut ref_rngs[i]));
+            }
+        }
+        let mut got = Vec::with_capacity(lanes * l);
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..l {
+            let sums: Vec<Ternary> = (0..lanes).map(|i| inputs[i][t]).collect();
+            spans.fill_span(&sums, &mut rngs, |s| got.push(s));
+        }
+        prop_assert_eq!(got, expect);
+        for (i, (rng, ref_rng)) in rngs.iter_mut().zip(ref_rngs.iter_mut()).enumerate() {
+            prop_assert_eq!(
+                rng.random::<u64>(), ref_rng.random::<u64>(),
+                "lane {} RNG diverged", i
+            );
+        }
+    }
 }

@@ -23,13 +23,149 @@
 use rtf_core::accumulator::Accumulator;
 use rtf_core::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use rtf_primitives::sign::Sign;
+use std::ops::Range;
 
-/// One period's reports for one shard of users, struct-of-arrays.
+/// The low `n` bits set (`n ≤ 64`).
+#[inline]
+fn low_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// A bit-packed lane of `±1` signs: bit `i` of word `i / 64` is `1` for
+/// `+1`. The protocol payload *is* one bit per report, so this is the
+/// information-theoretically tight in-memory representation — 64 reports
+/// per word, folded with masked popcounts instead of per-row byte adds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SignLane {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SignLane {
+    /// An empty lane.
+    pub fn new() -> Self {
+        SignLane::default()
+    }
+
+    /// An empty lane with capacity for `bits` signs reserved.
+    pub fn with_capacity(bits: usize) -> Self {
+        SignLane {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of signs in the lane.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the lane holds no signs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clears the lane, keeping the word allocation for reuse.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Appends one sign.
+    #[inline]
+    pub fn push(&mut self, sign: Sign) {
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(0);
+        }
+        if sign == Sign::Plus {
+            *self.words.last_mut().expect("word just ensured") |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// The sign at index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Sign {
+        debug_assert!(i < self.len);
+        if (self.words[i / 64] >> (i % 64)) & 1 == 1 {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        }
+    }
+
+    /// Appends `count` signs given as the low bits of `bits`
+    /// (bit `j` = sign `j`, `1` = `+1`).
+    #[inline]
+    fn push_bits(&mut self, bits: u64, count: usize) {
+        debug_assert!(count <= 64);
+        if count == 0 {
+            return;
+        }
+        let bits = bits & low_mask(count);
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(bits);
+        } else {
+            *self.words.last_mut().expect("non-empty at off > 0") |= bits << off;
+            let spill = 64 - off;
+            if count > spill {
+                self.words.push(bits >> spill);
+            }
+        }
+        self.len += count;
+    }
+
+    /// Appends `other[range]` to `self` — a word-at-a-time shifted copy,
+    /// the bulk path [`ReportBatch::extend_packed`] rides on.
+    pub fn extend_from_range(&mut self, other: &SignLane, range: Range<usize>) {
+        assert!(range.start <= range.end && range.end <= other.len);
+        let mut s = range.start;
+        while s < range.end {
+            let bi = s % 64;
+            let take = (64 - bi).min(range.end - s);
+            self.push_bits(other.words[s / 64] >> bi, take);
+            s += take;
+        }
+    }
+
+    /// Counts the `+1` signs in `self[range]` via masked popcounts —
+    /// 64 reports per `count_ones`.
+    pub fn count_plus(&self, range: Range<usize>) -> u64 {
+        assert!(range.start <= range.end && range.end <= self.len);
+        let mut total = 0u64;
+        let mut s = range.start;
+        while s < range.end {
+            let bi = s % 64;
+            let take = (64 - bi).min(range.end - s);
+            let chunk = (self.words[s / 64] >> bi) & low_mask(take);
+            total += u64::from(chunk.count_ones());
+            s += take;
+        }
+        total
+    }
+
+    /// Iterates the signs in lane order.
+    pub fn iter(&self) -> impl Iterator<Item = Sign> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+/// One period's reports for one shard of users, struct-of-arrays with a
+/// bit-packed sign lane ([`SignLane`]): a fold consumes 64 reports per
+/// word op instead of one per byte.
 #[derive(Debug, Clone, Default)]
 pub struct ReportBatch {
     users: Vec<u32>,
     orders: Vec<u8>,
-    signs: Vec<i8>,
+    signs: SignLane,
 }
 
 impl ReportBatch {
@@ -43,7 +179,7 @@ impl ReportBatch {
         ReportBatch {
             users: Vec::with_capacity(rows),
             orders: Vec::with_capacity(rows),
-            signs: Vec::with_capacity(rows),
+            signs: SignLane::with_capacity(rows),
         }
     }
 
@@ -52,7 +188,23 @@ impl ReportBatch {
     pub fn push(&mut self, user: u32, order: u8, sign: Sign) {
         self.users.push(user);
         self.orders.push(order);
-        self.signs.push(sign.value());
+        self.signs.push(sign);
+    }
+
+    /// Bulk-appends one order group's span: `users` get order `order`
+    /// and the signs `lane[range]` — two memcpys and a shifted word copy
+    /// instead of `users.len()` per-row pushes.
+    pub fn extend_packed(
+        &mut self,
+        users: &[u32],
+        order: u8,
+        lane: &SignLane,
+        range: Range<usize>,
+    ) {
+        debug_assert_eq!(users.len(), range.end - range.start, "one sign per user");
+        self.users.extend_from_slice(users);
+        self.orders.resize(self.orders.len() + users.len(), order);
+        self.signs.extend_from_range(lane, range);
     }
 
     /// Number of rows.
@@ -77,50 +229,58 @@ impl ReportBatch {
         self.users
             .iter()
             .zip(&self.orders)
-            .zip(&self.signs)
-            .map(|((&u, &h), &s)| (u, h, Sign::from_i8(s)))
+            .enumerate()
+            .map(|(i, (&u, &h))| (u, h, self.signs.get(i)))
     }
 
     /// Folds every row into a shard accumulator of any storage backend —
     /// the batched replacement for per-report `Server::ingest`.
     ///
-    /// Rows are pre-aggregated into a small per-order scratch (at most
-    /// `1 + log d` orders are ever touched) and handed over as **one
-    /// `record_batch` per touched order**, instead of one `record` per
-    /// row. For integer-valued ±1 rows the result is identical on every
-    /// backend — sums and report counts are exact — while the sparse
-    /// backend pays one binary search per *order* rather than per *row*
-    /// (the ROADMAP "sparse batched folds" item; the before/after timing
-    /// lives in `BENCH_backends.json`). The reference row-by-row path is
-    /// kept as [`fold_into_rows`](Self::fold_into_rows) and asserted
-    /// equivalent by unit + property tests.
+    /// Rows are walked as **runs of equal order** (the batched pipelines
+    /// append whole order groups contiguously, so a batch is a handful of
+    /// runs); each run's `+1` count comes from masked popcounts over the
+    /// packed sign lane — 64 reports per word op — and per-order totals
+    /// are handed over as **one `record_counts` per touched order**. For
+    /// integer-valued ±1 rows the result is identical on every backend —
+    /// sums and report counts are exact — while the sparse backend pays
+    /// one binary search per *order* rather than per *row*. The reference
+    /// row-by-row path is kept as [`fold_into_rows`](Self::fold_into_rows)
+    /// and asserted equivalent by unit + property tests.
     pub fn fold_into<A: Accumulator>(&self, acc: &mut A) {
         // Tiny batches (streaming chunks go down to one row) cost more
         // to pre-aggregate than to record: zeroing the scratch dominates.
         // Both paths are exactly equivalent, so this is timing only.
-        if self.len() < 16 {
+        let n = self.len();
+        if n < 16 {
             self.fold_into_rows(acc);
             return;
         }
         // Scratch indexed by order (u8 ⇒ 256 slots, ~4 KiB on the stack);
         // only touched slots are read or reset, so the cost tracks the
         // touched-order count, not the scratch size.
-        let mut sums = [0i64; 256];
+        let mut plus = [0u64; 256];
         let mut counts = [0u64; 256];
         let mut touched: Vec<u8> = Vec::new();
-        for (&h, &s) in self.orders.iter().zip(&self.signs) {
+        let mut a = 0usize;
+        while a < n {
+            let h = self.orders[a];
+            let mut b = a + 1;
+            while b < n && self.orders[b] == h {
+                b += 1;
+            }
             let i = h as usize;
             if counts[i] == 0 {
                 touched.push(h);
             }
-            sums[i] += i64::from(s);
-            counts[i] += 1;
+            plus[i] += self.signs.count_plus(a..b);
+            counts[i] += (b - a) as u64;
+            a = b;
         }
         // First-touch order: deterministic for a given batch, and the
         // per-order batch totals commute across orders on every backend.
         for &h in &touched {
             let i = h as usize;
-            acc.record_batch(u32::from(h), sums[i] as f64, counts[i]);
+            acc.record_counts(u32::from(h), plus[i], counts[i] - plus[i]);
         }
     }
 
@@ -128,13 +288,16 @@ impl ReportBatch {
     /// for the before/after comparison in `exp_backends` and as the
     /// equivalence oracle for [`fold_into`](Self::fold_into).
     pub fn fold_into_rows<A: Accumulator>(&self, acc: &mut A) {
-        for (&h, &s) in self.orders.iter().zip(&self.signs) {
-            acc.record(u32::from(h), Sign::from_i8(s));
+        for (i, &h) in self.orders.iter().enumerate() {
+            acc.record(u32::from(h), self.signs.get(i));
         }
     }
 
     /// Serializes the batch (one shared row count, then each column) —
     /// used by the ingestion service to persist open-period journals.
+    /// The byte layout predates the packed sign lane and is kept
+    /// unchanged (one `i8` per sign), so existing snapshots stay
+    /// readable.
     pub fn write_state(&self, w: &mut SnapWriter) {
         w.usize(self.len());
         for &u in &self.users {
@@ -143,8 +306,8 @@ impl ReportBatch {
         for &h in &self.orders {
             w.u8(h);
         }
-        for &s in &self.signs {
-            w.i8(s);
+        for s in self.signs.iter() {
+            w.i8(s.value());
         }
     }
 
@@ -164,13 +327,13 @@ impl ReportBatch {
         for _ in 0..rows {
             orders.push(r.u8()?);
         }
-        let mut signs = Vec::with_capacity(rows);
+        let mut signs = SignLane::with_capacity(rows);
         for _ in 0..rows {
             let s = r.i8()?;
             if s != 1 && s != -1 {
                 return Err(SnapshotError::Corrupt("report sign not ±1"));
             }
-            signs.push(s);
+            signs.push(Sign::from_i8(s));
         }
         Ok(ReportBatch {
             users,
@@ -182,7 +345,7 @@ impl ReportBatch {
 
 /// Delivered frames for one period, struct-of-arrays, with emission
 /// provenance for deterministic cross-shard ordering.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FrameBatch {
     /// Emission period of each frame (the mailbox's primary sort key).
     emitted: Vec<u32>,
@@ -198,6 +361,27 @@ pub struct FrameBatch {
     bits: Vec<bool>,
     /// Whether the emitting client is Byzantine (accounting only).
     byzantine: Vec<bool>,
+    /// Whether rows are known ascending by `(emitted, emitter)` —
+    /// maintained on every mutation so [`merge_ordered`] can take the
+    /// zero-copy k-way path instead of materializing and sorting.
+    ///
+    /// [`merge_ordered`]: Self::merge_ordered
+    sorted: bool,
+}
+
+impl Default for FrameBatch {
+    fn default() -> Self {
+        FrameBatch {
+            emitted: Vec::new(),
+            emitter: Vec::new(),
+            users: Vec::new(),
+            periods: Vec::new(),
+            bits: Vec::new(),
+            byzantine: Vec::new(),
+            // An empty batch is vacuously in mailbox order.
+            sorted: true,
+        }
+    }
 }
 
 /// One delivered frame, as yielded by [`FrameBatch::iter`].
@@ -226,12 +410,38 @@ impl FrameBatch {
     /// Appends one frame row.
     #[inline]
     pub fn push(&mut self, frame: Frame) {
+        if self.sorted {
+            if let Some(i) = self.len().checked_sub(1) {
+                if (frame.emitted, frame.emitter) < (self.emitted[i], self.emitter[i]) {
+                    self.sorted = false;
+                }
+            }
+        }
         self.emitted.push(frame.emitted);
         self.emitter.push(frame.emitter);
         self.users.push(frame.user);
         self.periods.push(frame.t);
         self.bits.push(frame.bit);
         self.byzantine.push(frame.byzantine);
+    }
+
+    /// The frame at row `i` (column reads, no intermediate storage).
+    #[inline]
+    pub fn frame(&self, i: usize) -> Frame {
+        Frame {
+            emitted: self.emitted[i],
+            emitter: self.emitter[i],
+            user: self.users[i],
+            t: self.periods[i],
+            bit: self.bits[i],
+            byzantine: self.byzantine[i],
+        }
+    }
+
+    /// Whether rows are known ascending by `(emitted, emitter)` — the
+    /// precondition for the zero-copy merge fast path.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
     }
 
     /// Number of frames.
@@ -248,6 +458,18 @@ impl FrameBatch {
     /// ingestion worker accumulates the batches streamed into its mailbox
     /// over one period.
     pub fn append(&mut self, other: &FrameBatch) {
+        if other.is_empty() {
+            return;
+        }
+        if self.sorted {
+            let boundary_ok = match self.len().checked_sub(1) {
+                Some(i) => {
+                    (other.emitted[0], other.emitter[0]) >= (self.emitted[i], self.emitter[i])
+                }
+                None => true,
+            };
+            self.sorted = other.sorted && boundary_ok;
+        }
         self.reserve(other.len());
         self.emitted.extend_from_slice(&other.emitted);
         self.emitter.extend_from_slice(&other.emitter);
@@ -265,18 +487,12 @@ impl FrameBatch {
         self.periods.clear();
         self.bits.clear();
         self.byzantine.clear();
+        self.sorted = true;
     }
 
     /// Iterates frames in row order.
     pub fn iter(&self) -> impl Iterator<Item = Frame> + '_ {
-        (0..self.len()).map(move |i| Frame {
-            emitted: self.emitted[i],
-            emitter: self.emitter[i],
-            user: self.users[i],
-            t: self.periods[i],
-            bit: self.bits[i],
-            byzantine: self.byzantine[i],
-        })
+        (0..self.len()).map(move |i| self.frame(i))
     }
 
     /// Merges per-shard batches for one delivery period into the exact
@@ -285,22 +501,58 @@ impl FrameBatch {
     /// a client dispatches at most once per period and a retransmitted
     /// copy always lands in a different delivery period — so the order is
     /// total and independent of the shard partition.
+    ///
+    /// When every shard is already in mailbox order (the common case —
+    /// workers append mailbox batches in arrival order, and arrival order
+    /// per shard is the dispatch order), the merge is a zero-copy k-way
+    /// walk over the shard *columns*: each output row is one linear-min
+    /// scan of the shard heads plus a direct column copy. No intermediate
+    /// `Vec<Frame>` is materialized and nothing is sorted. Shards that
+    /// lost the order fall back to an index sort over `(key, shard, row)`
+    /// triples — still never materializing frames before the copy.
     pub fn merge_ordered<'a, I>(shards: I) -> FrameBatch
     where
         I: IntoIterator<Item = &'a FrameBatch>,
     {
-        let mut all: Vec<Frame> = Vec::new();
-        for shard in shards {
-            all.reserve(shard.len());
-            all.extend(shard.iter());
-        }
-        let rows = all.len();
-        all.sort_unstable_by_key(|f| (f.emitted, f.emitter));
+        let shards: Vec<&FrameBatch> = shards.into_iter().collect();
+        let rows: usize = shards.iter().map(|s| s.len()).sum();
         let mut out = FrameBatch::default();
         out.reserve(rows);
-        for f in all {
-            out.push(f);
+        if shards.iter().all(|s| s.sorted) {
+            let mut heads = vec![0usize; shards.len()];
+            for _ in 0..rows {
+                let mut best: Option<(usize, (u32, u32))> = None;
+                for (s, shard) in shards.iter().enumerate() {
+                    let i = heads[s];
+                    if i >= shard.len() {
+                        continue;
+                    }
+                    let key = (shard.emitted[i], shard.emitter[i]);
+                    let better = match best {
+                        Some((_, k)) => key < k,
+                        None => true,
+                    };
+                    if better {
+                        best = Some((s, key));
+                    }
+                }
+                let (s, _) = best.expect("rows remain in some shard head");
+                out.push(shards[s].frame(heads[s]));
+                heads[s] += 1;
+            }
+        } else {
+            let mut idx: Vec<(u32, u32, u32, u32)> = Vec::with_capacity(rows);
+            for (s, shard) in shards.iter().enumerate() {
+                for i in 0..shard.len() {
+                    idx.push((shard.emitted[i], shard.emitter[i], s as u32, i as u32));
+                }
+            }
+            idx.sort_unstable();
+            for (_, _, s, i) in idx {
+                out.push(shards[s as usize].frame(i as usize));
+            }
         }
+        debug_assert!(out.sorted, "merged output must be in mailbox order");
         out
     }
 
@@ -365,6 +617,10 @@ impl FrameBatch {
         };
         let bits = read_bools(r)?;
         let byzantine = read_bools(r)?;
+        // The byte layout predates the sorted flag; recompute it so
+        // restored journals still take the zero-copy merge fast path.
+        let sorted =
+            (1..rows).all(|i| (emitted[i - 1], emitter[i - 1]) <= (emitted[i], emitter[i]));
         Ok(FrameBatch {
             emitted,
             emitter,
@@ -372,6 +628,7 @@ impl FrameBatch {
             periods,
             bits,
             byzantine,
+            sorted,
         })
     }
 }
@@ -507,6 +764,70 @@ mod tests {
         let swapped_keys: Vec<(u32, u32)> =
             swapped.iter().map(|f| (f.emitted, f.emitter)).collect();
         assert_eq!(swapped_keys, expect);
+    }
+
+    #[test]
+    fn sorted_flag_tracks_mailbox_order() {
+        let mut b = FrameBatch::new();
+        assert!(b.is_sorted(), "empty is vacuously sorted");
+        b.push(frame(1, 3));
+        b.push(frame(1, 5));
+        b.push(frame(2, 0));
+        assert!(b.is_sorted());
+        b.push(frame(1, 9)); // earlier emission period: order lost
+        assert!(!b.is_sorted());
+        b.clear();
+        assert!(b.is_sorted(), "clear restores the vacuous order");
+
+        // Append: sorted ⊕ sorted with an ascending boundary stays
+        // sorted; a descending boundary or an unsorted operand does not.
+        let mut lo = FrameBatch::new();
+        lo.push(frame(1, 0));
+        let mut hi = FrameBatch::new();
+        hi.push(frame(2, 0));
+        let mut ab = lo.clone();
+        ab.append(&hi);
+        assert!(ab.is_sorted());
+        let mut ba = hi.clone();
+        ba.append(&lo);
+        assert!(!ba.is_sorted());
+    }
+
+    #[test]
+    fn merge_fast_path_equals_index_sort_fallback() {
+        // The same multiset of frames through both merge paths: shard
+        // batches in mailbox order ride the k-way column walk, scrambled
+        // shards fall back to the index sort — identical output rows.
+        let rows = [
+            frame(1, 4),
+            frame(1, 7),
+            frame(2, 1),
+            frame(2, 6),
+            frame(3, 0),
+            frame(3, 9),
+        ];
+        let mut sorted_a = FrameBatch::new();
+        let mut sorted_b = FrameBatch::new();
+        for (i, f) in rows.iter().enumerate() {
+            if i % 2 == 0 {
+                sorted_a.push(*f);
+            } else {
+                sorted_b.push(*f);
+            }
+        }
+        assert!(sorted_a.is_sorted() && sorted_b.is_sorted());
+        let fast = FrameBatch::merge_ordered(&[sorted_a, sorted_b]);
+        assert!(fast.is_sorted());
+
+        let mut scrambled = FrameBatch::new();
+        for f in rows.iter().rev() {
+            scrambled.push(*f);
+        }
+        assert!(!scrambled.is_sorted());
+        let slow = FrameBatch::merge_ordered(std::iter::once(&scrambled));
+        let fast_rows: Vec<Frame> = fast.iter().collect();
+        let slow_rows: Vec<Frame> = slow.iter().collect();
+        assert_eq!(fast_rows, slow_rows);
     }
 
     #[test]

@@ -62,10 +62,19 @@ use rtf_core::accumulator::{Accumulator, AccumulatorError, AnyAccumulator};
 use rtf_core::server::{Delivery, Server};
 use rtf_core::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use rtf_primitives::sign::Sign;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Default mailbox capacity when `RTF_MAILBOX_CAP` is unset.
-pub const DEFAULT_MAILBOX_CAP: usize = 1024;
+///
+/// Deliberately small: with the live drivers' 4096-row chunks, 32
+/// batches bound the in-flight rows per worker to ~128K — enough to
+/// keep workers busy, small enough that batches are still cache-warm
+/// when folded. A deep mailbox is effectively unbounded buffering: the
+/// producer runs megabytes ahead and every fold streams cold memory.
+pub const DEFAULT_MAILBOX_CAP: usize = 32;
 
 /// Parses a mailbox capacity: `None`/empty means
 /// [`DEFAULT_MAILBOX_CAP`]; `0` clamps to 1 (a mailbox must admit the
@@ -141,13 +150,13 @@ pub struct LiveConfig {
 
 impl LiveConfig {
     /// A config for `workers` workers with the environment's mailbox
-    /// capacity (`RTF_MAILBOX_CAP`), a 256-row chunk, and no injected
+    /// capacity (`RTF_MAILBOX_CAP`), a 4096-row chunk, and no injected
     /// failure.
     pub fn new(workers: usize) -> Self {
         LiveConfig {
             workers: workers.max(1),
             mailbox_cap: mailbox_cap_from_env(),
-            chunk_rows: 256,
+            chunk_rows: 4096,
             kills: Vec::new(),
             restarts: Vec::new(),
         }
@@ -259,12 +268,14 @@ impl LiveConfig {
     }
 }
 
-/// One intake message for a worker mailbox.
+/// One intake message for a worker mailbox. Batches are shared with the
+/// journal through an [`Arc`] — submission hands the same allocation to
+/// both, so the hot path never deep-copies a batch.
 enum WorkerMsg {
     /// Trusted rows: fold into the worker's shard accumulator.
-    Reports(ReportBatch),
+    Reports(Arc<ReportBatch>),
     /// Untrusted frames: buffer for the period-close checked ingestion.
-    Frames(FrameBatch),
+    Frames(Arc<FrameBatch>),
     /// Period-close barrier: ship the shard state back and reset.
     Flush,
 }
@@ -275,11 +286,14 @@ struct ShardFlush {
     frames: FrameBatch,
 }
 
-/// A journalled intake batch for the currently open period.
+/// A journalled intake batch for the currently open period. Entries
+/// share their batch allocation with the in-flight [`WorkerMsg`] (and
+/// with every replay clone) — journalling costs one refcount bump, not
+/// a deep copy.
 #[derive(Clone)]
 enum JournalEntry {
-    Reports(ReportBatch),
-    Frames(FrameBatch),
+    Reports(Arc<ReportBatch>),
+    Frames(Arc<FrameBatch>),
 }
 
 /// One live ingestion worker: mailbox sender, flush receiver, thread.
@@ -336,6 +350,59 @@ fn worker_loop(rx: Receiver<WorkerMsg>, out: Sender<ShardFlush>, template: AnyAc
             }
         }
     }
+}
+
+/// Replays one delivery period's merged frame stream (ascending
+/// `(emitted, emitter)` — see [`FrameBatch::merge_ordered`]) through the
+/// server's checked ingestion path, returning one [`Delivery`] per
+/// frame.
+///
+/// **Duplicate-storm pre-filter:** a stream can only hold more frames
+/// than are due at `t` ([`Server::due_at`]) by repeating `(user,
+/// period)` pairs, so when it does, repeats are resolved from a memo of
+/// this period's verdicts instead of re-walking the roster. Within one
+/// close the server's reject classifications are functions of frozen
+/// state (`current_t` and roster membership never move between closes,
+/// and a rejected frame mutates nothing), with exactly one exception —
+/// a `Duplicate` verdict can later become `Late` once the same user's
+/// current report is accepted — so every verdict is memoised **except**
+/// `Duplicate`, and a repeat of an `Accepted` pair is a `Duplicate` by
+/// the server's own rule (`t == last_accepted`). Memoised repeats still
+/// land in the delivery log via [`Server::note_delivery`]. The outcome
+/// vector and the delivery row are therefore identical to the unfiltered
+/// walk, frame for frame; the scenario proptests assert it under
+/// adversarial storms.
+pub fn replay_frames_checked(server: &mut Server, t: u64, frames: &FrameBatch) -> Vec<Delivery> {
+    let mut outcomes = Vec::with_capacity(frames.len());
+    let storm = frames.len() as u64 > server.due_at(t);
+    let mut seen: HashMap<u64, Delivery> = HashMap::new();
+    for frame in frames.iter() {
+        let bit = if frame.bit { Sign::Plus } else { Sign::Minus };
+        if !storm {
+            outcomes.push(server.ingest_checked(frame.user, u64::from(frame.t), bit));
+            continue;
+        }
+        let key = (u64::from(frame.user) << 32) | u64::from(frame.t);
+        let outcome = match seen.entry(key) {
+            Entry::Occupied(prev) => {
+                let o = match *prev.get() {
+                    Delivery::Accepted => Delivery::Duplicate,
+                    other => other,
+                };
+                server.note_delivery(o);
+                o
+            }
+            Entry::Vacant(slot) => {
+                let o = server.ingest_checked(frame.user, u64::from(frame.t), bit);
+                if o != Delivery::Duplicate {
+                    slot.insert(o);
+                }
+                o
+            }
+        };
+        outcomes.push(outcome);
+    }
+    outcomes
 }
 
 /// Aggregate accounting of one service lifetime.
@@ -444,7 +511,8 @@ impl IngestService {
     pub fn submit_reports(&mut self, worker: usize, batch: ReportBatch) {
         self.stats.batches += 1;
         self.stats.rows += batch.len() as u64;
-        self.journal[worker].push(JournalEntry::Reports(batch.clone()));
+        let batch = Arc::new(batch);
+        self.journal[worker].push(JournalEntry::Reports(Arc::clone(&batch)));
         self.send(worker, WorkerMsg::Reports(batch));
     }
 
@@ -457,7 +525,8 @@ impl IngestService {
     pub fn submit_frames(&mut self, worker: usize, batch: FrameBatch) {
         self.stats.batches += 1;
         self.stats.frames += batch.len() as u64;
-        self.journal[worker].push(JournalEntry::Frames(batch.clone()));
+        let batch = Arc::new(batch);
+        self.journal[worker].push(JournalEntry::Frames(Arc::clone(&batch)));
         self.send(worker, WorkerMsg::Frames(batch));
     }
 
@@ -531,14 +600,11 @@ impl IngestService {
         }
 
         // Untrusted traffic first: reconstruct the sequential mailbox
-        // order across shards and classify every frame.
+        // order across shards and classify every frame (with the
+        // duplicate-storm pre-filter when the stream is oversubscribed).
         let frames = FrameBatch::merge_ordered(shard_frames.iter());
-        let mut outcomes = Vec::with_capacity(frames.len());
         let server = self.server_mut();
-        for frame in frames.iter() {
-            let bit = if frame.bit { Sign::Plus } else { Sign::Minus };
-            outcomes.push(server.ingest_checked(frame.user, u64::from(frame.t), bit));
-        }
+        let outcomes = replay_frames_checked(server, t, &frames);
 
         let estimate = server
             .close_period_with_shards(t, shard_accs.iter())
@@ -682,8 +748,8 @@ impl IngestService {
             let mut entries = Vec::with_capacity(entries_len);
             for _ in 0..entries_len {
                 entries.push(match r.u8()? {
-                    0 => JournalEntry::Reports(ReportBatch::read_state(&mut r)?),
-                    1 => JournalEntry::Frames(FrameBatch::read_state(&mut r)?),
+                    0 => JournalEntry::Reports(Arc::new(ReportBatch::read_state(&mut r)?)),
+                    1 => JournalEntry::Frames(Arc::new(FrameBatch::read_state(&mut r)?)),
                     _ => return Err(SnapshotError::Corrupt("unknown journal entry tag")),
                 });
             }

@@ -48,10 +48,10 @@ pub mod mode;
 pub mod persistent;
 pub mod pool;
 
-pub use batch::{Frame, FrameBatch, ReportBatch};
+pub use batch::{Frame, FrameBatch, ReportBatch, SignLane};
 pub use ingest::{
-    snapshot_dir_from_env, IngestService, IngestStats, LiveConfig, PeriodClose, ServiceRestart,
-    SnapshotFileError, WorkerKill,
+    replay_frames_checked, snapshot_dir_from_env, IngestService, IngestStats, LiveConfig,
+    PeriodClose, ServiceRestart, SnapshotFileError, WorkerKill,
 };
 pub use mode::ExecMode;
 pub use persistent::{shared_pool, PersistentPool};

@@ -36,6 +36,11 @@ pub struct Scenario {
     /// reports and instead emit one arbitrary-but-well-formed `ReportMsg`
     /// every period.
     pub byzantine_frac: f64,
+    /// Per-emitted-report probability that the frame's encoding is
+    /// corrupted in flight (truncated below the fixed-width layout). A
+    /// malformed frame fails `ReportMsg::try_decode` at the server and is
+    /// classified and counted, never a panic.
+    pub malformed_prob: f64,
 }
 
 impl Scenario {
@@ -48,6 +53,7 @@ impl Scenario {
             max_delay: 1,
             duplicate_prob: 0.0,
             byzantine_frac: 0.0,
+            malformed_prob: 0.0,
         }
     }
 
@@ -82,6 +88,12 @@ impl Scenario {
         self
     }
 
+    /// Sets the per-emitted-report frame-corruption probability.
+    pub fn with_malformed(mut self, p: f64) -> Self {
+        self.malformed_prob = p;
+        self
+    }
+
     /// Whether this scenario perturbs nothing (all rates zero).
     pub fn is_honest(&self) -> bool {
         self.drop_prob == 0.0
@@ -89,6 +101,7 @@ impl Scenario {
             && self.straggle_prob == 0.0
             && self.duplicate_prob == 0.0
             && self.byzantine_frac == 0.0
+            && self.malformed_prob == 0.0
     }
 
     /// Validates all rates.
@@ -102,6 +115,7 @@ impl Scenario {
             ("straggle_prob", self.straggle_prob),
             ("duplicate_prob", self.duplicate_prob),
             ("byzantine_frac", self.byzantine_frac),
+            ("malformed_prob", self.malformed_prob),
         ] {
             assert!(
                 (0.0..=1.0).contains(&p) && p.is_finite(),

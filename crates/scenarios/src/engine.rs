@@ -38,7 +38,7 @@ use rtf_core::randomizer::FutureRand;
 use rtf_core::server::{Delivery, PeriodDelivery, Server};
 use rtf_primitives::seeding::SeedSequence;
 use rtf_primitives::sign::Sign;
-use rtf_runtime::{ExecMode, Frame, FrameBatch, WorkerPool};
+use rtf_runtime::{replay_frames_checked, ExecMode, Frame, FrameBatch, WorkerPool};
 use rtf_sim::message::{OrderAnnouncement, ReportMsg, WireStats};
 use rtf_streams::population::Population;
 
@@ -66,6 +66,9 @@ pub struct FaultCounts {
     pub byzantine_accepted: u64,
     /// Messages delayed past the horizon (never delivered).
     pub expired: u64,
+    /// Delivered frames whose encoding was corrupted in flight — they
+    /// fail `ReportMsg::try_decode` and are dropped before ingestion.
+    pub malformed: u64,
 }
 
 impl FaultCounts {
@@ -79,6 +82,7 @@ impl FaultCounts {
         self.byzantine_messages += other.byzantine_messages;
         self.byzantine_accepted += other.byzantine_accepted;
         self.expired += other.expired;
+        self.malformed += other.malformed;
     }
 }
 
@@ -320,7 +324,15 @@ fn run_scenario_sequential(
         // original, late, duplicated, or fabricated — and classifies every
         // frame through the checked ingestion path.
         for inflight in pending[t as usize].drain(..) {
-            let msg = ReportMsg::decode(inflight.frame);
+            // Untrusted bytes: a corrupted frame is classified and
+            // counted here, never a panic, and never reaches the server.
+            let msg = match ReportMsg::try_decode(inflight.frame) {
+                Ok(msg) => msg,
+                Err(_) => {
+                    faults.malformed += 1;
+                    continue;
+                }
+            };
             wire.record_report();
             let bit = if msg.bit { Sign::Plus } else { Sign::Minus };
             let status = server.ingest_checked(msg.user, u64::from(msg.t), bit);
@@ -478,11 +490,10 @@ fn run_scenario_batched(
     let mut byz_accepted_by_period = vec![0u64; d as usize];
     for t in 1..=d {
         let mailbox = FrameBatch::merge_ordered(shards.iter().map(|s| &s.pending[t as usize]));
-        for frame in mailbox.iter() {
-            wire.record_report();
-            let bit = if frame.bit { Sign::Plus } else { Sign::Minus };
-            let status = server.ingest_checked(frame.user, u64::from(frame.t), bit);
-            if frame.byzantine && status == Delivery::Accepted {
+        wire.record_report_batch(mailbox.len() as u64);
+        let outcomes = replay_frames_checked(&mut server, t, &mailbox);
+        for (frame, status) in mailbox.iter().zip(&outcomes) {
+            if frame.byzantine && *status == Delivery::Accepted {
                 faults.byzantine_accepted += 1;
                 byz_accepted_by_period[(t - 1) as usize] += 1;
             }
@@ -546,6 +557,9 @@ struct Routing {
     deliver: Option<u64>,
     /// Delivery period of a retransmitted copy, if any survives.
     duplicate: Option<u64>,
+    /// Whether the frame's encoding was corrupted in flight: every
+    /// delivered copy fails `try_decode` at the server.
+    malformed: bool,
 }
 
 /// Draws one message's fate from the fault stream: dropout, delay,
@@ -562,11 +576,16 @@ fn route(
     faults: &mut FaultCounts,
     d: u64,
 ) -> Routing {
+    // The corruption coin exists only when the scenario asks for it —
+    // `malformed_prob == 0.0` must leave every other scenario's fault
+    // stream untouched, draw for draw.
+    let malformed = scenario.malformed_prob > 0.0 && frng.random_bool(scenario.malformed_prob);
     if frng.random_bool(scenario.drop_prob) {
         faults.dropped += 1;
         return Routing {
             deliver: None,
             duplicate: None,
+            malformed,
         };
     }
     let mut deliver = t;
@@ -595,6 +614,7 @@ fn route(
     Routing {
         deliver: delivered,
         duplicate,
+        malformed,
     }
 }
 
@@ -613,7 +633,15 @@ fn dispatch(
 ) {
     let routing = route(t, frng, scenario, faults, d);
     let frame = if routing.deliver.is_some() || routing.duplicate.is_some() {
-        Some(msg.encode())
+        let full = msg.encode();
+        if routing.malformed {
+            // In-flight corruption: the frame arrives truncated below
+            // the fixed-width layout, so the drain's `try_decode` must
+            // classify it instead of panicking.
+            Some(bytes::Bytes::copy_from_slice(&full.as_slice()[..4]))
+        } else {
+            Some(full)
+        }
     } else {
         None
     };
@@ -647,6 +675,15 @@ pub(crate) fn dispatch_frame(
     d: u64,
 ) {
     let routing = route(t, frng, scenario, faults, d);
+    if routing.malformed {
+        // The sequential engine queues the corrupted bytes and counts
+        // each delivered copy at the drain's failed `try_decode`; the
+        // columnar path never materializes an undecodable row, so it
+        // counts the same delivered copies here and skips them.
+        faults.malformed +=
+            u64::from(routing.deliver.is_some()) + u64::from(routing.duplicate.is_some());
+        return;
+    }
     let frame = Frame {
         emitted: t as u32,
         emitter,
@@ -828,6 +865,31 @@ mod tests {
         // Estimates still exist for every period.
         assert_eq!(out.estimates.len(), 32);
         assert!(out.estimates.iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_and_skipped_in_every_mode() {
+        let (params, pop) = setup(150, 32, 3, 70);
+        let scenario = Scenario::honest()
+            .with_malformed(0.2)
+            .with_duplicates(0.1)
+            .with_byzantine(0.1);
+        let seq = run_scenario_with(&params, &pop, 17, &scenario, ExecMode::Sequential);
+        assert!(seq.faults.malformed > 0, "corruption must fire at 20%");
+        assert!(seq.estimates.iter().all(|e| e.is_finite()));
+        for w in [1usize, 2, 8] {
+            let par = run_scenario_with(&params, &pop, 17, &scenario, ExecMode::Parallel(w));
+            assert_eq!(par.estimates, seq.estimates, "{w} workers");
+            assert_eq!(par.delivery, seq.delivery, "{w} workers");
+            assert_eq!(par.wire, seq.wire, "{w} workers");
+            assert_eq!(par.faults, seq.faults, "{w} workers");
+        }
+        // Total corruption: every frame fails `try_decode`, so nothing
+        // reaches the server and no report is ever accounted delivered.
+        let dead = run_scenario(&params, &pop, 17, &Scenario::honest().with_malformed(1.0));
+        assert!(dead.estimates.iter().all(|&e| e == 0.0));
+        assert_eq!(dead.wire.payload_bits, 0, "no report survives decode");
+        assert!(dead.delivery.iter().all(|r| r.accepted == 0));
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Duplicate-storm value-identity property tests.
+//!
+//! The period-close pre-dedupe filter
+//! (`rtf_runtime::replay_frames_checked`) engages only when a delivery
+//! period's merged mailbox holds more frames than are due — which is
+//! exactly what retransmission storms, straggler pile-ups, and Byzantine
+//! spam produce. The sequential engine never uses the filter, so
+//! sequential ≡ batched ≡ live agreement under a random storm *is* the
+//! proof the filter changes no observable: estimates, every
+//! `PeriodDelivery` row (accepted/duplicate/late/…), wire totals, and
+//! fault counts, for every worker count.
+
+use proptest::prelude::*;
+use rtf_core::params::ProtocolParams;
+use rtf_primitives::seeding::SeedSequence;
+use rtf_runtime::ExecMode;
+use rtf_scenarios::config::Scenario;
+use rtf_scenarios::engine::run_scenario_with;
+use rtf_scenarios::run_scenario_live;
+use rtf_streams::generator::UniformChanges;
+use rtf_streams::population::Population;
+
+/// A deterministic heavy storm that provably oversubscribes periods, so
+/// the pre-dedupe filter is known to engage on the batched/live paths —
+/// and the paths still agree with the unfiltered sequential reference.
+#[test]
+fn heavy_storm_engages_the_filter_and_stays_identical() {
+    let params = ProtocolParams::new(200, 32, 3, 1.0, 0.05).unwrap();
+    let mut rng = SeedSequence::new(77).rng();
+    let pop = Population::generate(&UniformChanges::new(32, 3, 0.8), 200, &mut rng);
+    let scenario = Scenario::honest().with_duplicates(0.9).with_byzantine(0.2);
+    let seq = run_scenario_with(&params, &pop, 177, &scenario, ExecMode::Sequential);
+    let oversubscribed = seq.delivery.iter().any(|r| {
+        r.accepted + r.duplicate + r.late + r.unknown_user + r.invalid_period + r.premature > r.due
+    });
+    assert!(oversubscribed, "the storm must oversubscribe some period");
+    for w in [1usize, 4] {
+        let par = run_scenario_with(&params, &pop, 177, &scenario, ExecMode::Parallel(w));
+        assert_eq!(par.delivery, seq.delivery, "parallel({w})");
+        assert_eq!(par.estimates, seq.estimates, "parallel({w})");
+        assert_eq!(par.faults, seq.faults, "parallel({w})");
+        let live = run_scenario_live(&params, &pop, 177, &scenario, w);
+        assert_eq!(live.delivery, seq.delivery, "live({w})");
+        assert_eq!(live.estimates, seq.estimates, "live({w})");
+        assert_eq!(live.faults, seq.faults, "live({w})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random storm intensity (duplicates, stragglers, Byzantine spam,
+    /// in-flight corruption) over random protocol shapes: the filtered
+    /// batched and streaming paths agree with the unfiltered sequential
+    /// reference on every outcome field.
+    #[test]
+    fn duplicate_storms_are_value_identical_across_paths(
+        n in 60usize..160,
+        log_d in 3u32..=5,
+        k in 1usize..=3,
+        dup in 0.2f64..=0.9,
+        straggle in 0.0f64..=0.4,
+        byz in 0.0f64..=0.25,
+        malformed in 0.0f64..=0.2,
+        seed in 0u64..10_000,
+    ) {
+        let d = 1u64 << log_d;
+        let params = ProtocolParams::new(n, d, k, 1.0, 0.05).unwrap();
+        let mut rng = SeedSequence::new(seed).rng();
+        let pop = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
+        let scenario = Scenario::honest()
+            .with_duplicates(dup)
+            .with_stragglers(straggle, 3)
+            .with_byzantine(byz)
+            .with_malformed(malformed);
+
+        let seq = run_scenario_with(&params, &pop, seed ^ 0xD00F, &scenario, ExecMode::Sequential);
+
+        for w in [1usize, 3, 8] {
+            let par =
+                run_scenario_with(&params, &pop, seed ^ 0xD00F, &scenario, ExecMode::Parallel(w));
+            prop_assert_eq!(&par.estimates, &seq.estimates, "parallel({}) estimates", w);
+            prop_assert_eq!(&par.delivery, &seq.delivery, "parallel({}) delivery", w);
+            prop_assert_eq!(&par.wire, &seq.wire, "parallel({}) wire", w);
+            prop_assert_eq!(&par.faults, &seq.faults, "parallel({}) faults", w);
+        }
+        for w in [1usize, 4] {
+            let live = run_scenario_live(&params, &pop, seed ^ 0xD00F, &scenario, w);
+            prop_assert_eq!(&live.estimates, &seq.estimates, "live({}) estimates", w);
+            prop_assert_eq!(&live.delivery, &seq.delivery, "live({}) delivery", w);
+            prop_assert_eq!(&live.wire, &seq.wire, "live({}) wire", w);
+            prop_assert_eq!(&live.faults, &seq.faults, "live({}) faults", w);
+        }
+    }
+}

@@ -34,11 +34,11 @@ use rtf_core::accumulator::{Accumulator, AccumulatorKind, AnyAccumulator};
 use rtf_core::client::Client;
 use rtf_core::composed::ComposedRandomizer;
 use rtf_core::params::ProtocolParams;
-use rtf_core::randomizer::FutureRand;
+use rtf_core::randomizer::{FutureRand, SpanRandomizers};
 use rtf_core::server::Server;
 use rtf_primitives::seeding::SeedSequence;
-use rtf_primitives::sign::Sign;
-use rtf_runtime::{ExecMode, ReportBatch, WorkerPool};
+use rtf_primitives::sign::{Sign, Ternary};
+use rtf_runtime::{ExecMode, ReportBatch, SignLane, WorkerPool};
 use rtf_streams::population::Population;
 
 /// Result of an event-driven execution: estimates plus exact
@@ -115,15 +115,71 @@ pub(crate) fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer
         .collect()
 }
 
-/// One client's emission state in the batched/streaming pipelines:
-/// span-stepping cursor + state machine, grouped by order.
-pub(crate) struct GroupedSlot<'a> {
-    pub(crate) user: u32,
-    pub(crate) client: Client<FutureRand>,
-    pub(crate) rng: rand::rngs::StdRng,
-    /// Streaming O(1) view of the user's derivative — replaces a
+/// One order group's client state in the batched/streaming pipelines,
+/// struct-of-arrays: parallel lanes of user ids, RNG streams, derivative
+/// cursors, and one shared [`SpanRandomizers`] arena.
+///
+/// The former layout held a `GroupedSlot {client, rng, cursor}` struct
+/// per user — ~150 scattered bytes plus a per-user heap `b̃` vector, a
+/// pointer chase per report. A span emission now walks each column once
+/// ([`emit_span`](Self::emit_span)): partial sums off the cursors, then
+/// one monomorphized randomizer pass filling the packed
+/// [`SignLane`] — bit-identical to per-slot `observe_span` calls.
+pub(crate) struct SpanGroup<'a> {
+    /// User ids in lane order.
+    pub(crate) users: Vec<u32>,
+    /// This group's report signs for the current span, bit-packed —
+    /// valid after [`emit_span`](Self::emit_span), consumed via
+    /// `ReportBatch::extend_packed`.
+    pub(crate) signs: SignLane,
+    rngs: Vec<rand::rngs::StdRng>,
+    /// Streaming O(1) views of each user's derivative — replaces a
     /// per-period binary search on the hottest loop in the repo.
-    pub(crate) cursor: rtf_streams::stream::DerivativeCursor<'a>,
+    cursors: Vec<rtf_streams::stream::DerivativeCursor<'a>>,
+    spans: SpanRandomizers,
+    /// Scratch: per-lane partial sums for the span being emitted.
+    sums: Vec<Ternary>,
+    /// The group's reporting stride `2^h`.
+    stride: u64,
+}
+
+impl SpanGroup<'_> {
+    /// Number of clients in the group.
+    pub(crate) fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the group holds no clients.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Emits the whole group's reports for the span ending at period `t`
+    /// into [`signs`](Self::signs): pass 1 reads each cursor's partial
+    /// sum over the span, pass 2 draws every lane's report bit through
+    /// the shared randomizer arena. Lane `i`'s draw consumes `rngs[i]`
+    /// exactly as `Client::observe_span` would — the bit streams are
+    /// identical (pinned by `span_group_matches_per_slot_clients`).
+    pub(crate) fn emit_span(&mut self, t: u64) {
+        debug_assert_eq!(
+            t,
+            (self.spans.position() as u64 + 1) * self.stride,
+            "span boundary out of lockstep"
+        );
+        self.sums.clear();
+        for cursor in &mut self.cursors {
+            self.sums.push(cursor.sum_to(t));
+        }
+        self.signs.clear();
+        let SpanGroup {
+            signs,
+            rngs,
+            spans,
+            sums,
+            ..
+        } = self;
+        spans.fill_span(sums, rngs, |s| signs.push(s));
+    }
 }
 
 /// Builds one user range's clients grouped by announced order — at
@@ -141,19 +197,30 @@ pub(crate) fn build_order_groups<'a>(
     composed: &[ComposedRandomizer],
     root: &SeedSequence,
     users: std::ops::Range<usize>,
-) -> Vec<Vec<GroupedSlot<'a>>> {
+) -> Vec<SpanGroup<'a>> {
     let orders = params.num_orders() as usize;
-    let mut groups: Vec<Vec<GroupedSlot<'a>>> = (0..orders).map(|_| Vec::new()).collect();
+    let mut groups: Vec<SpanGroup<'a>> = (0..orders)
+        .map(|h| SpanGroup {
+            users: Vec::new(),
+            signs: SignLane::new(),
+            rngs: Vec::new(),
+            cursors: Vec::new(),
+            spans: SpanRandomizers::new(params.sequence_len(h as u32), &composed[h]),
+            sums: Vec::new(),
+            stride: 1u64 << h,
+        })
+        .collect();
     for u in users {
         let mut rng = root.child(u as u64).rng();
         let h = Client::<FutureRand>::sample_order(params, &mut rng);
         let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
-        groups[h as usize].push(GroupedSlot {
-            user: u as u32,
-            client: Client::new(params, h, m),
-            rng,
-            cursor: population.stream(u).derivative().cursor(),
-        });
+        let group = &mut groups[h as usize];
+        group.users.push(u as u32);
+        group.spans.push_lane(&m);
+        group.rngs.push(rng);
+        group
+            .cursors
+            .push(population.stream(u).derivative().cursor());
     }
     groups
 }
@@ -257,7 +324,7 @@ fn run_batched(
             wire.record_announcement();
         }
         let mut groups = build_order_groups(params, population, &composed, &root, shard.range());
-        let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        let group_sizes: Vec<usize> = groups.iter().map(SpanGroup::len).collect();
 
         let mut per_period: Vec<AnyAccumulator> =
             (0..d).map(|_| backend.new_accumulator(orders)).collect();
@@ -268,13 +335,15 @@ fn run_batched(
             batch.clear();
             let max_h = t.trailing_zeros().min(params.log_d());
             for h in 0..=max_h {
-                for slot in groups[h as usize].iter_mut() {
-                    // The whole order-h interval ending at t, one step:
-                    // partial sum off the cursor, one randomizer draw.
-                    let s = slot.cursor.sum_to(t);
-                    let report = slot.client.observe_span(t, s, &mut slot.rng);
-                    batch.push(slot.user, h as u8, report.bit);
+                let group = &mut groups[h as usize];
+                if group.is_empty() {
+                    continue;
                 }
+                // The whole order-h interval ending at t, one columnar
+                // pass: partial sums off the cursors, one randomizer
+                // sweep, then a bulk packed append.
+                group.emit_span(t);
+                batch.extend_packed(&group.users, h as u8, &group.signs, 0..group.len());
             }
             batch.fold_into(&mut per_period[(t - 1) as usize]);
             wire.record_report_batch(batch.len() as u64);

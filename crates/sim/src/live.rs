@@ -92,7 +92,7 @@ pub fn run_event_driven_live_with(
         .collect();
     for groups in &shard_groups {
         for (h, group) in groups.iter().enumerate() {
-            for _ in group {
+            for _ in 0..group.len() {
                 server.register_user(h as u32);
                 wire.record_announcement();
             }
@@ -106,15 +106,31 @@ pub fn run_event_driven_live_with(
     for t in 1..=d {
         let max_h = t.trailing_zeros().min(params.log_d());
         for (w, groups) in shard_groups.iter_mut().enumerate() {
-            let mut batch = ReportBatch::new();
+            let mut batch = ReportBatch::with_capacity(chunk);
             for h in 0..=max_h {
-                for slot in groups[h as usize].iter_mut() {
-                    let s = slot.cursor.sum_to(t);
-                    let report = slot.client.observe_span(t, s, &mut slot.rng);
-                    batch.push(slot.user, h as u8, report.bit);
+                let group = &mut groups[h as usize];
+                if group.is_empty() {
+                    continue;
+                }
+                group.emit_span(t);
+                // Chunk-split bulk appends: fill the in-flight batch to
+                // exactly `chunk` rows before each flush — the same
+                // batch-size pattern the per-row loop produced.
+                let len = group.len();
+                let mut a = 0usize;
+                while a < len {
+                    let take = (chunk - batch.len()).min(len - a);
+                    batch.extend_packed(
+                        &group.users[a..a + take],
+                        h as u8,
+                        &group.signs,
+                        a..a + take,
+                    );
+                    a += take;
                     if batch.len() >= chunk {
                         wire.record_report_batch(batch.len() as u64);
-                        service.submit_reports(w, std::mem::take(&mut batch));
+                        let full = std::mem::replace(&mut batch, ReportBatch::with_capacity(chunk));
+                        service.submit_reports(w, full);
                     }
                 }
             }

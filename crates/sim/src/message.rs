@@ -12,6 +12,37 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
+/// A wire frame that cannot be decoded: the typed, non-panicking verdict
+/// of [`OrderAnnouncement::try_decode`] / [`ReportMsg::try_decode`].
+///
+/// The frame paths that carry untrusted (network/Byzantine) bytes route
+/// through `try_decode` and classify this error — a malformed frame is
+/// counted and skipped, never a panic. The panicking `decode` variants
+/// remain for trusted columnar lanes whose bytes the pipeline itself
+/// produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer holds fewer bytes than the fixed-width layout needs.
+    Truncated {
+        /// Bytes the layout requires.
+        need: usize,
+        /// Bytes the buffer actually held.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { need, got } => {
+                write!(f, "truncated frame: need {need} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// A user's one-time announcement of its sampled order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OrderAnnouncement {
@@ -36,11 +67,24 @@ impl OrderAnnouncement {
     /// Decodes from the compact layout.
     ///
     /// # Panics
-    /// Panics if the buffer is shorter than [`Self::WIRE_BYTES`].
-    pub fn decode(mut buf: impl Buf) -> Self {
+    /// Panics if the buffer is shorter than [`Self::WIRE_BYTES`]. Only
+    /// for trusted lanes; untrusted bytes go through [`Self::try_decode`].
+    pub fn decode(buf: impl Buf) -> Self {
+        Self::try_decode(buf).expect("trusted announcement frame")
+    }
+
+    /// Fallible decode for untrusted bytes: a short buffer is a typed
+    /// [`DecodeError`], never a panic.
+    pub fn try_decode(mut buf: impl Buf) -> Result<Self, DecodeError> {
+        if buf.remaining() < Self::WIRE_BYTES {
+            return Err(DecodeError::Truncated {
+                need: Self::WIRE_BYTES,
+                got: buf.remaining(),
+            });
+        }
         let user = buf.get_u32_le();
         let order = buf.get_u8();
-        OrderAnnouncement { user, order }
+        Ok(OrderAnnouncement { user, order })
     }
 }
 
@@ -74,12 +118,25 @@ impl ReportMsg {
     /// Decodes from the compact layout.
     ///
     /// # Panics
-    /// Panics if the buffer is shorter than [`Self::WIRE_BYTES`].
-    pub fn decode(mut buf: impl Buf) -> Self {
+    /// Panics if the buffer is shorter than [`Self::WIRE_BYTES`]. Only
+    /// for trusted lanes; untrusted bytes go through [`Self::try_decode`].
+    pub fn decode(buf: impl Buf) -> Self {
+        Self::try_decode(buf).expect("trusted report frame")
+    }
+
+    /// Fallible decode for untrusted bytes: a short buffer is a typed
+    /// [`DecodeError`], never a panic.
+    pub fn try_decode(mut buf: impl Buf) -> Result<Self, DecodeError> {
+        if buf.remaining() < Self::WIRE_BYTES {
+            return Err(DecodeError::Truncated {
+                need: Self::WIRE_BYTES,
+                got: buf.remaining(),
+            });
+        }
         let user = buf.get_u32_le();
         let t = buf.get_u32_le();
         let bit = buf.get_u8() != 0;
-        ReportMsg { user, t, bit }
+        Ok(ReportMsg { user, t, bit })
     }
 }
 
@@ -123,8 +180,12 @@ impl WireStats {
         self.payload_bits += other.payload_bits;
     }
 
-    /// Average payload bits per user per period.
+    /// Average payload bits per user per period; `0.0` for an empty
+    /// population or horizon (never NaN).
     pub fn bits_per_user_period(&self, n: usize, d: u64) -> f64 {
+        if n == 0 || d == 0 {
+            return 0.0;
+        }
         self.payload_bits as f64 / (n as f64 * d as f64)
     }
 }
@@ -156,6 +217,56 @@ mod tests {
             assert_eq!(bytes.len(), ReportMsg::WIRE_BYTES);
             assert_eq!(ReportMsg::decode(bytes), r);
         }
+    }
+
+    #[test]
+    fn try_decode_rejects_short_buffers_typed() {
+        // Every strict prefix of a valid encoding is a typed error, not
+        // a panic — the untrusted frame path depends on it.
+        let ann = OrderAnnouncement { user: 7, order: 3 }.encode();
+        for cut in 0..OrderAnnouncement::WIRE_BYTES {
+            let err = OrderAnnouncement::try_decode(&ann.as_slice()[..cut]).unwrap_err();
+            assert_eq!(
+                err,
+                DecodeError::Truncated {
+                    need: OrderAnnouncement::WIRE_BYTES,
+                    got: cut,
+                }
+            );
+        }
+        let rep = ReportMsg {
+            user: 9,
+            t: 4,
+            bit: true,
+        }
+        .encode();
+        for cut in 0..ReportMsg::WIRE_BYTES {
+            let err = ReportMsg::try_decode(&rep.as_slice()[..cut]).unwrap_err();
+            assert_eq!(
+                err,
+                DecodeError::Truncated {
+                    need: ReportMsg::WIRE_BYTES,
+                    got: cut,
+                }
+            );
+            assert!(err.to_string().contains("truncated"));
+        }
+        // Full buffers decode identically through both variants.
+        assert_eq!(
+            ReportMsg::try_decode(rep.clone()).unwrap(),
+            ReportMsg::decode(rep)
+        );
+    }
+
+    #[test]
+    fn bits_per_user_period_is_zero_for_empty_denominators() {
+        let mut s = WireStats::default();
+        s.record_report_batch(10);
+        // n = 0 or d = 0 used to produce NaN; the guard returns 0.0.
+        assert_eq!(s.bits_per_user_period(0, 64), 0.0);
+        assert_eq!(s.bits_per_user_period(100, 0), 0.0);
+        assert_eq!(s.bits_per_user_period(0, 0), 0.0);
+        assert!((s.bits_per_user_period(10, 1) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -13,7 +13,10 @@ gate splits fields by nature:
 * **wall-clock** (`elapsed_s`) is compared **loosely**: a fresh row may
   be up to --wall-factor x slower than its baseline row before the gate
   fires (default 10x — generous across hardware, still catches
-  order-of-magnitude regressions).
+  order-of-magnitude regressions). Rows where BOTH sides sit under
+  --wall-floor seconds are below the clock's useful resolution: their
+  ratio is meaningless (a near-zero baseline maps any fresh value to
+  ~inf), so the ratio is skipped instead of spuriously failing as SLOW.
 
 Rows are matched by identity key (throughput: engine/n/d/mode/workers;
 backends: backend/n/d). Baseline rows without a fresh counterpart are
@@ -22,6 +25,9 @@ the full grid); fresh rows without a baseline are reported as NEW and
 pass (adding coverage is not a regression) — but at least one row must
 match per engine/backend, otherwise the comparison is vacuous and the
 gate fails.
+
+`--self-test` runs the built-in unit checks (including the wall-clock
+floor) on synthetic data and exits; CI runs it before trusting the gate.
 
 Exit status: 0 = pass, 1 = regression (a readable delta table is
 printed either way).
@@ -55,29 +61,16 @@ def fmt_key(key):
     return "/".join(str(k) for k in key)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--kind", choices=sorted(KINDS), required=True)
-    ap.add_argument("--baseline", required=True, help="committed BENCH_*.json")
-    ap.add_argument("--fresh", required=True, help="freshly generated BENCH_*.json")
-    ap.add_argument(
-        "--wall-factor",
-        type=float,
-        default=10.0,
-        help="max allowed fresh/baseline wall-clock ratio (default 10)",
-    )
-    args = ap.parse_args()
-    spec = KINDS[args.kind]
+def compare(baseline, fresh, spec, wall_factor, wall_floor):
+    """Differences fresh["results"] against baseline["results"].
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
-
+    Returns (table, regressions, missing_groups): the printable delta
+    rows, the number of failing comparisons, and the identity groups the
+    comparison never matched (vacuous coverage).
+    """
     base_rows = {row_key(r, spec["key"]): r for r in baseline["results"]}
     fresh_rows = {row_key(r, spec["key"]): r for r in fresh["results"]}
 
-    header = ("row", "field", "baseline", "fresh", "delta", "status")
     table = []
     regressions = 0
     matched_groups = set()
@@ -98,9 +91,24 @@ def main():
             )
         for field in spec["loose"]:
             b, f_ = brow[field], frow[field]
+            if b < wall_floor and f_ < wall_floor:
+                # Both sides are under the wall-clock floor: the ratio
+                # of two sub-resolution timings is noise (and a
+                # near-zero baseline would map to inf → spurious SLOW).
+                table.append(
+                    (
+                        fmt_key(key),
+                        field,
+                        f"{b:.4f}",
+                        f"{f_:.4f}",
+                        "-",
+                        "ok (sub-floor)",
+                    )
+                )
+                continue
             ratio = f_ / b if b > 0 else float("inf")
-            status = "ok" if ratio <= args.wall_factor else "SLOW"
-            if ratio > args.wall_factor:
+            status = "ok" if ratio <= wall_factor else "SLOW"
+            if ratio > wall_factor:
                 regressions += 1
             table.append(
                 (fmt_key(key), field, f"{b:.4f}", f"{f_:.4f}", f"{ratio:.2f}x", status)
@@ -112,13 +120,128 @@ def main():
 
     groups = {r[spec["group"]] for r in baseline["results"]}
     missing_groups = groups - matched_groups
+    return table, regressions, missing_groups
 
-    widths = [max(len(h), *(len(row[i]) for row in table)) for i, h in enumerate(header)]
+
+def print_table(table):
+    header = ("row", "field", "baseline", "fresh", "delta", "status")
+    widths = [
+        max(len(h), *(len(row[i]) for row in table)) if table else len(h)
+        for i, h in enumerate(header)
+    ]
     line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
     print(line)
     print("-" * len(line))
     for row in table:
         print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def self_test():
+    """Unit checks of the gate logic itself on synthetic data."""
+    spec = KINDS["throughput"]
+
+    def rows(*triples):
+        return {
+            "results": [
+                {
+                    "engine": e,
+                    "n": 1,
+                    "d": 1,
+                    "mode": "sequential",
+                    "workers": w,
+                    "reports": r,
+                    "elapsed_s": s,
+                }
+                for (e, w, r, s) in triples
+            ]
+        }
+
+    # 1. Identical data passes.
+    base = rows(("event", 0, 100, 1.0))
+    _, reg, missing = compare(base, base, spec, 10.0, 0.05)
+    assert reg == 0 and not missing, "identical data must pass"
+
+    # 2. An exact-field drift fires.
+    doctored = rows(("event", 0, 101, 1.0))
+    _, reg, _ = compare(base, doctored, spec, 10.0, 0.05)
+    assert reg == 1, "exact mismatch must fire"
+
+    # 3. A >factor wall-clock regression fires.
+    slow = rows(("event", 0, 100, 20.0))
+    _, reg, _ = compare(base, slow, spec, 10.0, 0.05)
+    assert reg == 1, "10x+ slowdown must fire"
+
+    # 4. The wall-clock floor: a near-zero baseline row used to map any
+    #    fresh timing to ratio=inf and fail as SLOW; with both sides
+    #    under the floor the ratio is skipped.
+    tiny_base = rows(("event", 0, 100, 0.0))
+    tiny_fresh = rows(("event", 0, 100, 0.002))
+    table, reg, _ = compare(tiny_base, tiny_fresh, spec, 10.0, 0.05)
+    assert reg == 0, "sub-floor rows must not fail as SLOW"
+    assert any(r[5] == "ok (sub-floor)" for r in table), "floor must be reported"
+    # ... even at ratios far beyond the factor, as long as both sit
+    # under the floor.
+    tiny_fresh = rows(("event", 0, 100, 0.049))
+    _, reg, _ = compare(tiny_base, tiny_fresh, spec, 10.0, 0.05)
+    assert reg == 0, "sub-floor ratio must be skipped regardless of magnitude"
+    # But a fresh timing ABOVE the floor against a near-zero baseline is
+    # a real order-of-magnitude regression and must still fire.
+    grown = rows(("event", 0, 100, 1.0))
+    _, reg, _ = compare(tiny_base, grown, spec, 10.0, 0.05)
+    assert reg == 1, "above-floor fresh vs near-zero baseline must fire"
+
+    # 5. NEW rows pass; a fully unmatched group is vacuous.
+    extra = rows(("event", 0, 100, 1.0), ("event", 4, 50, 0.5))
+    _, reg, missing = compare(base, extra, spec, 10.0, 0.05)
+    assert reg == 0 and not missing, "NEW rows must pass"
+    other = rows(("scenario", 0, 100, 1.0))
+    _, _, missing = compare(base, other, spec, 10.0, 0.05)
+    assert missing == {"event"}, "unmatched group must be reported vacuous"
+
+    print("self-test PASS: 5 gate-logic checks")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--kind", choices=sorted(KINDS))
+    ap.add_argument("--baseline", help="committed BENCH_*.json")
+    ap.add_argument("--fresh", help="freshly generated BENCH_*.json")
+    ap.add_argument(
+        "--wall-factor",
+        type=float,
+        default=10.0,
+        help="max allowed fresh/baseline wall-clock ratio (default 10)",
+    )
+    ap.add_argument(
+        "--wall-floor",
+        type=float,
+        default=0.05,
+        help="seconds under which wall-clock ratios are noise and skipped "
+        "when both sides are below it (default 0.05)",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in gate-logic checks and exit",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not (args.kind and args.baseline and args.fresh):
+        ap.error("--kind, --baseline and --fresh are required (or --self-test)")
+    spec = KINDS[args.kind]
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    table, regressions, missing_groups = compare(
+        baseline, fresh, spec, args.wall_factor, args.wall_floor
+    )
+    print_table(table)
 
     if missing_groups:
         print(
@@ -129,7 +252,7 @@ def main():
     if regressions:
         print(f"\nFAIL: {regressions} regression(s) against {args.baseline}")
         return 1
-    ok = sum(1 for r in table if r[5] == "ok")
+    ok = sum(1 for r in table if r[5].startswith("ok"))
     print(f"\nPASS: {ok} field comparison(s) within tolerance, 0 regressions")
     return 0
 
