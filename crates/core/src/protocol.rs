@@ -16,6 +16,7 @@ use crate::composed::ComposedRandomizer;
 use crate::params::ProtocolParams;
 use crate::randomizer::FutureRand;
 use crate::server::Server;
+use rtf_primitives::fastseed::{self, SeedSchema};
 use rtf_primitives::seeding::SeedSequence;
 use rtf_streams::population::Population;
 
@@ -64,7 +65,18 @@ pub fn run_in_memory(
     population: &Population,
     seed: u64,
 ) -> ProtocolOutcome {
-    run_in_memory_impl(params, population, seed, false).0
+    run_in_memory_impl(params, population, seed, false, SeedSchema::from_env()).0
+}
+
+/// [`run_in_memory`] under an explicit client randomness schema
+/// (instead of `RTF_SEED_SCHEMA`).
+pub fn run_in_memory_schema(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    schema: SeedSchema,
+) -> ProtocolOutcome {
+    run_in_memory_impl(params, population, seed, false, schema).0
 }
 
 /// Like [`run_in_memory`], but additionally retains the full tree of
@@ -75,7 +87,8 @@ pub fn run_in_memory_with_store(
     population: &Population,
     seed: u64,
 ) -> (ProtocolOutcome, crate::queries::EstimateStore) {
-    let (outcome, store) = run_in_memory_impl(params, population, seed, true);
+    let (outcome, store) =
+        run_in_memory_impl(params, population, seed, true, SeedSchema::from_env());
     (outcome, store.expect("store was requested"))
 }
 
@@ -84,6 +97,7 @@ fn run_in_memory_impl(
     population: &Population,
     seed: u64,
     with_store: bool,
+    schema: SeedSchema,
 ) -> (ProtocolOutcome, Option<crate::queries::EstimateStore>) {
     assert_eq!(
         population.n(),
@@ -106,7 +120,11 @@ fn run_in_memory_impl(
         .map(|h| ComposedRandomizer::for_protocol(params.k_for_order(h), params.epsilon()))
         .collect();
 
-    let mut server = Server::for_future_rand(*params);
+    let mut server = Server::for_future_rand_schema(
+        *params,
+        crate::accumulator::AccumulatorKind::from_env(),
+        schema,
+    );
     if with_store {
         server.enable_store();
     }
@@ -117,10 +135,17 @@ fn run_in_memory_impl(
     let mut groups: Vec<Vec<(usize, Client<FutureRand>, rand::rngs::StdRng)>> =
         (0..params.num_orders()).map(|_| Vec::new()).collect();
     for u in 0..params.n() {
-        let mut rng = root.child(u as u64).rng();
+        let node = root.child(u as u64);
+        let mut rng = node.rng();
         let h = Client::<FutureRand>::sample_order(params, &mut rng);
         server.register_user(h);
-        let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+        let m = FutureRand::init_with_schema(
+            params.sequence_len(h),
+            &composed[h as usize],
+            &mut rng,
+            schema,
+            fastseed::client_key(&node),
+        );
         let client = Client::new(params, h, m);
         groups[h as usize].push((u, client, rng));
     }

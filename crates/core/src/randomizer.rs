@@ -9,6 +9,7 @@
 
 use crate::composed::ComposedRandomizer;
 use rand::{Rng, RngCore};
+use rtf_primitives::fastseed::{self, SeedSchema};
 use rtf_primitives::rr::BasicRandomizer;
 use rtf_primitives::sign::{Sign, Ternary};
 
@@ -79,6 +80,15 @@ pub trait LocalRandomizer {
 /// * a uniform `±1` when `v_j = 0` (Property III), and
 /// * `v_j · b̃_nnz` when `v_j ≠ 0`, consuming the next pre-computed bit
 ///   (Section 5.3).
+///
+/// The *source* of the zero-report uniform signs is the versioned
+/// [`SeedSchema`] axis: under [`SeedSchema::V1Std`] they come from the
+/// caller's `StdRng` stream (bit-compatible with every committed
+/// baseline), under [`SeedSchema::V2Fast`] from the stateless counter
+/// generator [`fastseed::word`] keyed by the client's private fast key —
+/// a pure function of `(key, position)`, so every execution mode derives
+/// the identical stream without consuming the `StdRng` at all. Order
+/// sampling and the `b̃` initialization draws are schema-invariant.
 #[derive(Debug, Clone)]
 pub struct FutureRand {
     l: usize,
@@ -87,12 +97,31 @@ pub struct FutureRand {
     nnz: usize,
     position: usize,
     c_gap: f64,
+    schema: SeedSchema,
+    fast_key: u64,
 }
 
 impl FutureRand {
     /// `M.init(L, k, ε)`: draws the pre-computed vector from a shared
-    /// [`ComposedRandomizer`] (one per `(k, ε̃)`, reused across users).
+    /// [`ComposedRandomizer`] (one per `(k, ε̃)`, reused across users),
+    /// under the frozen v1 schema.
     pub fn init<R: Rng + ?Sized>(l: usize, composed: &ComposedRandomizer, rng: &mut R) -> Self {
+        Self::init_with_schema(l, composed, rng, SeedSchema::V1Std, 0)
+    }
+
+    /// [`init`](Self::init) under an explicit seed schema. `fast_key` is
+    /// the client's private counter-generator key
+    /// ([`fastseed::client_key`] of the user's seed node); it is ignored
+    /// under [`SeedSchema::V1Std`]. The `b̃` draws consume `rng`
+    /// identically for every schema, so group composition and the
+    /// correlated non-zero noise never depend on the schema.
+    pub fn init_with_schema<R: Rng + ?Sized>(
+        l: usize,
+        composed: &ComposedRandomizer,
+        rng: &mut R,
+        schema: SeedSchema,
+        fast_key: u64,
+    ) -> Self {
         FutureRand {
             l,
             k: composed.k(),
@@ -100,6 +129,8 @@ impl FutureRand {
             nnz: 0,
             position: 0,
             c_gap: composed.c_gap(),
+            schema,
+            fast_key,
         }
     }
 
@@ -130,6 +161,19 @@ impl FutureRand {
     pub fn b_tilde(&self) -> &[Sign] {
         &self.b_tilde
     }
+
+    /// The seed schema this randomizer draws its zero-report signs under.
+    #[inline]
+    pub fn schema(&self) -> SeedSchema {
+        self.schema
+    }
+
+    /// The client's private counter-generator key (meaningful only under
+    /// [`SeedSchema::V2Fast`]).
+    #[inline]
+    pub fn fast_key(&self) -> u64 {
+        self.fast_key
+    }
 }
 
 impl LocalRandomizer for FutureRand {
@@ -151,7 +195,15 @@ impl LocalRandomizer for FutureRand {
         }
         self.position += 1;
         match v {
-            Ternary::Zero => Ok(Sign::uniform(rng)),
+            Ternary::Zero => Ok(match self.schema {
+                SeedSchema::V1Std => Sign::uniform(rng),
+                // Positional and rng-free: bit (position − 1) of the
+                // client's private counter stream, so sequential,
+                // batched, and live consumption cannot drift.
+                SeedSchema::V2Fast => {
+                    Sign::from_bool(fastseed::sign_at(self.fast_key, (self.position - 1) as u64))
+                }
+            }),
             nonzero => {
                 if self.nnz >= self.k {
                     // Roll back the position so the state stays consistent
@@ -194,12 +246,29 @@ pub struct SpanRandomizers {
     nnz: Vec<u32>,
     /// Packed `b̃` arena: lane `i` owns `b_tilde[i*k .. (i+1)*k]`.
     b_tilde: Vec<Sign>,
+    /// The zero-report sign source shared by every lane.
+    schema: SeedSchema,
+    /// Per-lane counter-generator keys (v2 schema only; empty bytes of
+    /// zero under v1 would also work, but the keys are pushed either way
+    /// to keep `push_lane` branch-free).
+    keys: Vec<u64>,
+    /// Per-lane cached counter words for `cached_block` (v2 fast path):
+    /// one [`fastseed::word`] covers 64 consecutive spans per lane.
+    words: Vec<u64>,
+    /// Which 64-span counter block `words` currently holds, if any.
+    cached_block: Option<u64>,
 }
 
 impl SpanRandomizers {
     /// An empty group of length-`l` lanes drawing from `composed`'s
-    /// `(k, ε̃)` parameterisation.
+    /// `(k, ε̃)` parameterisation, under the frozen v1 schema.
     pub fn new(l: usize, composed: &ComposedRandomizer) -> Self {
+        Self::new_with_schema(l, composed, SeedSchema::V1Std)
+    }
+
+    /// [`new`](Self::new) under an explicit seed schema; every adopted
+    /// lane must have been initialised under the same schema.
+    pub fn new_with_schema(l: usize, composed: &ComposedRandomizer, schema: SeedSchema) -> Self {
         SpanRandomizers {
             l,
             k: composed.k(),
@@ -207,23 +276,37 @@ impl SpanRandomizers {
             position: 0,
             nnz: Vec::new(),
             b_tilde: Vec::new(),
+            schema,
+            keys: Vec::new(),
+            words: Vec::new(),
+            cached_block: None,
         }
     }
 
     /// Adopts one client's freshly initialised [`FutureRand`] as a lane,
-    /// copying its `b̃` into the arena. The randomizer must be unused
-    /// (position 0) and shaped like the group.
+    /// copying its `b̃` into the arena and its fast key into the key
+    /// table. The randomizer must be unused (position 0), shaped like
+    /// the group, and initialised under the group's schema.
     ///
     /// # Panics
-    /// Panics on a length/sparsity mismatch or a non-fresh randomizer.
+    /// Panics on a length/sparsity/schema mismatch or a non-fresh
+    /// randomizer.
     pub fn push_lane(&mut self, m: &FutureRand) {
         assert_eq!(m.sequence_len(), self.l, "lane length mismatch");
         assert_eq!(m.k(), self.k, "lane sparsity mismatch");
         assert_eq!(m.position(), 0, "lane must be unused");
         assert_eq!(m.nnz(), 0, "lane must be unused");
         assert_eq!(m.b_tilde().len(), self.k, "b̃ must hold k entries");
+        assert_eq!(m.schema(), self.schema, "lane schema mismatch");
         self.nnz.push(0);
         self.b_tilde.extend_from_slice(m.b_tilde());
+        self.keys.push(m.fast_key());
+        self.cached_block = None;
+    }
+
+    /// The zero-report sign source shared by every lane.
+    pub fn schema(&self) -> SeedSchema {
+        self.schema
     }
 
     /// Number of lanes (clients) in the group.
@@ -255,7 +338,9 @@ impl SpanRandomizers {
     /// `sums[i]` is lane `i`'s partial sum over the span, `rngs[i]` its
     /// own RNG stream, and `out` receives the report signs in lane
     /// order. Each lane's draw is bit-identical to what
-    /// `FutureRand::next(sums[i], rng)` would produce.
+    /// `FutureRand::next(sums[i], rng)` would produce under the group's
+    /// schema — under v1 one uniform RNG draw per zero sum, under v2 the
+    /// counter bit at the shared position (the RNGs are not consumed).
     ///
     /// # Panics
     /// Panics on exhausted lanes (`position ≥ L`), a lane exceeding its
@@ -275,10 +360,15 @@ impl SpanRandomizers {
             );
         }
         self.position += 1;
+        let j = (self.position - 1) as u64;
         let k = self.k;
+        let schema = self.schema;
         for (i, (&s, rng)) in sums.iter().zip(rngs.iter_mut()).enumerate() {
             let bit = match s {
-                Ternary::Zero => Sign::uniform(rng),
+                Ternary::Zero => match schema {
+                    SeedSchema::V1Std => Sign::uniform(rng),
+                    SeedSchema::V2Fast => Sign::from_bool(fastseed::sign_at(self.keys[i], j)),
+                },
                 nonzero => {
                     let n = self.nnz[i] as usize;
                     if n >= k {
@@ -292,6 +382,81 @@ impl SpanRandomizers {
                 }
             };
             out(bit);
+        }
+    }
+
+    /// The v2 fast path: draws the group's whole ±1 report vector for
+    /// the next span directly as packed sign words — `out` receives
+    /// `(bits, count)` chunks of up to 64 lanes, bit `i` of `bits` being
+    /// lane `chunk_start + i`'s sign (`1` ⇒ `+1`, the packed-lane
+    /// convention), ready for a `SignLane` bulk append. No per-report
+    /// `Sign` materialization, no RNG draws: zero sums read a cached
+    /// [`fastseed::word`] per lane (refreshed once every 64 spans), and
+    /// non-zero sums overlay their `b̃` bit. Value-identical to
+    /// [`fill_span`](Self::fill_span) on a v2 group, lane for lane.
+    ///
+    /// # Panics
+    /// Panics under a non-fast schema, and on the same protocol
+    /// violations as [`fill_span`](Self::fill_span).
+    pub fn fill_span_words<F>(&mut self, sums: &[Ternary], mut out: F)
+    where
+        F: FnMut(u64, usize),
+    {
+        assert_eq!(sums.len(), self.nnz.len(), "one sum per lane");
+        assert!(
+            self.schema.is_fast(),
+            "fill_span_words requires the fast (v2) seed schema"
+        );
+        if self.position >= self.l {
+            panic!(
+                "randomizer protocol violation: {}",
+                RandomizerError::SequenceExhausted { l: self.l }
+            );
+        }
+        self.position += 1;
+        let j = (self.position - 1) as u64;
+        let (block, bit) = (j >> 6, (j & 63) as u32);
+        if self.cached_block != Some(block) {
+            self.words.clear();
+            self.words.extend(
+                self.keys
+                    .iter()
+                    .map(|&key| fastseed::word(key, fastseed::SIGN_LANE, block)),
+            );
+            self.cached_block = Some(block);
+        }
+        let k = self.k;
+        let lanes = sums.len();
+        let mut start = 0usize;
+        while start < lanes {
+            let chunk = (lanes - start).min(64);
+            let mut w = 0u64;
+            // Slice-zip iteration so the compiler drops the per-lane
+            // bounds checks on the sum/word columns in this hottest of
+            // loops; `nnz`/`b_tilde` are only touched on the (sparse)
+            // non-zero lanes.
+            let sums_chunk = &sums[start..start + chunk];
+            let words_chunk = &self.words[start..start + chunk];
+            for (off, (&s, &word)) in sums_chunk.iter().zip(words_chunk).enumerate() {
+                let plus = match s {
+                    Ternary::Zero => (word >> bit) & 1 == 1,
+                    nonzero => {
+                        let i = start + off;
+                        let n = self.nnz[i] as usize;
+                        if n >= k {
+                            panic!(
+                                "randomizer protocol violation: {}",
+                                RandomizerError::TooManyNonZeros { k }
+                            );
+                        }
+                        self.nnz[i] = (n + 1) as u32;
+                        nonzero.mul_sign(self.b_tilde[i * k + n]) == Sign::Plus
+                    }
+                };
+                w |= u64::from(plus) << off;
+            }
+            out(w, chunk);
+            start += chunk;
         }
     }
 }
@@ -593,6 +758,162 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<String>().unwrap();
         assert!(msg.contains("more than k"), "{msg}");
+    }
+
+    #[test]
+    fn fast_schema_init_consumes_rng_exactly_like_v1() {
+        // Group composition and b̃ must be schema-invariant: the same
+        // rng yields the same b̃ and the same residual stream.
+        let composed = ComposedRandomizer::for_protocol(3, 1.0);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let v1 = FutureRand::init(6, &composed, &mut rng_a);
+        let v2 = FutureRand::init_with_schema(6, &composed, &mut rng_b, SeedSchema::V2Fast, 0xBEEF);
+        assert_eq!(v1.b_tilde(), v2.b_tilde());
+        assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>());
+        assert_eq!(v2.schema(), SeedSchema::V2Fast);
+        assert_eq!(v2.fast_key(), 0xBEEF);
+    }
+
+    #[test]
+    fn fast_schema_zeros_come_from_the_counter_stream_without_rng_draws() {
+        let composed = ComposedRandomizer::for_protocol(2, 1.0);
+        let mut init_rng = StdRng::seed_from_u64(22);
+        let key = 0x1234_5678_9ABC_DEF0u64;
+        let mut m =
+            FutureRand::init_with_schema(8, &composed, &mut init_rng, SeedSchema::V2Fast, key);
+        let b_tilde = m.b_tilde().to_vec();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut untouched = rng.clone();
+        let inputs = [
+            Ternary::Zero,
+            Ternary::Plus,
+            Ternary::Zero,
+            Ternary::Minus,
+            Ternary::Zero,
+        ];
+        let mut nz = 0usize;
+        for (j, &v) in inputs.iter().enumerate() {
+            let out = m.next(v, &mut rng);
+            if v.is_nonzero() {
+                assert_eq!(out, v.mul_sign(b_tilde[nz]));
+                nz += 1;
+            } else {
+                let expect = Sign::from_bool(rtf_primitives::fastseed::sign_at(key, j as u64));
+                assert_eq!(out, expect, "zero at position {j}");
+            }
+        }
+        // The v2 schema never touches the per-report RNG.
+        assert_eq!(rng.random::<u64>(), untouched.random::<u64>());
+    }
+
+    #[test]
+    fn fast_span_words_match_scalar_and_per_report_draws() {
+        // Three representations of the same v2 group — per-report
+        // FutureRand, scalar fill_span, packed fill_span_words — must
+        // agree bit for bit, across counter-block boundaries (l > 64)
+        // and for > 64 lanes (multi-word output chunks).
+        let composed = ComposedRandomizer::for_protocol(3, 1.0);
+        let l = 130; // spans two 64-counter blocks
+        let lanes = 70; // two output words per span
+        let root = rtf_primitives::seeding::SeedSequence::new(31);
+        let mut init_rng = StdRng::seed_from_u64(30);
+        let mut per_report: Vec<FutureRand> = (0..lanes)
+            .map(|i| {
+                let key = rtf_primitives::fastseed::client_key(&root.child(i as u64));
+                FutureRand::init_with_schema(l, &composed, &mut init_rng, SeedSchema::V2Fast, key)
+            })
+            .collect();
+        let mut group_a = SpanRandomizers::new_with_schema(l, &composed, SeedSchema::V2Fast);
+        let mut group_b = group_a.clone();
+        for m in &per_report {
+            group_a.push_lane(m);
+            group_b.push_lane(m);
+        }
+
+        let mut rngs: Vec<StdRng> = (0..lanes)
+            .map(|i| StdRng::seed_from_u64(200 + i as u64))
+            .collect();
+        let mut scalar_rng = StdRng::seed_from_u64(999);
+        // At most two non-zeros per lane (k = 3), spread across both
+        // counter blocks.
+        let pattern = |lane: usize, t: usize| {
+            if t == lane % l {
+                Ternary::Plus
+            } else if t == (lane * 7 + 91) % l {
+                Ternary::Minus
+            } else {
+                Ternary::Zero
+            }
+        };
+        for t in 0..l {
+            let sums: Vec<Ternary> = (0..lanes).map(|i| pattern(i, t)).collect();
+            let mut scalar = Vec::new();
+            group_a.fill_span(&sums, &mut rngs, |s| scalar.push(s));
+            let mut packed: Vec<Sign> = Vec::new();
+            group_b.fill_span_words(&sums, |w, count| {
+                for off in 0..count {
+                    packed.push(Sign::from_bool((w >> off) & 1 == 1));
+                }
+            });
+            let direct: Vec<Sign> = sums
+                .iter()
+                .zip(per_report.iter_mut())
+                .map(|(&s, m)| m.next(s, &mut scalar_rng))
+                .collect();
+            assert_eq!(scalar, direct, "span {t}: fill_span vs per-report");
+            assert_eq!(packed, direct, "span {t}: fill_span_words vs per-report");
+        }
+        assert_eq!(group_a.position(), l);
+        assert_eq!(group_b.position(), l);
+        // No RNG was consumed anywhere on the v2 path.
+        let mut fresh = StdRng::seed_from_u64(999);
+        assert_eq!(scalar_rng.random::<u64>(), fresh.random::<u64>());
+    }
+
+    #[test]
+    fn fast_span_words_reject_protocol_violations_and_v1_groups() {
+        let composed = ComposedRandomizer::for_protocol(1, 1.0);
+        let mut init_rng = StdRng::seed_from_u64(33);
+        let mut group = SpanRandomizers::new_with_schema(1, &composed, SeedSchema::V2Fast);
+        group.push_lane(&FutureRand::init_with_schema(
+            1,
+            &composed,
+            &mut init_rng,
+            SeedSchema::V2Fast,
+            5,
+        ));
+        group.fill_span_words(&[Ternary::Zero], |_, _| {});
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            group.fill_span_words(&[Ternary::Zero], |_, _| {});
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("longer than declared L"), "{msg}");
+
+        let mut v1_group = SpanRandomizers::new(4, &composed);
+        let mut init_rng = StdRng::seed_from_u64(34);
+        v1_group.push_lane(&FutureRand::init(4, &composed, &mut init_rng));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            v1_group.fill_span_words(&[Ternary::Zero], |_, _| {});
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().unwrap();
+        assert!(msg.contains("fast (v2) seed schema"), "{msg}");
+    }
+
+    #[test]
+    fn push_lane_rejects_schema_mismatch() {
+        let composed = ComposedRandomizer::for_protocol(1, 1.0);
+        let mut init_rng = StdRng::seed_from_u64(35);
+        let mut group = SpanRandomizers::new_with_schema(4, &composed, SeedSchema::V2Fast);
+        let v1_lane = FutureRand::init(4, &composed, &mut init_rng);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            group.push_lane(&v1_lane);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("lane schema mismatch"), "{msg}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::queries::EstimateStore;
 use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use rtf_dyadic::frontier::Frontier;
 use rtf_dyadic::interval::DyadicInterval;
+use rtf_primitives::fastseed::SeedSchema;
 use rtf_primitives::sign::Sign;
 use std::collections::HashMap;
 
@@ -122,6 +123,11 @@ pub struct Server {
     current_delivery: PeriodDelivery,
     /// One finalised accounting row per closed period (checked path only).
     delivery_log: Vec<PeriodDelivery>,
+    /// The client randomness schema of the run this server belongs to —
+    /// provenance only (server math is schema-independent), stamped into
+    /// snapshot headers so state never silently resumes under another
+    /// schema.
+    seed_schema: SeedSchema,
 }
 
 impl Server {
@@ -171,6 +177,7 @@ impl Server {
             roster: HashMap::new(),
             current_delivery: PeriodDelivery::default(),
             delivery_log: Vec::new(),
+            seed_schema: SeedSchema::from_env(),
         }
     }
 
@@ -208,6 +215,25 @@ impl Server {
             })
             .collect();
         Self::with_backend(params, &gaps, backend)
+    }
+
+    /// [`for_future_rand_with`](Self::for_future_rand_with) under an
+    /// explicit client randomness schema (instead of `RTF_SEED_SCHEMA`).
+    /// Server math is schema-independent; the schema is stamped into
+    /// snapshot headers so state never resumes under another one.
+    pub fn for_future_rand_schema(
+        params: ProtocolParams,
+        backend: AccumulatorKind,
+        schema: SeedSchema,
+    ) -> Self {
+        let mut server = Self::for_future_rand_with(params, backend);
+        server.seed_schema = schema;
+        server
+    }
+
+    /// The client randomness schema of the run this server belongs to.
+    pub fn seed_schema(&self) -> SeedSchema {
+        self.seed_schema
     }
 
     /// Registers a user's announced order (Algorithm 2, line 1).
@@ -521,7 +547,17 @@ impl Server {
     /// sizes, accumulator lanes, frontier, estimates, retained store,
     /// roster (sorted by wire id so snapshots of equal state are
     /// byte-identical), and delivery accounting — into `w`.
+    ///
+    /// # Panics
+    /// Panics if the writer's header schema differs from this server's —
+    /// a mis-stamped header would let state resume under the wrong
+    /// client randomness schema.
     pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        assert_eq!(
+            w.schema(),
+            self.seed_schema,
+            "snapshot header schema must match the server's seed schema"
+        );
         w.usize(self.params.n());
         w.u64(self.params.d());
         w.usize(self.params.k());
@@ -676,6 +712,10 @@ impl Server {
             roster,
             current_delivery,
             delivery_log,
+            // The header is authoritative: a restored server belongs to
+            // the schema its snapshot was taken under (v1 bytes:
+            // implicitly V1Std).
+            seed_schema: r.schema(),
         })
     }
 }

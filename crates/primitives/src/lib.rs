@@ -19,7 +19,10 @@
 //! * [`subset`] — uniform fixed-size subset sampling (Floyd's algorithm);
 //! * [`laplace`] — Laplace noise for the central-model baseline;
 //! * [`seeding`] — deterministic hierarchical seeding so that every
-//!   experiment in the workspace is exactly reproducible.
+//!   experiment in the workspace is exactly reproducible;
+//! * [`fastseed`] — the versioned client randomness schema axis
+//!   ([`SeedSchema`]) and the counter-based word generator behind seed
+//!   schema v2 ("fast seeds").
 //!
 //! # Design notes
 //!
@@ -33,6 +36,7 @@
 
 pub mod alias;
 pub mod binomial;
+pub mod fastseed;
 pub mod laplace;
 pub mod logspace;
 pub mod rr;
@@ -42,6 +46,7 @@ pub mod subset;
 
 pub use alias::AliasTable;
 pub use binomial::{sample_binomial_half, BinomialSampler};
+pub use fastseed::SeedSchema;
 pub use laplace::Laplace;
 pub use logspace::{ln_binomial, ln_factorial, LogSumExp};
 pub use rr::BasicRandomizer;

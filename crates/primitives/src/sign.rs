@@ -60,6 +60,17 @@ impl Sign {
         }
     }
 
+    /// Builds a sign from a bit: `true` ⇒ `Plus`, `false` ⇒ `Minus` —
+    /// the packed sign-lane bit convention.
+    #[inline]
+    pub fn from_bool(plus: bool) -> Sign {
+        if plus {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        }
+    }
+
     /// A uniformly random sign — the behaviour mandated for zero
     /// coordinates by the paper's Property III.
     #[inline]

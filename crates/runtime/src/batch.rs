@@ -103,8 +103,14 @@ impl SignLane {
 
     /// Appends `count` signs given as the low bits of `bits`
     /// (bit `j` = sign `j`, `1` = `+1`).
+    ///
+    /// Public so word-at-a-time producers (the fast-seed span path in the
+    /// engines) can append packed randomness without materialising `Sign`s.
+    ///
+    /// # Panics
+    /// Panics (debug) if `count > 64`.
     #[inline]
-    fn push_bits(&mut self, bits: u64, count: usize) {
+    pub fn push_bits(&mut self, bits: u64, count: usize) {
         debug_assert!(count <= 64);
         if count == 0 {
             return;

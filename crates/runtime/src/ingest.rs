@@ -61,6 +61,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rtf_core::accumulator::{Accumulator, AccumulatorError, AnyAccumulator};
 use rtf_core::server::{Delivery, Server};
 use rtf_core::snapshot::{SnapReader, SnapWriter, SnapshotError};
+use rtf_primitives::fastseed::SeedSchema;
 use rtf_primitives::sign::Sign;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -487,6 +488,10 @@ impl IngestService {
         self.server.as_mut().expect("service not finished")
     }
 
+    fn server_ref(&self) -> &Server {
+        self.server.as_ref().expect("service not finished")
+    }
+
     /// Number of ingestion workers.
     pub fn workers(&self) -> usize {
         self.workers.len()
@@ -665,7 +670,10 @@ impl IngestService {
     /// states produce equal bytes, and a restored service re-snapshots
     /// to exactly the bytes it was restored from.
     pub fn snapshot(&self) -> Vec<u8> {
-        let mut w = SnapWriter::new();
+        // The header records the seed schema the clients that fed this
+        // server were running — resuming under a different schema is a
+        // typed error, never a silent divergence.
+        let mut w = SnapWriter::for_schema(self.server_ref().seed_schema());
         w.usize(self.workers.len());
         w.usize(self.mailbox_cap);
         let s = &self.stats;
@@ -834,9 +842,14 @@ impl IngestService {
     ///
     /// # Errors
     /// [`SnapshotFileError::Io`] if the file cannot be read,
-    /// [`SnapshotFileError::Snapshot`] if its bytes are rejected.
+    /// [`SnapshotFileError::Snapshot`] if its bytes are rejected — in
+    /// particular [`SnapshotError::SchemaMismatch`] when the snapshot was
+    /// taken under a different seed schema than the one this process is
+    /// configured to run (`RTF_SEED_SCHEMA`): a v1 snapshot must never
+    /// silently resume under v2, or vice versa.
     pub fn restore_from_file(path: &Path) -> Result<IngestService, SnapshotFileError> {
         let bytes = std::fs::read(path)?;
+        SnapReader::new(&bytes)?.expect_schema(SeedSchema::from_env())?;
         Ok(IngestService::restore(&bytes)?)
     }
 
@@ -1361,6 +1374,42 @@ mod tests {
         // The pristine bytes still restore.
         let restored = IngestService::restore(&bytes).unwrap();
         assert_eq!(restored.workers(), 2);
+    }
+
+    #[test]
+    fn service_snapshots_record_the_seed_schema_and_guard_cross_schema_resume() {
+        // The snapshot header carries the schema of the server inside the
+        // service; a resume path expecting the other schema gets a typed
+        // SchemaMismatch, never a silent continuation.
+        for (schema, other) in [
+            (SeedSchema::V1Std, SeedSchema::V2Fast),
+            (SeedSchema::V2Fast, SeedSchema::V1Std),
+        ] {
+            let mut server =
+                Server::for_future_rand_schema(params(), AccumulatorKind::Dense, schema);
+            for _ in 0..4 {
+                server.register_user(0);
+            }
+            let mut svc = IngestService::new(server, 2, 2);
+            svc.submit_reports(0, batch_for(1, 0..4));
+            let bytes = svc.snapshot();
+
+            let r = SnapReader::new(&bytes).unwrap();
+            assert_eq!(r.schema(), schema);
+            assert_eq!(
+                r.expect_schema(other).err().unwrap(),
+                SnapshotError::SchemaMismatch {
+                    found: schema,
+                    expected: other,
+                }
+            );
+
+            // Schema-faithful restore: the header wins, and the restored
+            // service re-snapshots byte-identically (same header).
+            let restored = IngestService::restore(&bytes).unwrap();
+            assert_eq!(restored.server_ref().seed_schema(), schema);
+            assert_eq!(restored.snapshot(), bytes);
+        }
     }
 
     #[test]

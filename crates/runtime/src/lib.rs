@@ -58,5 +58,7 @@ pub use persistent::{shared_pool, PersistentPool};
 pub use pool::{partition, shard_of, Shard, WorkerPool};
 // The storage-backend selector lives with the accumulators in rtf-core;
 // re-exported here so runtime configuration (`RTF_WORKERS` → ExecMode,
-// `RTF_BACKEND` → AccumulatorKind) is importable from one place.
+// `RTF_BACKEND` → AccumulatorKind, `RTF_SEED_SCHEMA` → SeedSchema) is
+// importable from one place.
 pub use rtf_core::accumulator::AccumulatorKind;
+pub use rtf_primitives::fastseed::SeedSchema;

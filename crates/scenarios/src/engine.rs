@@ -36,6 +36,7 @@ use rtf_core::composed::ComposedRandomizer;
 use rtf_core::params::ProtocolParams;
 use rtf_core::randomizer::FutureRand;
 use rtf_core::server::{Delivery, PeriodDelivery, Server};
+use rtf_primitives::fastseed::{self, SeedSchema};
 use rtf_primitives::seeding::SeedSequence;
 use rtf_primitives::sign::Sign;
 use rtf_runtime::{replay_frames_checked, ExecMode, Frame, FrameBatch, WorkerPool};
@@ -197,17 +198,47 @@ pub fn run_scenario_with_backend(
     mode: ExecMode,
     backend: AccumulatorKind,
 ) -> ScenarioOutcome {
+    run_scenario_schema(
+        params,
+        population,
+        seed,
+        scenario,
+        mode,
+        backend,
+        SeedSchema::from_env(),
+    )
+}
+
+/// [`run_scenario_with_backend`] under an explicit client randomness
+/// schema (instead of `RTF_SEED_SCHEMA`). Fault decisions come from the
+/// disjoint `FAULT_STREAM` either way — the schema changes only where
+/// honest clients' zero-slot report bits come from.
+pub fn run_scenario_schema(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+    mode: ExecMode,
+    backend: AccumulatorKind,
+    schema: SeedSchema,
+) -> ScenarioOutcome {
     scenario.validate();
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
     match mode {
         ExecMode::Sequential => {
-            run_scenario_sequential(params, population, seed, scenario, backend)
+            run_scenario_sequential(params, population, seed, scenario, backend, schema)
         }
-        ExecMode::Parallel(w) => {
-            run_scenario_batched(params, population, seed, scenario, w.max(1), backend)
-        }
+        ExecMode::Parallel(w) => run_scenario_batched(
+            params,
+            population,
+            seed,
+            scenario,
+            w.max(1),
+            backend,
+            schema,
+        ),
     }
 }
 
@@ -223,10 +254,11 @@ fn run_scenario_sequential(
     seed: u64,
     scenario: &Scenario,
     backend: AccumulatorKind,
+    schema: SeedSchema,
 ) -> ScenarioOutcome {
     let composed = composed_tables(params);
 
-    let mut server = Server::for_future_rand_with(*params, backend);
+    let mut server = Server::for_future_rand_schema(*params, backend, schema);
     let mut wire = WireStats::default();
     let mut faults = FaultCounts::default();
     let root = SeedSequence::new(seed);
@@ -237,7 +269,8 @@ fn run_scenario_sequential(
     // comes from each client's private fault stream.
     let mut slots: Vec<ClientSlot> = Vec::with_capacity(params.n());
     for u in 0..params.n() {
-        let mut rng = root.child(u as u64).rng();
+        let node = root.child(u as u64);
+        let mut rng = node.rng();
         let h = Client::<FutureRand>::sample_order(params, &mut rng);
         let ann = OrderAnnouncement {
             user: u as u32,
@@ -247,7 +280,13 @@ fn run_scenario_sequential(
         let registered = server.register_client(decoded.user, u32::from(decoded.order));
         assert!(registered, "simulation user ids are unique");
         wire.record_announcement();
-        let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+        let m = FutureRand::init_with_schema(
+            params.sequence_len(h),
+            &composed[h as usize],
+            &mut rng,
+            schema,
+            fastseed::client_key(&node),
+        );
 
         let mut frng = fault_root.child(u as u64).rng();
         let byzantine = frng.random_bool(scenario.byzantine_frac);
@@ -354,6 +393,51 @@ fn run_scenario_sequential(
     }
 }
 
+/// Wall-clock decomposition of one batched scenario run: where the time
+/// goes between the emission fan-out (client state machines + fault
+/// layer over the worker pool), the per-period mailbox reconstruction
+/// (`FrameBatch::merge_ordered`), and the checked ingestion + close.
+///
+/// Exists to make cross-worker-count comparisons diagnosable — a slower
+/// parallel(2) than parallel(1) at large `n` is a very different bug
+/// depending on which stage grew.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioStageTimings {
+    /// Seconds in the emission fan-out (whole horizon, all shards).
+    pub emission_s: f64,
+    /// Seconds merging shard batches back into sequential mailbox order.
+    pub merge_s: f64,
+    /// Seconds in checked ingestion + period close (server side).
+    pub ingest_s: f64,
+}
+
+/// [`run_scenario_schema`]'s batched pipeline with per-stage wall-clock
+/// timings. Values are identical to the untimed run (the timers only
+/// bracket existing stages).
+pub fn run_scenario_batched_timed(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+    workers: usize,
+    backend: AccumulatorKind,
+    schema: SeedSchema,
+) -> (ScenarioOutcome, ScenarioStageTimings) {
+    scenario.validate();
+    assert_eq!(population.n(), params.n(), "population/params n mismatch");
+    assert_eq!(population.d(), params.d(), "population/params d mismatch");
+    population.assert_k_sparse(params.k());
+    run_scenario_batched_impl(
+        params,
+        population,
+        seed,
+        scenario,
+        workers.max(1),
+        backend,
+        schema,
+    )
+}
+
 /// One worker's emission-side result for a contiguous user shard.
 struct ShardEmission {
     /// Announced order per shard user, ascending user id.
@@ -378,13 +462,29 @@ fn run_scenario_batched(
     scenario: &Scenario,
     workers: usize,
     backend: AccumulatorKind,
+    schema: SeedSchema,
 ) -> ScenarioOutcome {
+    run_scenario_batched_impl(params, population, seed, scenario, workers, backend, schema).0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scenario_batched_impl(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+    workers: usize,
+    backend: AccumulatorKind,
+    schema: SeedSchema,
+) -> (ScenarioOutcome, ScenarioStageTimings) {
     let composed = composed_tables(params);
     let root = SeedSequence::new(seed);
     let fault_root = root.child(FAULT_STREAM);
     let d = params.d();
     let pool = WorkerPool::new(workers);
+    let mut timings = ScenarioStageTimings::default();
 
+    let emission_start = std::time::Instant::now();
     let shards: Vec<ShardEmission> = pool.map_shards(params.n(), |shard| {
         let mut slots: Vec<ClientSlot> = Vec::with_capacity(shard.len());
         let mut cursors: Vec<rtf_streams::stream::DerivativeCursor<'_>> =
@@ -392,10 +492,17 @@ fn run_scenario_batched(
         let mut orders = Vec::with_capacity(shard.len());
         let mut faults = FaultCounts::default();
         for u in shard.range() {
-            let mut rng = root.child(u as u64).rng();
+            let node = root.child(u as u64);
+            let mut rng = node.rng();
             let h = Client::<FutureRand>::sample_order(params, &mut rng);
             orders.push(h as u8);
-            let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+            let m = FutureRand::init_with_schema(
+                params.sequence_len(h),
+                &composed[h as usize],
+                &mut rng,
+                schema,
+                fastseed::client_key(&node),
+            );
             let mut frng = fault_root.child(u as u64).rng();
             let byzantine = frng.random_bool(scenario.byzantine_frac);
             let churn_at = sample_churn_period(&mut frng, scenario.churn_prob);
@@ -466,11 +573,12 @@ fn run_scenario_batched(
             faults,
         }
     });
+    timings.emission_s = emission_start.elapsed().as_secs_f64();
 
     // Ingestion side: register every user in ascending id order (shards
     // are contiguous and returned in shard-index order), then replay each
     // period's merged mailbox through the checked path.
-    let mut server = Server::for_future_rand_with(*params, backend);
+    let mut server = Server::for_future_rand_schema(*params, backend, schema);
     let mut wire = WireStats::default();
     let mut faults = FaultCounts::default();
     let mut user = 0u32;
@@ -489,8 +597,11 @@ fn run_scenario_batched(
     let mut estimates = Vec::with_capacity(d as usize);
     let mut byz_accepted_by_period = vec![0u64; d as usize];
     for t in 1..=d {
+        let merge_start = std::time::Instant::now();
         let mailbox = FrameBatch::merge_ordered(shards.iter().map(|s| &s.pending[t as usize]));
+        timings.merge_s += merge_start.elapsed().as_secs_f64();
         wire.record_report_batch(mailbox.len() as u64);
+        let ingest_start = std::time::Instant::now();
         let outcomes = replay_frames_checked(&mut server, t, &mailbox);
         for (frame, status) in mailbox.iter().zip(&outcomes) {
             if frame.byzantine && *status == Delivery::Accepted {
@@ -499,16 +610,20 @@ fn run_scenario_batched(
             }
         }
         estimates.push(server.end_of_period(t));
+        timings.ingest_s += ingest_start.elapsed().as_secs_f64();
     }
 
-    ScenarioOutcome {
-        estimates,
-        group_sizes: server.group_sizes().to_vec(),
-        wire,
-        delivery: server.delivery_log().to_vec(),
-        faults,
-        byzantine_accepted_by_period: byz_accepted_by_period,
-    }
+    (
+        ScenarioOutcome {
+            estimates,
+            group_sizes: server.group_sizes().to_vec(),
+            wire,
+            delivery: server.delivery_log().to_vec(),
+            faults,
+            byzantine_accepted_by_period: byz_accepted_by_period,
+        },
+        timings,
+    )
 }
 
 /// First period at which the client is gone, under a per-period hazard

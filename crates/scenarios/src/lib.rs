@@ -48,10 +48,12 @@ pub mod oracle;
 pub use chaos::{assert_chaos_recovery, ChaosPlan};
 pub use config::Scenario;
 pub use engine::{
-    run_scenario, run_scenario_with, run_scenario_with_backend, FaultCounts, ScenarioOutcome,
+    run_scenario, run_scenario_batched_timed, run_scenario_schema, run_scenario_with,
+    run_scenario_with_backend, FaultCounts, ScenarioOutcome, ScenarioStageTimings,
 };
-pub use live::{run_scenario_live, run_scenario_live_with};
+pub use live::{run_scenario_live, run_scenario_live_schema, run_scenario_live_with};
 pub use oracle::{
     assert_backend_agreement, assert_exact_agreement, assert_live_agreement, assert_mode_agreement,
-    faulty_envelope, measure_aggregate_agreement, measure_aggregate_agreement_with, tolerance_band,
+    assert_schema_agreement, faulty_envelope, measure_aggregate_agreement,
+    measure_aggregate_agreement_with, tolerance_band,
 };

@@ -32,6 +32,7 @@ use rtf_core::client::Client;
 use rtf_core::params::ProtocolParams;
 use rtf_core::randomizer::FutureRand;
 use rtf_core::server::{Delivery, Server};
+use rtf_primitives::fastseed::{self, SeedSchema};
 use rtf_primitives::seeding::SeedSequence;
 use rtf_primitives::sign::Sign;
 use rtf_runtime::ingest::{IngestService, IngestStats, LiveConfig};
@@ -76,6 +77,28 @@ pub fn run_scenario_live_with(
     config: &LiveConfig,
     backend: AccumulatorKind,
 ) -> (ScenarioOutcome, IngestStats) {
+    run_scenario_live_schema(
+        params,
+        population,
+        seed,
+        scenario,
+        config,
+        backend,
+        SeedSchema::from_env(),
+    )
+}
+
+/// [`run_scenario_live_with`] under an explicit client randomness schema
+/// (instead of `RTF_SEED_SCHEMA`).
+pub fn run_scenario_live_schema(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+    config: &LiveConfig,
+    backend: AccumulatorKind,
+    schema: SeedSchema,
+) -> (ScenarioOutcome, IngestStats) {
     scenario.validate();
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
@@ -92,13 +115,14 @@ pub fn run_scenario_live_with(
 
     // Announce + build clients exactly like the sequential engine (same
     // RNG order), so honest bits and fault decisions are identical.
-    let mut server = Server::for_future_rand_with(*params, backend);
+    let mut server = Server::for_future_rand_schema(*params, backend, schema);
     let mut wire = WireStats::default();
     let mut faults = FaultCounts::default();
     let mut slots: Vec<ClientSlot> = Vec::with_capacity(n);
     let mut cursors: Vec<rtf_streams::stream::DerivativeCursor<'_>> = Vec::with_capacity(n);
     for u in 0..n {
-        let mut rng = root.child(u as u64).rng();
+        let node = root.child(u as u64);
+        let mut rng = node.rng();
         let h = Client::<FutureRand>::sample_order(params, &mut rng);
         let ann = OrderAnnouncement {
             user: u as u32,
@@ -108,7 +132,13 @@ pub fn run_scenario_live_with(
         let registered = server.register_client(decoded.user, u32::from(decoded.order));
         assert!(registered, "simulation user ids are unique");
         wire.record_announcement();
-        let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+        let m = FutureRand::init_with_schema(
+            params.sequence_len(h),
+            &composed[h as usize],
+            &mut rng,
+            schema,
+            fastseed::client_key(&node),
+        );
         let mut frng = fault_root.child(u as u64).rng();
         let byzantine = frng.random_bool(scenario.byzantine_frac);
         let churn_at = sample_churn_period(&mut frng, scenario.churn_prob);

@@ -34,17 +34,23 @@
 //! honest and faulty schedules at every worker count.
 
 use crate::config::Scenario;
-use crate::engine::{run_scenario, run_scenario_with, run_scenario_with_backend, ScenarioOutcome};
-use crate::live::run_scenario_live_with;
+use crate::engine::{
+    run_scenario, run_scenario_schema, run_scenario_with, run_scenario_with_backend,
+    ScenarioOutcome,
+};
+use crate::live::{run_scenario_live_schema, run_scenario_live_with};
 use rtf_analysis::variance::{future_rand_scales, predicted_variance};
 use rtf_core::accumulator::AccumulatorKind;
 use rtf_core::params::ProtocolParams;
-use rtf_core::protocol::run_in_memory;
+use rtf_core::protocol::{run_in_memory, run_in_memory_schema};
+use rtf_primitives::fastseed::SeedSchema;
 use rtf_runtime::ingest::LiveConfig;
 use rtf_runtime::{ExecMode, WorkerPool};
 use rtf_sim::aggregate::run_future_rand_aggregate;
-use rtf_sim::engine::{run_event_driven, run_event_driven_with, run_event_driven_with_backend};
-use rtf_sim::live::run_event_driven_live_with;
+use rtf_sim::engine::{
+    run_event_driven, run_event_driven_schema, run_event_driven_with, run_event_driven_with_backend,
+};
+use rtf_sim::live::{run_event_driven_live_schema, run_event_driven_live_with};
 use rtf_streams::population::Population;
 
 /// The worker counts the mode-agreement check proves equivalent to the
@@ -279,6 +285,123 @@ pub fn assert_live_agreement(
             for stats in [&ev_stats, &sc_stats] {
                 assert_eq!(stats.recoveries, kills, "{label}: kills fired");
                 assert_eq!(stats.restarts, restarts, "{label}: restarts fired");
+            }
+        }
+    }
+}
+
+/// Asserts **sequential ≡ parallel(w) ≡ live**, value-for-value, under
+/// an *explicit* client randomness schema — the differential proof the
+/// fast-seeds (v2) schema rides on:
+///
+/// * the in-memory reference (`run_in_memory_schema`) and the sequential
+///   event-driven engine agree estimate-for-estimate;
+/// * the honest event-driven engine and the fault-injected engine under
+///   `scenario` agree across sequential, every worker count in
+///   [`MODE_AGREEMENT_WORKERS`], and **all four** storage backends;
+/// * the live streaming drivers agree too, honest and under the
+///   scenario, for every worker count — both with no faults and with a
+///   mid-period whole-service restart *plus* a worker kill in the same
+///   period (the snapshot header now carries the schema, so this also
+///   proves the schema survives snapshot/restore);
+/// * every configured kill/restart is asserted to have fired.
+///
+/// Under [`SeedSchema::V2Fast`] the batched/live paths take the packed
+/// word-at-a-time generator while the sequential paths draw per report —
+/// so agreement here pins the two implementations of the counter-based
+/// stream against each other.
+///
+/// # Panics
+/// Panics naming the first diverging path/backend/worker count.
+pub fn assert_schema_agreement(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+    schema: SeedSchema,
+) {
+    let mem = run_in_memory_schema(params, population, seed, schema);
+    let ev_seq = run_event_driven_schema(
+        params,
+        population,
+        seed,
+        ExecMode::Sequential,
+        AccumulatorKind::Dense,
+        schema,
+    );
+    assert_eq!(
+        mem.estimates(),
+        &ev_seq.estimates[..],
+        "event-driven sequential diverges from in-memory under {schema} (seed {seed})"
+    );
+    assert_eq!(
+        mem.group_sizes(),
+        &ev_seq.group_sizes[..],
+        "{schema} groups"
+    );
+    let sc_seq = run_scenario_schema(
+        params,
+        population,
+        seed,
+        scenario,
+        ExecMode::Sequential,
+        AccumulatorKind::Dense,
+        schema,
+    );
+
+    let fault_at = (params.d() / 2).max(1);
+    for backend in AccumulatorKind::ALL {
+        let modes = std::iter::once(ExecMode::Sequential)
+            .chain(MODE_AGREEMENT_WORKERS.into_iter().map(ExecMode::Parallel));
+        for mode in modes {
+            let ev = run_event_driven_schema(params, population, seed, mode, backend, schema);
+            assert_eq!(
+                ev.estimates, ev_seq.estimates,
+                "event-driven {backend}/{mode} diverges under {schema} (seed {seed})"
+            );
+            assert_eq!(ev.wire, ev_seq.wire, "{schema} {backend}/{mode} wire");
+            let sc = run_scenario_schema(params, population, seed, scenario, mode, backend, schema);
+            assert_eq!(
+                sc.estimates, sc_seq.estimates,
+                "scenario {backend}/{mode} diverges under {schema} (seed {seed})"
+            );
+            assert_eq!(sc.delivery, sc_seq.delivery, "{schema} {backend}/{mode}");
+            assert_eq!(sc.faults, sc_seq.faults, "{schema} {backend}/{mode}");
+            assert_eq!(
+                sc.byzantine_accepted_by_period, sc_seq.byzantine_accepted_by_period,
+                "{schema} {backend}/{mode} Byzantine acceptance"
+            );
+        }
+
+        for w in MODE_AGREEMENT_WORKERS {
+            let base = || LiveConfig::new(w).with_mailbox_cap(2).with_chunk_rows(7);
+            let victim = w.saturating_sub(1);
+            // (config, expected kills, expected restarts)
+            let plans = [
+                (base(), 0u64, 0u64),
+                (
+                    base().with_restart(fault_at).with_kill(victim, fault_at),
+                    1,
+                    1,
+                ),
+            ];
+            for (cfg, kills, restarts) in plans {
+                let label =
+                    format!("{schema} {backend} live({w}), {kills} kill(s), {restarts} restart(s)");
+                let (ev, ev_stats) =
+                    run_event_driven_live_schema(params, population, seed, &cfg, backend, schema);
+                assert_eq!(ev.estimates, ev_seq.estimates, "{label}: event-driven");
+                assert_eq!(ev.wire, ev_seq.wire, "{label}: wire");
+                let (sc, sc_stats) = run_scenario_live_schema(
+                    params, population, seed, scenario, &cfg, backend, schema,
+                );
+                assert_eq!(sc.estimates, sc_seq.estimates, "{label}: scenario");
+                assert_eq!(sc.delivery, sc_seq.delivery, "{label}: delivery");
+                assert_eq!(sc.faults, sc_seq.faults, "{label}: faults");
+                for stats in [&ev_stats, &sc_stats] {
+                    assert_eq!(stats.recoveries, kills, "{label}: kills fired");
+                    assert_eq!(stats.restarts, restarts, "{label}: restarts fired");
+                }
             }
         }
     }

@@ -36,9 +36,10 @@ use rtf_core::composed::ComposedRandomizer;
 use rtf_core::params::ProtocolParams;
 use rtf_core::randomizer::{FutureRand, SpanRandomizers};
 use rtf_core::server::Server;
+use rtf_primitives::fastseed::{self, SeedSchema};
 use rtf_primitives::seeding::SeedSequence;
 use rtf_primitives::sign::{Sign, Ternary};
-use rtf_runtime::{ExecMode, ReportBatch, SignLane, WorkerPool};
+use rtf_runtime::{ExecMode, SignLane, WorkerPool};
 use rtf_streams::population::Population;
 
 /// Result of an event-driven execution: estimates plus exact
@@ -98,12 +99,36 @@ pub fn run_event_driven_with_backend(
     mode: ExecMode,
     backend: AccumulatorKind,
 ) -> EventDrivenOutcome {
+    run_event_driven_schema(
+        params,
+        population,
+        seed,
+        mode,
+        backend,
+        SeedSchema::from_env(),
+    )
+}
+
+/// [`run_event_driven_with_backend`] under an explicit client randomness
+/// schema (instead of `RTF_SEED_SCHEMA`). Under [`SeedSchema::V2Fast`]
+/// the batched pipeline emits whole span words straight from the
+/// counter-based generator into the packed report lanes — no per-report
+/// `Sign` materialisation — and stays value-for-value identical to the
+/// sequential schedule run under the same schema.
+pub fn run_event_driven_schema(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    mode: ExecMode,
+    backend: AccumulatorKind,
+    schema: SeedSchema,
+) -> EventDrivenOutcome {
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
     match mode {
-        ExecMode::Sequential => run_sequential(params, population, seed, backend),
-        ExecMode::Parallel(w) => run_batched(params, population, seed, w.max(1), backend),
+        ExecMode::Sequential => run_sequential(params, population, seed, backend, schema),
+        ExecMode::Parallel(w) => run_batched(params, population, seed, w.max(1), backend, schema),
     }
 }
 
@@ -116,16 +141,18 @@ pub(crate) fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer
 }
 
 /// One order group's client state in the batched/streaming pipelines,
-/// struct-of-arrays: parallel lanes of user ids, RNG streams, derivative
-/// cursors, and one shared [`SpanRandomizers`] arena.
+/// struct-of-arrays: parallel lanes of user ids, RNG streams, a
+/// precomputed span-event schedule, and one shared [`SpanRandomizers`]
+/// arena.
 ///
 /// The former layout held a `GroupedSlot {client, rng, cursor}` struct
 /// per user — ~150 scattered bytes plus a per-user heap `b̃` vector, a
 /// pointer chase per report. A span emission now walks each column once
-/// ([`emit_span`](Self::emit_span)): partial sums off the cursors, then
-/// one monomorphized randomizer pass filling the packed
-/// [`SignLane`] — bit-identical to per-slot `observe_span` calls.
-pub(crate) struct SpanGroup<'a> {
+/// ([`emit_span`](Self::emit_span)): partial sums rebuilt from the
+/// precomputed [`span_events`](Self::span_events), then one
+/// monomorphized randomizer pass filling the packed [`SignLane`] —
+/// bit-identical to per-slot `observe_span` calls.
+pub(crate) struct SpanGroup {
     /// User ids in lane order.
     pub(crate) users: Vec<u32>,
     /// This group's report signs for the current span, bit-packed —
@@ -133,17 +160,24 @@ pub(crate) struct SpanGroup<'a> {
     /// `ReportBatch::extend_packed`.
     pub(crate) signs: SignLane,
     rngs: Vec<rand::rngs::StdRng>,
-    /// Streaming O(1) views of each user's derivative — replaces a
-    /// per-period binary search on the hottest loop in the repo.
-    cursors: Vec<rtf_streams::stream::DerivativeCursor<'a>>,
+    /// The group's non-zero span sums, precomputed at build: entry
+    /// `span_events[t / stride − 1]` lists `(lane, ±1)` for exactly the
+    /// lanes whose partial sum over the span ending at `t` is non-zero.
+    /// The population is static, so walking each user's change times
+    /// **once** here replaces a per-span `DerivativeCursor::sum_to` per
+    /// lane — the former hottest load in the repo: a million scattered
+    /// change arrays chased per period, for sums that are ~90% zero.
+    span_events: Vec<Vec<(u32, Ternary)>>,
     spans: SpanRandomizers,
-    /// Scratch: per-lane partial sums for the span being emitted.
+    /// Scratch: per-lane partial sums for the span being emitted —
+    /// refilled per span as memset-to-zero plus the sparse
+    /// [`span_events`](Self::span_events) patches.
     sums: Vec<Ternary>,
     /// The group's reporting stride `2^h`.
     stride: u64,
 }
 
-impl SpanGroup<'_> {
+impl SpanGroup {
     /// Number of clients in the group.
     pub(crate) fn len(&self) -> usize {
         self.users.len()
@@ -155,11 +189,12 @@ impl SpanGroup<'_> {
     }
 
     /// Emits the whole group's reports for the span ending at period `t`
-    /// into [`signs`](Self::signs): pass 1 reads each cursor's partial
-    /// sum over the span, pass 2 draws every lane's report bit through
-    /// the shared randomizer arena. Lane `i`'s draw consumes `rngs[i]`
-    /// exactly as `Client::observe_span` would — the bit streams are
-    /// identical (pinned by `span_group_matches_per_slot_clients`).
+    /// into [`signs`](Self::signs): pass 1 rebuilds the per-lane partial
+    /// sums (a zero-fill plus the precomputed non-zero patches for this
+    /// span), pass 2 draws every lane's report bit through the shared
+    /// randomizer arena. Lane `i`'s draw consumes `rngs[i]` exactly as
+    /// `Client::observe_span` would — the bit streams are identical
+    /// (pinned by `span_group_matches_per_slot_clients`).
     pub(crate) fn emit_span(&mut self, t: u64) {
         debug_assert_eq!(
             t,
@@ -167,8 +202,9 @@ impl SpanGroup<'_> {
             "span boundary out of lockstep"
         );
         self.sums.clear();
-        for cursor in &mut self.cursors {
-            self.sums.push(cursor.sum_to(t));
+        self.sums.resize(self.users.len(), Ternary::Zero);
+        for &(lane, v) in &self.span_events[(t / self.stride - 1) as usize] {
+            self.sums[lane as usize] = v;
         }
         self.signs.clear();
         let SpanGroup {
@@ -178,7 +214,15 @@ impl SpanGroup<'_> {
             sums,
             ..
         } = self;
-        spans.fill_span(sums, rngs, |s| signs.push(s));
+        if spans.schema().is_fast() {
+            // Fast schema: zero slots are a pure function of
+            // (client key, report index) — fill whole 64-lane words
+            // straight into the packed lane, no `Sign` per report and no
+            // RNG draws.
+            spans.fill_span_words(sums, |bits, count| signs.push_bits(bits, count));
+        } else {
+            spans.fill_span(sums, rngs, |s| signs.push(s));
+        }
     }
 }
 
@@ -191,36 +235,76 @@ impl SpanGroup<'_> {
 /// and the live streaming driver ([`crate::live`]) — they must consume
 /// per-user RNG identically for the batched ≡ streaming ≡ sequential
 /// proofs to hold, so the construction lives in exactly one place.
-pub(crate) fn build_order_groups<'a>(
+pub(crate) fn build_order_groups(
     params: &ProtocolParams,
-    population: &'a Population,
+    population: &Population,
     composed: &[ComposedRandomizer],
     root: &SeedSequence,
     users: std::ops::Range<usize>,
-) -> Vec<SpanGroup<'a>> {
+    schema: SeedSchema,
+) -> Vec<SpanGroup> {
     let orders = params.num_orders() as usize;
-    let mut groups: Vec<SpanGroup<'a>> = (0..orders)
+    let d = params.d();
+    let mut groups: Vec<SpanGroup> = (0..orders)
         .map(|h| SpanGroup {
             users: Vec::new(),
             signs: SignLane::new(),
             rngs: Vec::new(),
-            cursors: Vec::new(),
-            spans: SpanRandomizers::new(params.sequence_len(h as u32), &composed[h]),
+            span_events: vec![Vec::new(); params.sequence_len(h as u32)],
+            spans: SpanRandomizers::new_with_schema(
+                params.sequence_len(h as u32),
+                &composed[h],
+                schema,
+            ),
             sums: Vec::new(),
             stride: 1u64 << h,
         })
         .collect();
     for u in users {
-        let mut rng = root.child(u as u64).rng();
+        let node = root.child(u as u64);
+        let mut rng = node.rng();
         let h = Client::<FutureRand>::sample_order(params, &mut rng);
-        let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+        let m = FutureRand::init_with_schema(
+            params.sequence_len(h),
+            &composed[h as usize],
+            &mut rng,
+            schema,
+            fastseed::client_key(&node),
+        );
         let group = &mut groups[h as usize];
+        let lane = group.users.len() as u32;
         group.users.push(u as u32);
         group.spans.push_lane(&m);
         group.rngs.push(rng);
-        group
-            .cursors
-            .push(population.stream(u).derivative().cursor());
+        // One pass over the user's (sorted) change times builds the
+        // lane's non-zero span sums: a span's sum is the parity flip of
+        // the change count across it (`st(end) − st(start − 1)`, each
+        // the parity of its prefix) — exactly `DerivativeCursor::sum_to`
+        // called at every span boundary, computed once instead of once
+        // per period.
+        let stride = group.stride;
+        let stream = population.stream(u);
+        let changes = stream.change_times();
+        let mut i = 0usize;
+        let mut parity_before = false;
+        while i < changes.len() && changes[i] <= d {
+            let span_end = changes[i].div_ceil(stride) * stride;
+            let mut count = 0u64;
+            while i < changes.len() && changes[i] <= span_end {
+                i += 1;
+                count += 1;
+            }
+            let parity_after = parity_before ^ (count % 2 == 1);
+            let v = match (parity_before, parity_after) {
+                (false, true) => Some(Ternary::Plus),
+                (true, false) => Some(Ternary::Minus),
+                _ => None,
+            };
+            if let Some(v) = v {
+                group.span_events[(span_end / stride - 1) as usize].push((lane, v));
+            }
+            parity_before = parity_after;
+        }
     }
     groups
 }
@@ -231,16 +315,18 @@ fn run_sequential(
     population: &Population,
     seed: u64,
     backend: AccumulatorKind,
+    schema: SeedSchema,
 ) -> EventDrivenOutcome {
     let composed = composed_tables(params);
-    let mut server = Server::for_future_rand_with(*params, backend);
+    let mut server = Server::for_future_rand_schema(*params, backend, schema);
     let mut wire = WireStats::default();
     let root = SeedSequence::new(seed);
 
     // Build clients; send order announcements through the wire.
     let mut clients: Vec<(Client<FutureRand>, rand::rngs::StdRng)> = Vec::with_capacity(params.n());
     for u in 0..params.n() {
-        let mut rng = root.child(u as u64).rng();
+        let node = root.child(u as u64);
+        let mut rng = node.rng();
         let h = Client::<FutureRand>::sample_order(params, &mut rng);
         let ann = OrderAnnouncement {
             user: u as u32,
@@ -249,7 +335,13 @@ fn run_sequential(
         let decoded = OrderAnnouncement::decode(ann.encode());
         server.register_user(u32::from(decoded.order));
         wire.record_announcement();
-        let m = FutureRand::init(params.sequence_len(h), &composed[h as usize], &mut rng);
+        let m = FutureRand::init_with_schema(
+            params.sequence_len(h),
+            &composed[h as usize],
+            &mut rng,
+            schema,
+            fastseed::client_key(&node),
+        );
         clients.push((Client::new(params, h, m), rng));
     }
 
@@ -311,6 +403,7 @@ fn run_batched(
     seed: u64,
     workers: usize,
     backend: AccumulatorKind,
+    schema: SeedSchema,
 ) -> EventDrivenOutcome {
     let composed = composed_tables(params);
     let root = SeedSequence::new(seed);
@@ -323,30 +416,38 @@ fn run_batched(
         for _ in shard.range() {
             wire.record_announcement();
         }
-        let mut groups = build_order_groups(params, population, &composed, &root, shard.range());
+        let mut groups =
+            build_order_groups(params, population, &composed, &root, shard.range(), schema);
         let group_sizes: Vec<usize> = groups.iter().map(SpanGroup::len).collect();
 
         let mut per_period: Vec<AnyAccumulator> =
             (0..d).map(|_| backend.new_accumulator(orders)).collect();
-        // One reusable columnar batch — the hot path allocates nothing
-        // per report.
-        let mut batch = ReportBatch::with_capacity(shard.len());
         for t in 1..=d {
-            batch.clear();
+            let acc = &mut per_period[(t - 1) as usize];
             let max_h = t.trailing_zeros().min(params.log_d());
+            let mut rows = 0u64;
             for h in 0..=max_h {
                 let group = &mut groups[h as usize];
                 if group.is_empty() {
                     continue;
                 }
                 // The whole order-h interval ending at t, one columnar
-                // pass: partial sums off the cursors, one randomizer
-                // sweep, then a bulk packed append.
+                // pass: partial sums off the span-event schedule, one
+                // randomizer sweep, then a masked-popcount fold of the
+                // packed span
+                // straight into the accumulator. A group span is one
+                // constant-order run by construction, so there is no
+                // batch to materialise and re-scan: the per-order totals
+                // are exactly what `ReportBatch::fold_into` would hand
+                // over (one `record_counts` per order, ascending), and
+                // all backends are exact, so the sums are identical.
                 group.emit_span(t);
-                batch.extend_packed(&group.users, h as u8, &group.signs, 0..group.len());
+                let len = group.len() as u64;
+                let plus = group.signs.count_plus(0..group.len());
+                acc.record_counts(h, plus, len - plus);
+                rows += len;
             }
-            batch.fold_into(&mut per_period[(t - 1) as usize]);
-            wire.record_report_batch(batch.len() as u64);
+            wire.record_report_batch(rows);
         }
 
         let acc_bytes: u64 = per_period.iter().map(|a| a.heap_bytes() as u64).sum();
@@ -360,7 +461,7 @@ fn run_batched(
 
     // Deterministic merge: shard-index order, exactly the order
     // `map_shards` returned.
-    let mut server = Server::for_future_rand_with(*params, backend);
+    let mut server = Server::for_future_rand_schema(*params, backend, schema);
     let mut wire = WireStats::default();
     let mut acc_bytes = 0u64;
     for shard in &shards {
@@ -428,6 +529,51 @@ mod tests {
             assert_eq!(par.group_sizes, seq.group_sizes, "{w} workers");
             assert_eq!(par.wire, seq.wire, "{w} workers");
         }
+    }
+
+    #[test]
+    fn fast_schema_is_mode_invariant_and_changes_only_zero_draws() {
+        // Under the v2 schema the batched pipeline takes the packed
+        // word-at-a-time path, the sequential schedule the per-report
+        // path — they must still agree value-for-value, and both must
+        // match the in-memory reference run under the same schema.
+        let (params, pop) = setup(157, 32, 3, 47);
+        let seq = run_event_driven_schema(
+            &params,
+            &pop,
+            23,
+            ExecMode::Sequential,
+            AccumulatorKind::Dense,
+            SeedSchema::V2Fast,
+        );
+        let mem = rtf_core::protocol::run_in_memory_schema(&params, &pop, 23, SeedSchema::V2Fast);
+        assert_eq!(seq.estimates, mem.estimates());
+        for w in [1usize, 2, 3, 8] {
+            let par = run_event_driven_schema(
+                &params,
+                &pop,
+                23,
+                ExecMode::Parallel(w),
+                AccumulatorKind::Dense,
+                SeedSchema::V2Fast,
+            );
+            assert_eq!(par.estimates, seq.estimates, "{w} workers");
+            assert_eq!(par.wire, seq.wire, "{w} workers");
+        }
+        // Order sampling and b̃ draws are schema-invariant, so the group
+        // structure (and hence report counts) match v1 exactly — only the
+        // zero-slot randomness source differs.
+        let v1 = run_event_driven_schema(
+            &params,
+            &pop,
+            23,
+            ExecMode::Sequential,
+            AccumulatorKind::Dense,
+            SeedSchema::V1Std,
+        );
+        assert_eq!(v1.group_sizes, seq.group_sizes);
+        assert_eq!(v1.wire, seq.wire);
+        assert_ne!(v1.estimates, seq.estimates, "schemas are distinct streams");
     }
 
     #[test]
