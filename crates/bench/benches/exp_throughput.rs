@@ -15,24 +15,29 @@
 //! engine's sequential baseline before its timing is accepted — a
 //! throughput number for a wrong answer is worthless.
 //!
-//! The event engine is measured under **both seed schemas** (`v1` the
+//! Both engines are measured under **both seed schemas** (`v1` the
 //! frozen per-report `StdRng` baseline, `v2` the counter-based fast
 //! seeds — see README's seed schema versioning policy); each schema
 //! differences against its own sequential baseline, and every JSON row
-//! carries a `seed_schema` field so the perf gate keys them apart.
+//! carries a `seed_schema` field so the perf gate keys them apart. The
+//! scenario engine rides the same span-native fast path as the event
+//! engine now, so the v2 schema matters there too.
 //!
-//! Batched scenario rows additionally decompose into per-stage wall
-//! clock (`stage_emit_s` / `stage_merge_s` / `stage_ingest_s`, via
-//! `run_scenario_batched_timed`). That decomposition attributes the
-//! long-observed `parallel(2)`-slower-than-`parallel(1)` anomaly at
-//! `n = 10⁶`: the regression sits **entirely in the emission stage**
-//! (the fault-layer client loop under `map_shards`; e.g. ~11 s at
-//! `w = 2` vs ~4 s at `w = 1` and `w = 8` in one run, with merge and
-//! ingest flat across worker counts). On the single-hardware-thread
-//! bench box, two half-population shards interleave with the largest
-//! possible per-thread working set, so every scheduler quantum evicts
-//! the other worker's client state — more shards mean smaller working
-//! sets and less thrash, one shard means none.
+//! Every scenario row — sequential included — decomposes into per-stage
+//! wall clock (`stage_emit_s` / `stage_merge_s` / `stage_ingest_s`, via
+//! `run_scenario_sequential_timed` / `run_scenario_batched_timed`;
+//! validated by `scripts/perf_gate.py`). That decomposition is what
+//! attributed the historical `parallel(2)`-slower-than-`parallel(1)`
+//! anomaly at `n = 10⁶` to the emission stage: the old per-report fault
+//! layer walked every client's ~150-byte state machine every period, so
+//! on the single-hardware-thread bench box two half-population shards
+//! interleaved with the largest possible per-thread working set and
+//! every scheduler quantum evicted the other worker's clients. The
+//! span-native emission layer replaced that loop with one linear fault
+//! pre-walk plus packed sign-word span folds per contiguous client
+//! block — per-shard state is a few packed lanes, not the client array —
+//! which removes the thrash (and with it the anomaly) instead of merely
+//! diagnosing it.
 //!
 //! The run also measures the cross-run pool-reuse delta (ROADMAP item):
 //! repeated small maps on the per-call scoped `WorkerPool` vs the
@@ -64,7 +69,7 @@ use rtf_runtime::ingest::LiveConfig;
 use rtf_runtime::{shared_pool, ExecMode, WorkerPool};
 use rtf_scenarios::config::Scenario;
 use rtf_scenarios::engine::{
-    run_scenario_batched_timed, run_scenario_schema, ScenarioStageTimings,
+    run_scenario_batched_timed, run_scenario_sequential_timed, ScenarioStageTimings,
 };
 use rtf_sim::engine::run_event_driven_schema;
 use rtf_sim::live::run_event_driven_live_schema;
@@ -108,8 +113,8 @@ struct RunValues {
 
 /// Times one engine × mode × schema run, returning the measurement plus
 /// the values the caller differences against the same-schema sequential
-/// baseline. The scenario engine's batched mode runs through the timed
-/// variant, so its rows carry the per-stage decomposition.
+/// baseline. Both scenario modes run through their timed variants, so
+/// every scenario row carries the per-stage decomposition.
 fn measure(
     engine: &'static str,
     params: &ProtocolParams,
@@ -138,15 +143,15 @@ fn measure(
         }
         "scenario" => match mode {
             ExecMode::Sequential => {
-                let out = run_scenario_schema(
+                let (out, t) = run_scenario_sequential_timed(
                     params,
                     population,
                     seed,
                     scenario,
-                    mode,
                     AccumulatorKind::Dense,
                     schema,
                 );
+                stages = Some(t);
                 RunValues {
                     estimates: out.estimates,
                     wire: out.wire,
@@ -392,10 +397,12 @@ fn main() {
             }
         }
 
-        // The fault-injected engine stays on the v1 schema (its hot path
-        // is the per-report fault layer, not the randomizer), now with a
-        // per-stage decomposition on every batched row.
-        {
+        // The fault-injected engine under both seed schemas: its batched
+        // path now rides the same span-native packed-word emission as the
+        // event engine, so the v2 counter-based randomness shows up here
+        // too. Every row (sequential included) carries the per-stage
+        // decomposition.
+        for schema in SCHEMAS {
             let (seq, baseline) = measure(
                 "scenario",
                 &params,
@@ -403,10 +410,16 @@ fn main() {
                 42,
                 ExecMode::Sequential,
                 &storm,
-                SeedSchema::V1Std,
+                schema,
             );
             let seq_rate = seq.reports_per_s;
             print_row(&seq, 1.0);
+            if let Some(s) = &seq.stages {
+                println!(
+                    "    stages: emission {:.2}s, merge {:.2}s, ingest {:.2}s",
+                    s.emission_s, s.merge_s, s.ingest_s
+                );
+            }
             rows.push((seq, 1.0));
 
             for w in WORKER_COUNTS {
@@ -417,12 +430,12 @@ fn main() {
                     42,
                     ExecMode::Parallel(w),
                     &storm,
-                    SeedSchema::V1Std,
+                    schema,
                 );
                 assert_eq!(
                     values, baseline,
-                    "scenario parallel({w}) must match sequential (estimates + wire stats) \
-                     before its timing counts"
+                    "scenario parallel({w})/{schema} must match sequential (estimates + wire \
+                     stats) before its timing counts"
                 );
                 let speedup = m.reports_per_s / seq_rate;
                 print_row(&m, speedup);

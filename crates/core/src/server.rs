@@ -343,6 +343,30 @@ impl Server {
     /// [`end_of_period`](Self::end_of_period) into
     /// [`delivery_log`](Self::delivery_log).
     pub fn ingest_checked(&mut self, user: u32, t: u64, bit: Sign) -> Delivery {
+        self.ingest_checked_with_floor(user, t, bit, 0)
+    }
+
+    /// [`ingest_checked`](Self::ingest_checked) with an externally-known
+    /// *acceptance floor*: the caller asserts that `user` already had a
+    /// report accepted for boundary `floor` (`0` = no such claim) even
+    /// though this server never saw the acceptance — the span-native
+    /// scenario engine folds honest constant-order runs arithmetically
+    /// ([`ingest_span_run`](Self::ingest_span_run)) without touching the
+    /// roster, so the dedupe state of folded acceptances lives with the
+    /// caller.
+    ///
+    /// Only the duplicate rung consults the floor: accepted boundaries
+    /// are strictly increasing within a run (acceptance requires
+    /// `t == current_t + 1`), so `max(last_accepted, floor)` is exactly
+    /// the sender's most recent acceptance and every verdict matches the
+    /// fully sequential classification bit-for-bit.
+    pub fn ingest_checked_with_floor(
+        &mut self,
+        user: u32,
+        t: u64,
+        bit: Sign,
+        floor: u64,
+    ) -> Delivery {
         let Some(entry) = self.roster.get_mut(&user) else {
             self.current_delivery.unknown_user += 1;
             return Delivery::UnknownUser;
@@ -353,7 +377,7 @@ impl Server {
             self.current_delivery.invalid_period += 1;
             return Delivery::InvalidPeriod;
         }
-        if t == entry.last_accepted {
+        if t == entry.last_accepted.max(floor) {
             self.current_delivery.duplicate += 1;
             return Delivery::Duplicate;
         }
@@ -375,6 +399,32 @@ impl Server {
         self.acc.record(h, bit);
         self.current_delivery.accepted += 1;
         Delivery::Accepted
+    }
+
+    /// Ingests a whole run of `count` *accepted* on-time reports of order
+    /// `h`, of which `plus` carried `+1` — the span-native scenario
+    /// engine's arithmetic replacement for `count` individual
+    /// [`ingest_checked`](Self::ingest_checked) acceptances of one
+    /// group's span. Report sums are integer-valued, so the accumulator
+    /// state and the period's `accepted` tally are exactly what the
+    /// per-report path would produce in any interleaving.
+    ///
+    /// Nothing here touches the roster — the caller owns per-user dedupe
+    /// for folded runs (see
+    /// [`ingest_checked_with_floor`](Self::ingest_checked_with_floor)) —
+    /// so snapshot bytes are unaffected.
+    ///
+    /// # Panics
+    /// Panics if `h` is off-horizon or `plus > count`.
+    pub fn ingest_span_run(&mut self, h: u32, plus: u64, count: u64) {
+        assert!(
+            h <= self.params.log_d(),
+            "order {h} exceeds log d = {}",
+            self.params.log_d()
+        );
+        assert!(plus <= count, "{plus} +1 reports out of {count}");
+        self.acc.record_counts(h, plus, count - plus);
+        self.current_delivery.accepted += count;
     }
 
     /// Records a *pre-classified rejection* in the current period's
@@ -877,6 +927,68 @@ mod tests {
             assert_eq!(row.missing(), 0);
         }
         assert_eq!(server.reports_ingested(), 8 + 4);
+    }
+
+    #[test]
+    fn span_run_ingest_matches_per_report_acceptance() {
+        // Folding a whole accepted span arithmetically must leave the
+        // accumulator, delivery tally, and estimates exactly where the
+        // per-report checked path would.
+        let p = params();
+        let mut folded = Server::new(p, &[1.0; 4]);
+        let mut perreport = Server::new(p, &[1.0; 4]);
+        for u in 0..6u32 {
+            assert!(folded.register_client(u, 0));
+            assert!(perreport.register_client(u, 0));
+        }
+        for t in 1..=4u64 {
+            // 4 of 6 bits are +1 every period.
+            folded.ingest_span_run(0, 4, 6);
+            for u in 0..6u32 {
+                let bit = if u < 4 { Sign::Plus } else { Sign::Minus };
+                assert_eq!(perreport.ingest_checked(u, t, bit), Delivery::Accepted);
+            }
+            assert_eq!(folded.end_of_period(t), perreport.end_of_period(t));
+        }
+        assert_eq!(folded.delivery_log(), perreport.delivery_log());
+        assert_eq!(folded.reports_ingested(), perreport.reports_ingested());
+    }
+
+    #[test]
+    fn floor_drives_only_the_duplicate_rung() {
+        let p = params();
+        let mut server = Server::new(p, &[1.0; 4]);
+        assert!(server.register_client(3, 0));
+        // Period 1's report was folded outside the roster; the caller
+        // passes floor = 1 so a re-claim of t = 1 dedupes exactly as if
+        // the acceptance had gone through ingest_checked.
+        server.ingest_span_run(0, 1, 1);
+        assert_eq!(
+            server.ingest_checked_with_floor(3, 1, Sign::Plus, 1),
+            Delivery::Duplicate
+        );
+        let _ = server.end_of_period(1);
+        // Floor below the claimed boundary changes nothing: t = 2 is the
+        // open boundary and is accepted, floor or not.
+        assert_eq!(
+            server.ingest_checked_with_floor(3, 2, Sign::Plus, 1),
+            Delivery::Accepted
+        );
+        let _ = server.end_of_period(2);
+        // A stale claim of the folded boundary is Late once the roster's
+        // own acceptance (t = 2) is more recent than the floor.
+        assert_eq!(
+            server.ingest_checked_with_floor(3, 1, Sign::Plus, 1),
+            Delivery::Late
+        );
+        // Unknown users stay unknown regardless of floor.
+        assert_eq!(
+            server.ingest_checked_with_floor(99, 3, Sign::Plus, 3),
+            Delivery::UnknownUser
+        );
+        let log_row = server.delivery_log()[0];
+        assert_eq!(log_row.accepted, 1, "the folded report");
+        assert_eq!(log_row.duplicate, 1, "the floored re-claim");
     }
 
     #[test]

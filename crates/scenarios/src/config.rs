@@ -6,6 +6,18 @@
 //! protocol randomness), so the honest scenario — all rates zero — leaves
 //! the wire schedule, and therefore every estimate, bit-identical to
 //! `rtf_sim::engine::run_event_driven`.
+//!
+//! The rates also decide how much of a batched run stays on the
+//! span-native fast path (`rtf_scenarios::engine`): a client/boundary
+//! pair whose report is delivered on time, exactly once, stays inside
+//! the packed sign-word fold; any knob that perturbs that pair —
+//! `drop_prob`, `straggle_prob`, `duplicate_prob`, `malformed_prob` per
+//! report, `churn_prob` from the departure period onward, and
+//! `byzantine_frac` for the whole client — routes just that residue
+//! through the per-report ingestion ladder. Fast-path coverage therefore
+//! degrades linearly with the configured rates, not with a cliff: a
+//! storm touching 10% of reports still folds the other 90% as whole
+//! words.
 
 /// A fault-injection plan for one longitudinal deployment.
 ///

@@ -18,14 +18,24 @@
 //!    value-for-value equal to `run_event_driven` (asserted by the
 //!    differential oracle in [`crate::oracle`]).
 //! 3. **Worker count is invisible.** Under [`ExecMode::Parallel`] the
-//!    emission side (client state machines + fault layer) runs on
-//!    contiguous user shards whose delivered frames carry their emission
-//!    provenance; per delivery period, shard batches are merged back into
-//!    exactly the sequential mailbox order — ascending `(emission period,
-//!    emitting user)` — before checked ingestion. Frame order matters
-//!    here (an accepted Byzantine impersonation displaces the honest
-//!    report it races), so the merge reproduces it bit-for-bit and every
-//!    outcome field is identical for any worker count.
+//!    emission side runs on contiguous user shards through the
+//!    **span-native fault layer**: a shard's clients are the event
+//!    engine's order groups ([`rtf_sim::engine::build_order_groups`] —
+//!    the one client-construction path), each client's private fault
+//!    stream is pre-walked once to classify every reporting boundary
+//!    (consuming the identical draws in the identical order, proven by
+//!    the residual-digest oracle), honest on-time spans are folded
+//!    arithmetically as whole packed sign words, and only the faulted
+//!    residue is materialised as provenance-tagged frames. Per delivery
+//!    period, shard residue batches are merged back into exactly the
+//!    sequential mailbox order — ascending `(emission period, emitting
+//!    user)` — and replayed through the floor-checked ingestion ladder
+//!    ([`Server::ingest_checked_with_floor`]), whose verdicts are
+//!    bit-for-bit the sequential classification: an accepted Byzantine
+//!    impersonation still displaces the honest report it races (the
+//!    displaced lane is subtracted from its span's fold and recorded as
+//!    the duplicate it would have been). Every outcome field is
+//!    identical for any worker count.
 
 use crate::config::Scenario;
 use rand::rngs::StdRng;
@@ -39,7 +49,8 @@ use rtf_core::server::{Delivery, PeriodDelivery, Server};
 use rtf_primitives::fastseed::{self, SeedSchema};
 use rtf_primitives::seeding::SeedSequence;
 use rtf_primitives::sign::Sign;
-use rtf_runtime::{replay_frames_checked, ExecMode, Frame, FrameBatch, WorkerPool};
+use rtf_runtime::{shard_of, ExecMode, Frame, FrameBatch, SignLane, WorkerPool};
+use rtf_sim::engine::build_order_groups;
 use rtf_sim::message::{OrderAnnouncement, ReportMsg, WireStats};
 use rtf_streams::population::Population;
 
@@ -228,17 +239,63 @@ pub fn run_scenario_schema(
     population.assert_k_sparse(params.k());
     match mode {
         ExecMode::Sequential => {
-            run_scenario_sequential(params, population, seed, scenario, backend, schema)
+            run_scenario_sequential_impl(params, population, seed, scenario, backend, schema).0
         }
-        ExecMode::Parallel(w) => run_scenario_batched(
-            params,
-            population,
-            seed,
-            scenario,
-            w.max(1),
-            backend,
-            schema,
-        ),
+        ExecMode::Parallel(w) => {
+            run_scenario_batched_impl(
+                params,
+                population,
+                seed,
+                scenario,
+                w.max(1),
+                backend,
+                schema,
+            )
+            .0
+        }
+    }
+}
+
+/// [`run_scenario_schema`] additionally returning the **residual
+/// fault-stream digest**: after the horizon completes, every client's
+/// private fault stream is probed for one more word and the words are
+/// folded in ascending user order. Per-user fault streams are disjoint,
+/// so equal digests across execution modes prove the engines consumed
+/// every fault draw stream-for-stream — a strictly stronger check than
+/// outcome equality (a path that skipped one draw and compensated with
+/// another could still agree on every observable field).
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_schema_digest(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    scenario: &Scenario,
+    mode: ExecMode,
+    backend: AccumulatorKind,
+    schema: SeedSchema,
+) -> (ScenarioOutcome, u64) {
+    scenario.validate();
+    assert_eq!(population.n(), params.n(), "population/params n mismatch");
+    assert_eq!(population.d(), params.d(), "population/params d mismatch");
+    population.assert_k_sparse(params.k());
+    match mode {
+        ExecMode::Sequential => {
+            let (out, _, digest) =
+                run_scenario_sequential_impl(params, population, seed, scenario, backend, schema);
+            (out, digest)
+        }
+        ExecMode::Parallel(w) => {
+            let (out, _, digest) = run_scenario_batched_impl(
+                params,
+                population,
+                seed,
+                scenario,
+                w.max(1),
+                backend,
+                schema,
+            );
+            (out, digest)
+        }
     }
 }
 
@@ -248,14 +305,14 @@ pub(crate) fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer
         .collect()
 }
 
-fn run_scenario_sequential(
+fn run_scenario_sequential_impl(
     params: &ProtocolParams,
     population: &Population,
     seed: u64,
     scenario: &Scenario,
     backend: AccumulatorKind,
     schema: SeedSchema,
-) -> ScenarioOutcome {
+) -> (ScenarioOutcome, ScenarioStageTimings, u64) {
     let composed = composed_tables(params);
 
     let mut server = Server::for_future_rand_schema(*params, backend, schema);
@@ -264,6 +321,8 @@ fn run_scenario_sequential(
     let root = SeedSequence::new(seed);
     let fault_root = root.child(FAULT_STREAM);
     let d = params.d();
+    let mut timings = ScenarioStageTimings::default();
+    let build_start = std::time::Instant::now();
 
     // Announce + build clients exactly like the honest engine; fault state
     // comes from each client's private fault stream.
@@ -303,12 +362,15 @@ fn run_scenario_sequential(
         });
     }
 
+    timings.emission_s += build_start.elapsed().as_secs_f64();
+
     // pending[t] = messages the network will deliver during period t.
     let mut pending: Vec<Vec<InFlight>> = (0..=d as usize).map(|_| Vec::new()).collect();
     let mut estimates = Vec::with_capacity(d as usize);
     let mut byz_accepted_by_period = vec![0u64; d as usize];
 
     for t in 1..=d {
+        let emit_start = std::time::Instant::now();
         for (u, slot) in slots.iter_mut().enumerate() {
             // Every client observes its own datum every period — the
             // online constraint is about observation, not delivery — so
@@ -359,9 +421,12 @@ fn run_scenario_sequential(
             );
         }
 
+        timings.emission_s += emit_start.elapsed().as_secs_f64();
+
         // The server drains whatever the network delivered this period —
         // original, late, duplicated, or fabricated — and classifies every
         // frame through the checked ingestion path.
+        let ingest_start = std::time::Instant::now();
         for inflight in pending[t as usize].drain(..) {
             // Untrusted bytes: a corrupted frame is classified and
             // counted here, never a panic, and never reaches the server.
@@ -381,29 +446,46 @@ fn run_scenario_sequential(
             }
         }
         estimates.push(server.end_of_period(t));
+        timings.ingest_s += ingest_start.elapsed().as_secs_f64();
     }
 
-    ScenarioOutcome {
-        estimates,
-        group_sizes: server.group_sizes().to_vec(),
-        wire,
-        delivery: server.delivery_log().to_vec(),
-        faults,
-        byzantine_accepted_by_period: byz_accepted_by_period,
+    // Residual fault-stream digest: one more word from every client's
+    // private stream, folded in user order — the batched pipeline must
+    // land every stream at the exact same position.
+    let mut digest = 0u64;
+    for slot in &mut slots {
+        digest = digest.rotate_left(1) ^ slot.frng.random::<u64>();
     }
+
+    (
+        ScenarioOutcome {
+            estimates,
+            group_sizes: server.group_sizes().to_vec(),
+            wire,
+            delivery: server.delivery_log().to_vec(),
+            faults,
+            byzantine_accepted_by_period: byz_accepted_by_period,
+        },
+        timings,
+        digest,
+    )
 }
 
-/// Wall-clock decomposition of one batched scenario run: where the time
-/// goes between the emission fan-out (client state machines + fault
-/// layer over the worker pool), the per-period mailbox reconstruction
-/// (`FrameBatch::merge_ordered`), and the checked ingestion + close.
+/// Wall-clock decomposition of one scenario run: where the time goes
+/// between emission (client state machines + fault layer — the whole
+/// shard fan-out in batched mode, client build + per-period emission in
+/// sequential mode), the per-period mailbox reconstruction
+/// (`FrameBatch::merge_ordered`; identically zero in sequential mode),
+/// and checked ingestion + period close.
 ///
-/// Exists to make cross-worker-count comparisons diagnosable — a slower
-/// parallel(2) than parallel(1) at large `n` is a very different bug
-/// depending on which stage grew.
+/// Exists to make cross-mode and cross-worker-count comparisons
+/// diagnosable — a slower parallel(2) than parallel(1) at large `n` is a
+/// very different bug depending on which stage grew. `scripts/perf_gate.py`
+/// checks the stages are present on every scenario bench row and sum to
+/// the row's elapsed time.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScenarioStageTimings {
-    /// Seconds in the emission fan-out (whole horizon, all shards).
+    /// Seconds in emission (client state machines + fault layer).
     pub emission_s: f64,
     /// Seconds merging shard batches back into sequential mailbox order.
     pub merge_s: f64,
@@ -427,7 +509,7 @@ pub fn run_scenario_batched_timed(
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
-    run_scenario_batched_impl(
+    let (out, timings, _) = run_scenario_batched_impl(
         params,
         population,
         seed,
@@ -435,36 +517,118 @@ pub fn run_scenario_batched_timed(
         workers.max(1),
         backend,
         schema,
-    )
+    );
+    (out, timings)
 }
 
-/// One worker's emission-side result for a contiguous user shard.
-struct ShardEmission {
-    /// Announced order per shard user, ascending user id.
-    orders: Vec<u8>,
-    /// `pending[t]` = frames the network delivers during period `t`,
-    /// appended in `(emission period, emitting user)` order.
-    pending: Vec<FrameBatch>,
-    /// Emission-side fault tallies (`byzantine_accepted` stays 0 — that
-    /// is decided at ingestion).
-    faults: FaultCounts,
-}
-
-/// The batched multi-worker pipeline: the emission side (client state
-/// machines + fault layer) fans out over contiguous user shards; the
-/// checked ingestion side replays each period's frames in the exact
-/// sequential mailbox order reconstructed by
-/// [`FrameBatch::merge_ordered`].
-fn run_scenario_batched(
+/// [`run_scenario_schema`]'s sequential reference with the same
+/// per-stage wall-clock decomposition the batched pipeline reports
+/// (`merge_s` stays zero — a single mailbox needs no reconstruction).
+/// Values are identical to the untimed run.
+pub fn run_scenario_sequential_timed(
     params: &ProtocolParams,
     population: &Population,
     seed: u64,
     scenario: &Scenario,
-    workers: usize,
     backend: AccumulatorKind,
     schema: SeedSchema,
-) -> ScenarioOutcome {
-    run_scenario_batched_impl(params, population, seed, scenario, workers, backend, schema).0
+) -> (ScenarioOutcome, ScenarioStageTimings) {
+    scenario.validate();
+    assert_eq!(population.n(), params.n(), "population/params n mismatch");
+    assert_eq!(population.d(), params.d(), "population/params d mismatch");
+    population.assert_k_sparse(params.k());
+    let (out, timings, _) =
+        run_scenario_sequential_impl(params, population, seed, scenario, backend, schema);
+    (out, timings)
+}
+
+/// One worker's span-native emission result for a contiguous user shard.
+///
+/// The expensive product is *arithmetic*, not frames: per `(order, span)`
+/// the popcount fold of every honest on-time lane, plus packed plan/sign
+/// lanes the ingestion side consults to reproduce the sequential
+/// classification of the faulted residue. Only faulted deliveries (late
+/// originals, retransmitted copies, Byzantine fabrications) are
+/// materialised as frames.
+struct ShardEmission {
+    /// First global user id of the shard.
+    start: usize,
+    /// Announced order per shard user, ascending user id.
+    orders: Vec<u8>,
+    /// Lane index within the user's order group, ascending user id.
+    lanes: Vec<u32>,
+    /// Per order `h`: number of shard users announcing order `h`.
+    group_len: Vec<usize>,
+    /// Per order `h`, per span `s`: `(plus, count)` of the honest
+    /// on-time lanes folded arithmetically for that span.
+    folds: Vec<Vec<(u64, u64)>>,
+    /// Per order `h`: every lane's report bit for every span, span-major
+    /// (`s * group_len[h] + lane`) — consulted when an accepted Byzantine
+    /// impersonation displaces a folded honest report.
+    horizon_signs: Vec<SignLane>,
+    /// Per order `h`: whether each `(span, lane)` report was folded on
+    /// time (`Plus` = folded), span-major. [`planned_floor`] derives each
+    /// residue frame's dedupe floor from these bits.
+    plan: Vec<SignLane>,
+    /// `pending[t]` = residue frames the network delivers during period
+    /// `t`. Append order mixes the pre-walk (Byzantine fabrications) and
+    /// the span walk (honest late/duplicate copies), so batches are not
+    /// presorted — `FrameBatch::merge_ordered` restores exact mailbox
+    /// order from the `(emission period, emitter)` keys, which are unique
+    /// per delivery period.
+    pending: Vec<FrameBatch>,
+    /// Emission-side fault tallies (`byzantine_accepted` stays 0 — that
+    /// is decided at ingestion).
+    faults: FaultCounts,
+    /// Shard partial of the residual fault-stream digest.
+    digest: u64,
+}
+
+/// Clears one lane's bit in a packed membership mask.
+#[inline]
+fn clear_bit(words: &mut [u64], lane: u32) {
+    words[(lane / 64) as usize] &= !(1u64 << (lane % 64));
+}
+
+/// The dedupe floor the sequential drain would have seen for a residue
+/// frame delivered at period `t`: the highest span boundary of the
+/// frame's claimed user whose report was folded arithmetically (i.e.
+/// accepted) *before this frame's position* in the sequential mailbox
+/// order. Folded accepts never touch the roster, so
+/// [`Server::ingest_checked_with_floor`] takes the max of both sources.
+///
+/// Accepted boundaries are strictly increasing per user (acceptance
+/// requires `t == current_t + 1`), so the max over "folded before this
+/// frame" is the first set plan bit scanning down from `t` — including
+/// `t` itself only when the claimed user's own on-time report sits
+/// earlier in this period's mailbox, i.e. the frame was emitted this
+/// period by a higher user id.
+fn planned_floor(shards: &[ShardEmission], n: usize, workers: usize, t: u64, frame: &Frame) -> u64 {
+    let v = frame.user as usize;
+    if v >= n {
+        return 0;
+    }
+    let sh = &shards[shard_of(n, workers, v)];
+    let local = v - sh.start;
+    let h = sh.orders[local] as usize;
+    let lane = sh.lanes[local] as usize;
+    let glen = sh.group_len[h];
+    let stride = 1u64 << h;
+    let mut b = (t / stride) * stride;
+    if b == t {
+        let own_precedes = u64::from(frame.emitted) == t && frame.emitter > frame.user;
+        if !own_precedes {
+            b = b.saturating_sub(stride);
+        }
+    }
+    while b >= stride {
+        let idx = (b / stride - 1) as usize * glen + lane;
+        if sh.plan[h].get(idx) == Sign::Plus {
+            return b;
+        }
+        b -= stride;
+    }
+    0
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -476,115 +640,225 @@ fn run_scenario_batched_impl(
     workers: usize,
     backend: AccumulatorKind,
     schema: SeedSchema,
-) -> (ScenarioOutcome, ScenarioStageTimings) {
+) -> (ScenarioOutcome, ScenarioStageTimings, u64) {
     let composed = composed_tables(params);
     let root = SeedSequence::new(seed);
     let fault_root = root.child(FAULT_STREAM);
     let d = params.d();
+    let n = params.n();
+    let workers = workers.max(1);
     let pool = WorkerPool::new(workers);
+    let num_orders = params.num_orders();
     let mut timings = ScenarioStageTimings::default();
 
     let emission_start = std::time::Instant::now();
-    let shards: Vec<ShardEmission> = pool.map_shards(params.n(), |shard| {
-        let mut slots: Vec<ClientSlot> = Vec::with_capacity(shard.len());
-        let mut cursors: Vec<rtf_streams::stream::DerivativeCursor<'_>> =
-            Vec::with_capacity(shard.len());
-        let mut orders = Vec::with_capacity(shard.len());
+    let shards: Vec<ShardEmission> = pool.map_shards(n, |shard| {
+        let mut groups =
+            build_order_groups(params, population, &composed, &root, shard.range(), schema);
+        let mut orders = vec![0u8; shard.len()];
+        let mut lanes = vec![0u32; shard.len()];
+        for (h, group) in groups.iter().enumerate() {
+            for (lane, &u) in group.users.iter().enumerate() {
+                orders[u as usize - shard.start] = h as u8;
+                lanes[u as usize - shard.start] = lane as u32;
+            }
+        }
+        let group_len: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+
+        // Per order: the honest on-time membership mask, narrowed as the
+        // pre-walk classifies lanes — Byzantine lanes leave for good,
+        // churned lanes leave from their first silenced span on, and
+        // faulted boundaries leave for exactly one span.
+        let mut active: Vec<Vec<u64>> = group_len
+            .iter()
+            .map(|&len| {
+                let mut words = vec![u64::MAX; len.div_ceil(64)];
+                let tail = len % 64;
+                if tail != 0 {
+                    if let Some(last) = words.last_mut() {
+                        *last = (1u64 << tail) - 1;
+                    }
+                }
+                words
+            })
+            .collect();
+        // clears[h][s] = lanes churn silences from span s onward;
+        // dirty[h][s] = lanes excluded from span s only (drop, straggle,
+        // corruption); events[h][s] = residue deliveries (lane, period)
+        // whose frames are materialised once the span's bits exist.
+        let mut clears: Vec<Vec<Vec<u32>>> = (0..num_orders)
+            .map(|h| vec![Vec::new(); params.sequence_len(h)])
+            .collect();
+        let mut dirty = clears.clone();
+        let mut events: Vec<Vec<Vec<(u32, u64)>>> = (0..num_orders)
+            .map(|h| vec![Vec::new(); params.sequence_len(h)])
+            .collect();
+
+        let mut pending: Vec<FrameBatch> = (0..=d as usize).map(|_| FrameBatch::new()).collect();
         let mut faults = FaultCounts::default();
+        let mut digest = 0u64;
+
+        // Phase 1 — fault pre-walk: classify every reporting boundary of
+        // every client by walking its private fault stream once, whole
+        // horizon per user. Per-user fault streams are disjoint, so the
+        // draws land exactly where the sequential period-major loop put
+        // them (the residual digest proves it); only the *order across
+        // users* changes, which no draw depends on.
         for u in shard.range() {
-            let node = root.child(u as u64);
-            let mut rng = node.rng();
-            let h = Client::<FutureRand>::sample_order(params, &mut rng);
-            orders.push(h as u8);
-            let m = FutureRand::init_with_schema(
-                params.sequence_len(h),
-                &composed[h as usize],
-                &mut rng,
-                schema,
-                fastseed::client_key(&node),
-            );
+            let local = u - shard.start;
+            let h = orders[local] as usize;
+            let lane = lanes[local];
+            let stride = 1u64 << h;
             let mut frng = fault_root.child(u as u64).rng();
             let byzantine = frng.random_bool(scenario.byzantine_frac);
             let churn_at = sample_churn_period(&mut frng, scenario.churn_prob);
             if churn_at <= d {
                 faults.churned_clients += 1;
             }
-            slots.push(ClientSlot {
-                client: Client::new(params, h, m),
-                rng,
-                frng,
-                byzantine,
-                churn_at,
-            });
-            cursors.push(population.stream(u).derivative().cursor());
-        }
-
-        let mut pending: Vec<FrameBatch> = (0..=d as usize).map(|_| FrameBatch::new()).collect();
-        for t in 1..=d {
-            for (i, slot) in slots.iter_mut().enumerate() {
-                let u = shard.start + i;
-                let x = cursors[i].next_at(t);
-                let report = slot.client.observe(t, x, &mut slot.rng);
-                if t >= slot.churn_at {
-                    if !slot.byzantine && report.is_some() {
-                        faults.lost_to_churn += 1;
-                    }
-                    continue;
-                }
-                if slot.byzantine {
+            if byzantine {
+                // Byzantine lanes never contribute honest folds; their
+                // fabrications are residue frames like any other fault.
+                clear_bit(&mut active[h], lane);
+                let mut t = 1u64;
+                while t <= d && t < churn_at {
                     faults.byzantine_messages += 1;
-                    let msg = fabricate_report(&mut slot.frng, params, u as u32);
+                    let msg = fabricate_report(&mut frng, params, u as u32);
                     dispatch_frame(
                         msg,
                         t,
                         u as u32,
                         true,
-                        &mut slot.frng,
+                        &mut frng,
                         scenario,
                         &mut faults,
                         &mut pending,
                         d,
                     );
+                    t += 1;
+                }
+            } else {
+                let mut b = stride;
+                while b <= d && b < churn_at {
+                    let s = (b / stride - 1) as usize;
+                    let routing = route(b, &mut frng, scenario, &mut faults, d);
+                    if routing.malformed {
+                        // Same accounting as `dispatch_frame`: each
+                        // delivered copy is counted where its decode
+                        // would have failed, and no frame materialises.
+                        faults.malformed += u64::from(routing.deliver.is_some())
+                            + u64::from(routing.duplicate.is_some());
+                        dirty[h][s].push(lane);
+                    } else {
+                        if routing.deliver != Some(b) {
+                            dirty[h][s].push(lane);
+                        }
+                        if let Some(at) = routing.deliver {
+                            if at != b {
+                                events[h][s].push((lane, at));
+                            }
+                        }
+                        if let Some(at) = routing.duplicate {
+                            events[h][s].push((lane, at));
+                        }
+                    }
+                    b += stride;
+                }
+                if churn_at <= d {
+                    let first_lost = churn_at.div_ceil(stride) * stride;
+                    if first_lost <= d {
+                        faults.lost_to_churn += d / stride - first_lost / stride + 1;
+                        clears[h][(first_lost / stride - 1) as usize].push(lane);
+                    }
+                }
+            }
+            digest = digest.rotate_left(1) ^ frng.random::<u64>();
+        }
+
+        // Phase 2 — span walk: emit every group's packed sign words in
+        // horizon order. Faulted and Byzantine lanes still draw (client
+        // randomness is untouched by faults — invariant 1), the honest
+        // on-time majority is folded by masked popcount, and the faulted
+        // minority's frames are materialised from the bits just emitted.
+        let mut folds: Vec<Vec<(u64, u64)>> = (0..num_orders)
+            .map(|h| Vec::with_capacity(params.sequence_len(h)))
+            .collect();
+        let mut horizon_signs: Vec<SignLane> = (0..num_orders).map(|_| SignLane::new()).collect();
+        let mut plan: Vec<SignLane> = (0..num_orders).map(|_| SignLane::new()).collect();
+        let mut scratch: Vec<u64> = Vec::new();
+        for t in 1..=d {
+            let max_h = t.trailing_zeros().min(params.log_d());
+            for h in 0..=max_h as usize {
+                let group = &mut groups[h];
+                if group.is_empty() {
                     continue;
                 }
-                let Some(r) = report else { continue };
-                let msg = ReportMsg {
-                    user: u as u32,
-                    t: t as u32,
-                    bit: r.bit == Sign::Plus,
-                };
-                dispatch_frame(
-                    msg,
-                    t,
-                    u as u32,
-                    false,
-                    &mut slot.frng,
-                    scenario,
-                    &mut faults,
-                    &mut pending,
-                    d,
-                );
+                let s = ((t >> h) - 1) as usize;
+                group.emit_span(t);
+                for &lane in &clears[h][s] {
+                    clear_bit(&mut active[h], lane);
+                }
+                scratch.clear();
+                scratch.extend_from_slice(&active[h]);
+                for &lane in &dirty[h][s] {
+                    clear_bit(&mut scratch, lane);
+                }
+                let plus = group.signs.count_plus_masked(&scratch);
+                let count: u64 = scratch.iter().map(|w| u64::from(w.count_ones())).sum();
+                folds[h].push((plus, count));
+                let len = group.len();
+                horizon_signs[h].extend_from_range(&group.signs, 0..len);
+                let mut rem = len;
+                for &w in &scratch {
+                    let take = rem.min(64);
+                    plan[h].push_bits(w, take);
+                    rem -= take;
+                }
+                for &(lane, at) in &events[h][s] {
+                    let user = group.users[lane as usize];
+                    pending[at as usize].push(Frame {
+                        emitted: t as u32,
+                        emitter: user,
+                        user,
+                        t: t as u32,
+                        bit: group.signs.get(lane as usize) == Sign::Plus,
+                        byzantine: false,
+                    });
+                }
             }
         }
 
         ShardEmission {
+            start: shard.start,
             orders,
+            lanes,
+            group_len,
+            folds,
+            horizon_signs,
+            plan,
             pending,
             faults,
+            digest,
         }
     });
     timings.emission_s = emission_start.elapsed().as_secs_f64();
 
     // Ingestion side: register every user in ascending id order (shards
-    // are contiguous and returned in shard-index order), then replay each
-    // period's merged mailbox through the checked path.
+    // are contiguous and returned in shard-index order), then per period
+    // replay the merged residue mailbox through the floor-checked path
+    // and fold the honest span runs arithmetically.
+    let register_start = std::time::Instant::now();
     let mut server = Server::for_future_rand_schema(*params, backend, schema);
     let mut wire = WireStats::default();
     let mut faults = FaultCounts::default();
+    let mut digest = 0u64;
     let mut user = 0u32;
-    for shard in &shards {
-        faults.merge(&shard.faults);
-        for &order in &shard.orders {
+    for sh in &shards {
+        faults.merge(&sh.faults);
+        // Concatenation rule for the rotate-and-xor fold: shifting a
+        // shard's partial left by the following users' count re-aligns
+        // every per-user rotation with the sequential single-pass fold.
+        digest = digest.rotate_left((sh.orders.len() % 64) as u32) ^ sh.digest;
+        for &order in &sh.orders {
             let ann = OrderAnnouncement { user, order };
             let decoded = OrderAnnouncement::decode(ann.encode());
             let registered = server.register_client(decoded.user, u32::from(decoded.order));
@@ -593,20 +867,83 @@ fn run_scenario_batched_impl(
             user += 1;
         }
     }
+    timings.ingest_s += register_start.elapsed().as_secs_f64();
 
     let mut estimates = Vec::with_capacity(d as usize);
     let mut byz_accepted_by_period = vec![0u64; d as usize];
+    let mut displaced: Vec<(usize, usize, u32)> = Vec::new();
     for t in 1..=d {
         let merge_start = std::time::Instant::now();
         let mailbox = FrameBatch::merge_ordered(shards.iter().map(|s| &s.pending[t as usize]));
         timings.merge_s += merge_start.elapsed().as_secs_f64();
-        wire.record_report_batch(mailbox.len() as u64);
+
         let ingest_start = std::time::Instant::now();
-        let outcomes = replay_frames_checked(&mut server, t, &mailbox);
-        for (frame, status) in mailbox.iter().zip(&outcomes) {
-            if frame.byzantine && *status == Delivery::Accepted {
+        let max_h = t.trailing_zeros().min(params.log_d());
+        let mut folded = 0u64;
+        for sh in &shards {
+            for h in 0..=max_h as usize {
+                if sh.group_len[h] == 0 {
+                    continue;
+                }
+                folded += sh.folds[h][((t >> h) - 1) as usize].1;
+            }
+        }
+        // Every folded report was delivered and decoded; displaced ones
+        // (below) were too — they just classify as duplicates.
+        wire.record_report_batch(mailbox.len() as u64 + folded);
+
+        displaced.clear();
+        for f in mailbox.iter() {
+            let bit = if f.bit { Sign::Plus } else { Sign::Minus };
+            let floor = planned_floor(&shards, n, workers, t, &f);
+            let status = server.ingest_checked_with_floor(f.user, u64::from(f.t), bit, floor);
+            if f.byzantine && status == Delivery::Accepted {
                 faults.byzantine_accepted += 1;
                 byz_accepted_by_period[(t - 1) as usize] += 1;
+            }
+            if status == Delivery::Accepted && (f.user as usize) < n && u64::from(f.t) == t {
+                // An accepted impersonation racing a folded honest report
+                // displaces it: in the sequential drain the honest copy,
+                // arriving later in the mailbox, would have been the
+                // period's duplicate. At most one displacement per
+                // (user, period) — a second impersonation hits the
+                // roster's fresh `last_accepted` and dedupes.
+                let si = shard_of(n, workers, f.user as usize);
+                let sh = &shards[si];
+                let local = f.user as usize - sh.start;
+                let h = sh.orders[local] as usize;
+                let stride = 1u64 << h;
+                if t % stride == 0 {
+                    let lane = sh.lanes[local];
+                    let s = (t / stride - 1) as usize;
+                    let idx = s * sh.group_len[h] + lane as usize;
+                    if sh.plan[h].get(idx) == Sign::Plus {
+                        displaced.push((si, h, lane));
+                    }
+                }
+            }
+        }
+
+        for (si, sh) in shards.iter().enumerate() {
+            for h in 0..=max_h as usize {
+                if sh.group_len[h] == 0 {
+                    continue;
+                }
+                let s = ((t >> h) - 1) as usize;
+                let (mut plus, mut count) = sh.folds[h][s];
+                for &(dsi, dh, lane) in &displaced {
+                    if dsi == si && dh == h {
+                        let idx = s * sh.group_len[h] + lane as usize;
+                        if sh.horizon_signs[h].get(idx) == Sign::Plus {
+                            plus -= 1;
+                        }
+                        count -= 1;
+                        server.note_delivery(Delivery::Duplicate);
+                    }
+                }
+                if count > 0 {
+                    server.ingest_span_run(h as u32, plus, count);
+                }
             }
         }
         estimates.push(server.end_of_period(t));
@@ -623,6 +960,7 @@ fn run_scenario_batched_impl(
             byzantine_accepted_by_period: byz_accepted_by_period,
         },
         timings,
+        digest,
     )
 }
 

@@ -48,8 +48,9 @@ pub mod oracle;
 pub use chaos::{assert_chaos_recovery, ChaosPlan};
 pub use config::Scenario;
 pub use engine::{
-    run_scenario, run_scenario_batched_timed, run_scenario_schema, run_scenario_with,
-    run_scenario_with_backend, FaultCounts, ScenarioOutcome, ScenarioStageTimings,
+    run_scenario, run_scenario_batched_timed, run_scenario_schema, run_scenario_schema_digest,
+    run_scenario_sequential_timed, run_scenario_with, run_scenario_with_backend, FaultCounts,
+    ScenarioOutcome, ScenarioStageTimings,
 };
 pub use live::{run_scenario_live, run_scenario_live_schema, run_scenario_live_with};
 pub use oracle::{

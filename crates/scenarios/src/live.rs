@@ -20,6 +20,14 @@
 //! snapshot/restarts (journal replay restores the lost buffers
 //! exactly). Proven by [`crate::oracle::assert_live_agreement`] and the
 //! [`crate::chaos`] proptest suite.
+//!
+//! Unlike the batched engine's span-native layer, the live runner keeps
+//! the per-frame route — every report crosses the ingestion service
+//! individually because the service's contract (mailbox backpressure,
+//! journaled recovery) is per-message by design. The span-native fold is
+//! an offline-throughput optimisation; the live path is the fidelity
+//! reference for deployment semantics, and both are pinned to the same
+//! sequential oracle.
 
 use crate::config::Scenario;
 use crate::engine::{

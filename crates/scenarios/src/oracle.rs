@@ -35,8 +35,8 @@
 
 use crate::config::Scenario;
 use crate::engine::{
-    run_scenario, run_scenario_schema, run_scenario_with, run_scenario_with_backend,
-    ScenarioOutcome,
+    run_scenario, run_scenario_schema, run_scenario_schema_digest, run_scenario_with,
+    run_scenario_with_backend, ScenarioOutcome,
 };
 use crate::live::{run_scenario_live_schema, run_scenario_live_with};
 use rtf_analysis::variance::{future_rand_scales, predicted_variance};
@@ -136,7 +136,11 @@ pub fn assert_exact_agreement(
 ///
 /// Frame order matters under Byzantine impersonation, so passing a
 /// faulty scenario here proves the shard merge reconstructs the
-/// sequential mailbox order exactly — not merely that sums commute.
+/// sequential mailbox order exactly — not merely that sums commute. The
+/// scenario legs also compare the **residual fault-stream digest**
+/// ([`run_scenario_schema_digest`]): the span-native fault layer must
+/// leave every client's private fault RNG at the exact position the
+/// sequential drain leaves it, which outcome equality alone cannot see.
 ///
 /// # Panics
 /// Panics naming the first diverging engine/worker count.
@@ -146,8 +150,18 @@ pub fn assert_mode_agreement(
     seed: u64,
     scenario: &Scenario,
 ) {
+    let backend = AccumulatorKind::from_env();
+    let schema = SeedSchema::from_env();
     let ev_seq = run_event_driven_with(params, population, seed, ExecMode::Sequential);
-    let sc_seq = run_scenario_with(params, population, seed, scenario, ExecMode::Sequential);
+    let (sc_seq, digest_seq) = run_scenario_schema_digest(
+        params,
+        population,
+        seed,
+        scenario,
+        ExecMode::Sequential,
+        backend,
+        schema,
+    );
     for w in MODE_AGREEMENT_WORKERS {
         let ev = run_event_driven_with(params, population, seed, ExecMode::Parallel(w));
         assert_eq!(
@@ -157,7 +171,15 @@ pub fn assert_mode_agreement(
         assert_eq!(ev.group_sizes, ev_seq.group_sizes, "parallel({w}) groups");
         assert_eq!(ev.wire, ev_seq.wire, "parallel({w}) wire stats");
 
-        let sc = run_scenario_with(params, population, seed, scenario, ExecMode::Parallel(w));
+        let (sc, digest) = run_scenario_schema_digest(
+            params,
+            population,
+            seed,
+            scenario,
+            ExecMode::Parallel(w),
+            backend,
+            schema,
+        );
         assert_eq!(
             sc.estimates, sc_seq.estimates,
             "scenario parallel({w}) diverges from sequential (seed {seed})"
@@ -168,6 +190,11 @@ pub fn assert_mode_agreement(
         assert_eq!(
             sc.byzantine_accepted_by_period, sc_seq.byzantine_accepted_by_period,
             "parallel({w}) per-period Byzantine acceptance"
+        );
+        assert_eq!(
+            digest, digest_seq,
+            "parallel({w}) residual fault-stream digest (seed {seed}): \
+             the span-native layer consumed fault draws differently"
         );
     }
 }

@@ -1,0 +1,111 @@
+//! Span-native fault-layer value-identity property tests.
+//!
+//! The batched scenario engine classifies each client's whole fault
+//! horizon once, folds honest on-time spans arithmetically as packed
+//! sign words, and replays only the faulted residue through the
+//! floor-checked ingestion ladder. The sequential engine routes every
+//! report individually. These properties pin the two against each other
+//! over random protocol shapes × fault storms × worker counts × both
+//! seed schemas — on every observable field **and** on the residual
+//! fault-RNG digest, which proves the pre-walk consumed each client's
+//! private fault stream draw-for-draw (outcome equality alone cannot
+//! distinguish "same draws" from "different draws that happened to
+//! cancel").
+
+use proptest::prelude::*;
+use rtf_core::accumulator::AccumulatorKind;
+use rtf_core::params::ProtocolParams;
+use rtf_primitives::fastseed::SeedSchema;
+use rtf_primitives::seeding::SeedSequence;
+use rtf_runtime::ExecMode;
+use rtf_scenarios::config::Scenario;
+use rtf_scenarios::run_scenario_schema_digest;
+use rtf_streams::generator::UniformChanges;
+use rtf_streams::population::Population;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random `(n, d, k, ε)` × random fault storm (dropout, churn,
+    /// stragglers, duplicates, Byzantine spam, in-flight corruption) ×
+    /// workers {1, 2, 8} × both seed schemas: the span-native batched
+    /// path equals the sequential reference on estimates, delivery log,
+    /// wire stats, fault counts, per-period Byzantine acceptance — and
+    /// leaves every client's fault stream at the identical residual
+    /// position.
+    #[test]
+    fn span_native_path_is_value_identical_to_sequential(
+        n in 60usize..160,
+        log_d in 3u32..=5,
+        k in 1usize..=3,
+        epsilon in 0.3f64..=1.0,
+        drop in 0.0f64..=0.2,
+        churn in 0.0f64..=0.05,
+        straggle in 0.0f64..=0.4,
+        dup in 0.0f64..=0.3,
+        byz in 0.0f64..=0.25,
+        malformed in 0.0f64..=0.2,
+        seed in 0u64..10_000,
+    ) {
+        let d = 1u64 << log_d;
+        let params = ProtocolParams::new(n, d, k, epsilon, 0.05).unwrap();
+        let mut rng = SeedSequence::new(seed).rng();
+        let pop = Population::generate(&UniformChanges::new(d, k, 0.8), n, &mut rng);
+        let scenario = Scenario::honest()
+            .with_dropout(drop)
+            .with_churn(churn)
+            .with_stragglers(straggle, 3)
+            .with_duplicates(dup)
+            .with_byzantine(byz)
+            .with_malformed(malformed);
+
+        for schema in [SeedSchema::V1Std, SeedSchema::V2Fast] {
+            let (seq, digest_seq) = run_scenario_schema_digest(
+                &params,
+                &pop,
+                seed ^ 0x5BA7,
+                &scenario,
+                ExecMode::Sequential,
+                AccumulatorKind::Dense,
+                schema,
+            );
+            for w in [1usize, 2, 8] {
+                let (par, digest) = run_scenario_schema_digest(
+                    &params,
+                    &pop,
+                    seed ^ 0x5BA7,
+                    &scenario,
+                    ExecMode::Parallel(w),
+                    AccumulatorKind::Dense,
+                    schema,
+                );
+                prop_assert_eq!(
+                    &par.estimates, &seq.estimates,
+                    "{:?} parallel({}) estimates", schema, w
+                );
+                prop_assert_eq!(
+                    &par.delivery, &seq.delivery,
+                    "{:?} parallel({}) delivery", schema, w
+                );
+                prop_assert_eq!(&par.wire, &seq.wire, "{:?} parallel({}) wire", schema, w);
+                prop_assert_eq!(
+                    &par.faults, &seq.faults,
+                    "{:?} parallel({}) faults", schema, w
+                );
+                prop_assert_eq!(
+                    &par.group_sizes, &seq.group_sizes,
+                    "{:?} parallel({}) groups", schema, w
+                );
+                prop_assert_eq!(
+                    &par.byzantine_accepted_by_period,
+                    &seq.byzantine_accepted_by_period,
+                    "{:?} parallel({}) Byzantine acceptance", schema, w
+                );
+                prop_assert_eq!(
+                    digest, digest_seq,
+                    "{:?} parallel({}) residual fault-stream digest", schema, w
+                );
+            }
+        }
+    }
+}

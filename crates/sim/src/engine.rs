@@ -149,16 +149,21 @@ pub(crate) fn composed_tables(params: &ProtocolParams) -> Vec<ComposedRandomizer
 /// per user — ~150 scattered bytes plus a per-user heap `b̃` vector, a
 /// pointer chase per report. A span emission now walks each column once
 /// ([`emit_span`](Self::emit_span)): partial sums rebuilt from the
-/// precomputed [`span_events`](Self::span_events), then one
-/// monomorphized randomizer pass filling the packed [`SignLane`] —
-/// bit-identical to per-slot `observe_span` calls.
-pub(crate) struct SpanGroup {
+/// precomputed span-event schedule, then one monomorphized randomizer
+/// pass filling the packed [`SignLane`] — bit-identical to per-slot
+/// `observe_span` calls.
+///
+/// Public because the span-native scenario engine
+/// (`rtf_scenarios::engine`) drives the same groups through its fault
+/// layer — client construction and span emission must live in exactly
+/// one place for the engines' bit-identity proofs to mean anything.
+pub struct SpanGroup {
     /// User ids in lane order.
-    pub(crate) users: Vec<u32>,
+    pub users: Vec<u32>,
     /// This group's report signs for the current span, bit-packed —
     /// valid after [`emit_span`](Self::emit_span), consumed via
-    /// `ReportBatch::extend_packed`.
-    pub(crate) signs: SignLane,
+    /// `ReportBatch::extend_packed` or masked span folds.
+    pub signs: SignLane,
     rngs: Vec<rand::rngs::StdRng>,
     /// The group's non-zero span sums, precomputed at build: entry
     /// `span_events[t / stride − 1]` lists `(lane, ±1)` for exactly the
@@ -179,12 +184,12 @@ pub(crate) struct SpanGroup {
 
 impl SpanGroup {
     /// Number of clients in the group.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.users.len()
     }
 
     /// Whether the group holds no clients.
-    pub(crate) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.users.is_empty()
     }
 
@@ -195,7 +200,12 @@ impl SpanGroup {
     /// randomizer arena. Lane `i`'s draw consumes `rngs[i]` exactly as
     /// `Client::observe_span` would — the bit streams are identical
     /// (pinned by `span_group_matches_per_slot_clients`).
-    pub(crate) fn emit_span(&mut self, t: u64) {
+    ///
+    /// # Panics
+    /// Debug-asserts that `t` is the group's next span boundary — a
+    /// non-empty group must emit at **every** boundary, in order, or the
+    /// shared randomizer arena falls out of lockstep with the clients.
+    pub fn emit_span(&mut self, t: u64) {
         debug_assert_eq!(
             t,
             (self.spans.position() as u64 + 1) * self.stride,
@@ -231,11 +241,12 @@ impl SpanGroup {
 /// exactly the reporting clients: `O(reports + changes)` per shard
 /// instead of `O(users · periods)`.
 ///
-/// This is the **one** client-construction path of the batched engine
-/// and the live streaming driver ([`crate::live`]) — they must consume
+/// This is the **one** client-construction path of the batched engine,
+/// the live streaming driver ([`crate::live`]), and the span-native
+/// scenario engine (`rtf_scenarios::engine`) — they must consume
 /// per-user RNG identically for the batched ≡ streaming ≡ sequential
 /// proofs to hold, so the construction lives in exactly one place.
-pub(crate) fn build_order_groups(
+pub fn build_order_groups(
     params: &ProtocolParams,
     population: &Population,
     composed: &[ComposedRandomizer],

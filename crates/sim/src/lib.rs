@@ -44,7 +44,8 @@ pub use aggregate::{
     run_calibrated_aggregate, run_future_rand_aggregate, run_future_rand_aggregate_with_backend,
 };
 pub use engine::{
-    run_event_driven, run_event_driven_with, run_event_driven_with_backend, EventDrivenOutcome,
+    build_order_groups, run_event_driven, run_event_driven_with, run_event_driven_with_backend,
+    EventDrivenOutcome, SpanGroup,
 };
 pub use live::{run_event_driven_live, run_event_driven_live_with};
 pub use message::{OrderAnnouncement, ReportMsg, WireStats};

@@ -26,6 +26,16 @@ pass (adding coverage is not a regression) — but at least one row must
 match per engine/backend, otherwise the comparison is vacuous and the
 gate fails.
 
+Scenario-engine rows additionally carry a per-stage wall-clock
+decomposition (`stage_emit_s` / `stage_merge_s` / `stage_ingest_s`, on
+sequential and parallel rows alike). Every **fresh** scenario row must
+carry all three — a missing field means the bench silently stopped
+attributing time — and their sum must land within 20% of `elapsed_s`
+(unattributed time hiding outside the stage timers is exactly the kind
+of regression the decomposition exists to surface). The sum check is
+skipped below --wall-floor, where the residue is clock noise; presence
+is still required.
+
 `--self-test` runs the built-in unit checks (including the wall-clock
 floor) on synthetic data and exits; CI runs it before trusting the gate.
 
@@ -47,6 +57,13 @@ KINDS = {
         "exact": ("reports",),
         "loose": ("elapsed_s",),
         "group": "engine",
+        # Scenario rows must decompose their wall-clock into stages; the
+        # stage sum is validated against elapsed_s (see module doc).
+        "stages": {
+            "group_value": "scenario",
+            "fields": ("stage_emit_s", "stage_merge_s", "stage_ingest_s"),
+            "tolerance": 0.20,
+        },
     },
     "backends": {
         "key": ("backend", "n", "d"),
@@ -82,6 +99,57 @@ def compare(baseline, fresh, spec, wall_factor, wall_floor):
     matched_groups = set()
 
     for key, frow in fresh_rows.items():
+        # Stage-decomposition checks are self-consistency checks on the
+        # FRESH row alone, so they run before (and regardless of)
+        # baseline matching — a NEW row with broken stage timings is
+        # still broken.
+        stages = spec.get("stages")
+        if stages is not None and frow.get(spec["group"]) == stages["group_value"]:
+            absent = [f for f in stages["fields"] if f not in frow]
+            if absent:
+                regressions += 1
+                table.append(
+                    (
+                        fmt_key(key),
+                        "stages",
+                        "-",
+                        "absent: " + ",".join(absent),
+                        "-",
+                        "MISSING-STAGES",
+                    )
+                )
+            else:
+                total = sum(frow[f] for f in stages["fields"])
+                elapsed = frow["elapsed_s"]
+                if elapsed < wall_floor:
+                    # Sub-resolution rows: the unattributed residue is
+                    # clock noise, so only presence is enforced above.
+                    table.append(
+                        (
+                            fmt_key(key),
+                            "stages",
+                            f"{elapsed:.4f}",
+                            f"{total:.4f}",
+                            "-",
+                            "ok (sub-floor)",
+                        )
+                    )
+                else:
+                    drift = abs(total - elapsed) / elapsed
+                    status = "ok" if drift <= stages["tolerance"] else "STAGE-SUM-DRIFT"
+                    if drift > stages["tolerance"]:
+                        regressions += 1
+                    table.append(
+                        (
+                            fmt_key(key),
+                            "stages",
+                            f"{elapsed:.4f}",
+                            f"{total:.4f}",
+                            f"{drift * 100:.1f}%",
+                            status,
+                        )
+                    )
+
         brow = base_rows.get(key)
         if brow is None:
             table.append((fmt_key(key), "-", "-", "-", "-", "NEW"))
@@ -233,7 +301,48 @@ def self_test():
         "v1" in r[0] and r[1] == "reports" and r[5] == "ok" for r in table
     ), "the v1 row must still pass"
 
-    print("self-test PASS: 6 gate-logic checks")
+    # 7. Scenario stage decomposition. A fresh scenario row must carry
+    #    all three stage fields and their sum must land within the
+    #    tolerance of elapsed_s; event rows are exempt.
+    def scen_rows(elapsed, emit=None, merge=None, ingest=None):
+        data = rows(("scenario", 1, 100, elapsed))
+        r = data["results"][0]
+        if emit is not None:
+            r["stage_emit_s"] = emit
+            r["stage_merge_s"] = merge
+            r["stage_ingest_s"] = ingest
+        return data
+
+    staged = scen_rows(1.0, emit=0.5, merge=0.1, ingest=0.38)  # sum 0.98
+    _, reg, missing = compare(staged, staged, spec, 10.0, 0.05)
+    assert reg == 0 and not missing, "consistent stage sum must pass"
+
+    doctored_sum = scen_rows(1.0, emit=0.2, merge=0.1, ingest=0.1)  # sum 0.4
+    table, reg, _ = compare(staged, doctored_sum, spec, 10.0, 0.05)
+    assert reg == 1, "stage sum drifting 60% off elapsed_s must fire"
+    assert any(r[5] == "STAGE-SUM-DRIFT" for r in table), "drift must be labelled"
+
+    stageless = scen_rows(1.0)  # scenario row with no stage fields at all
+    table, reg, _ = compare(staged, stageless, spec, 10.0, 0.05)
+    assert reg == 1, "a scenario row missing its stage fields must fire"
+    assert any(r[5] == "MISSING-STAGES" for r in table), "absence must be labelled"
+
+    tiny_staged = scen_rows(0.004, emit=0.0, merge=0.0, ingest=0.0)
+    _, reg, _ = compare(tiny_staged, tiny_staged, spec, 10.0, 0.05)
+    assert reg == 0, "sub-floor rows must skip the stage-sum ratio"
+
+    # Event rows never carried stages and must stay exempt — and the
+    # stage check applies to NEW fresh rows too (no baseline needed).
+    table, reg, _ = compare(staged, rows(("event", 0, 100, 1.0)), spec, 10.0, 0.05)
+    assert reg == 0, "event rows are exempt from stage checks"
+    table, reg, _ = compare(
+        rows(("event", 0, 100, 1.0)), stageless, spec, 10.0, 0.05
+    )
+    assert reg == 1 and any(
+        r[5] == "MISSING-STAGES" for r in table
+    ), "NEW scenario rows are still stage-checked"
+
+    print("self-test PASS: 7 gate-logic checks")
     return 0
 
 
