@@ -250,8 +250,8 @@ impl Accumulator for DenseAccumulator {
 /// Honest traffic can never saturate: between two closings of an order-`h`
 /// interval the server accepts at most one report per registered user, so
 /// `|sum| ≤ n ≤ n·k` — the bound installed by
-/// [`AccumulatorKind::accumulator_for`]. A set [`saturated`]
-/// (`FixedPointAccumulator::saturated`) flag therefore indicates a
+/// [`AccumulatorKind::accumulator_for`]. A set
+/// [`saturated`](FixedPointAccumulator::saturated) flag therefore indicates a
 /// protocol violation (or a mis-sized bound), and the sums are clamped
 /// rather than wrapped so the failure is loud and deterministic.
 #[derive(Debug, Clone, PartialEq)]

@@ -41,8 +41,8 @@ const CLIENT_KEY_TWEAK: u64 = 0xFA57_5EED_C0DE_0001;
 ///   stateless counter generator [`word`]; non-zero reports and all
 ///   initialization draws are unchanged from v1.
 ///
-/// Selected process-wide by `RTF_SEED_SCHEMA` ([`from_env`]
-/// (SeedSchema::from_env)); engine entry points also accept it
+/// Selected process-wide by `RTF_SEED_SCHEMA`
+/// ([`from_env`](SeedSchema::from_env)); engine entry points also accept it
 /// explicitly. Within a schema the usual determinism contract holds:
 /// sequential ≡ parallel ≡ live, value for value. Across schemas only
 /// distributional properties (unbiasedness, the variance envelope) are

@@ -451,6 +451,43 @@ pub struct PeriodClose {
 ///
 /// Owns the [`Server`] for the duration of the run;
 /// [`finish`](Self::finish) hands it back with the final accounting.
+///
+/// # Examples
+///
+/// Stream trusted rows across two workers, kill one mid-period, and
+/// recover it exactly from the journal:
+///
+/// ```
+/// use rtf_core::params::ProtocolParams;
+/// use rtf_core::server::Server;
+/// use rtf_primitives::sign::Sign;
+/// use rtf_runtime::ingest::IngestService;
+/// use rtf_runtime::ReportBatch;
+///
+/// let params = ProtocolParams::new(100, 8, 2, 1.0, 0.05).unwrap();
+/// let mut server = Server::for_future_rand(params);
+/// for _ in 0..4 {
+///     server.register_user(0); // four order-0 clients
+/// }
+///
+/// let mut svc = IngestService::new(server, /* workers */ 2, /* mailbox_cap */ 4);
+/// for t in 1..=8u64 {
+///     let mut batch = ReportBatch::new();
+///     for user in 0..4u32 {
+///         batch.push(user, 0, Sign::Plus);
+///     }
+///     svc.submit_reports((t % 2) as usize, batch);
+///     if t == 3 {
+///         // Worker 0 dies with un-flushed state; the journal replays it.
+///         svc.kill_worker(0);
+///     }
+///     let close = svc.close_period(t).unwrap();
+///     assert!(close.estimate.is_finite());
+/// }
+/// let (server, stats) = svc.finish();
+/// assert_eq!(server.reports_ingested(), 4 * 8);
+/// assert_eq!(stats.recoveries, 1);
+/// ```
 pub struct IngestService {
     /// `Some` until [`finish`](Self::finish) hands the server back.
     server: Option<Server>,

@@ -124,6 +124,35 @@ impl ChaosPlan {
 /// * every configured fault fired: `recoveries == plan.expected_kills()`
 ///   and `restarts == plan.expected_restarts()` on both engines.
 ///
+/// # Examples
+///
+/// A worker kill composed with a mid-period service restart; the
+/// crashed-and-recovered live runs must match the never-crashed
+/// sequential reference value-for-value:
+///
+/// ```
+/// use rtf_core::accumulator::AccumulatorKind;
+/// use rtf_core::params::ProtocolParams;
+/// use rtf_primitives::seeding::SeedSequence;
+/// use rtf_scenarios::chaos::{assert_chaos_recovery, ChaosPlan};
+/// use rtf_scenarios::config::Scenario;
+/// use rtf_streams::generator::UniformChanges;
+/// use rtf_streams::population::Population;
+///
+/// let params = ProtocolParams::new(30, 8, 2, 1.0, 0.05).unwrap();
+/// let mut rng = SeedSequence::new(11).rng();
+/// let population = Population::generate(&UniformChanges::new(8, 2, 0.8), 30, &mut rng);
+/// let plan = ChaosPlan::new().with_kill(0, 3).with_mid_restart(5);
+/// assert_chaos_recovery(
+///     &params,
+///     &population,
+///     11,
+///     &Scenario::honest().with_dropout(0.1),
+///     &plan,
+///     AccumulatorKind::Dense,
+/// );
+/// ```
+///
 /// # Panics
 /// Panics naming the plan, engine, and worker count of the first
 /// divergence — or the fault that silently failed to fire.

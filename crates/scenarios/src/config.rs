@@ -19,6 +19,9 @@
 //! storm touching 10% of reports still folds the other 90% as whole
 //! words.
 
+use rand::rngs::StdRng;
+use rand::Rng;
+
 /// A fault-injection plan for one longitudinal deployment.
 ///
 /// Build with [`Scenario::honest`] plus the `with_*` combinators:
@@ -141,6 +144,208 @@ impl Scenario {
 impl Default for Scenario {
     fn default() -> Self {
         Scenario::honest()
+    }
+}
+
+/// The straggler delay distribution: how many periods a delayed report
+/// waits before delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayLaw {
+    /// Uniform in `1..=max_delay` — the historical law. Every constant
+    /// scenario uses it, and its draws are bit-identical to the pre-DSL
+    /// engine.
+    Uniform,
+    /// Heavy (Pareto/zipf) tail: `Δ = ⌊(1-u)^{-1/α}⌋` clamped to
+    /// `1..=max_delay`. Small `α` means long tails — most stragglers are
+    /// barely late, a few arrive near the horizon. Consumes exactly one
+    /// `f64` draw, like the uniform law, so switching laws never shifts
+    /// any other fault decision's position in the stream.
+    Zipf {
+        /// Tail exponent; must be positive and finite.
+        alpha: f64,
+    },
+}
+
+impl DelayLaw {
+    /// Validates the law's parameters.
+    ///
+    /// # Panics
+    /// Panics if a zipf `alpha` is not positive and finite.
+    pub fn validate(&self) {
+        if let DelayLaw::Zipf { alpha } = self {
+            assert!(
+                alpha.is_finite() && *alpha > 0.0,
+                "zipf alpha = {alpha} must be positive and finite"
+            );
+        }
+    }
+
+    /// Draws one delay from the client's private fault stream. Both laws
+    /// consume exactly one draw.
+    pub(crate) fn sample(&self, frng: &mut StdRng, max_delay: u64) -> u64 {
+        match *self {
+            DelayLaw::Uniform => frng.random_range(1..=max_delay),
+            DelayLaw::Zipf { alpha } => {
+                let u: f64 = frng.random();
+                // Inverse CDF of the Pareto tail P(Δ ≥ x) = x^{-α},
+                // truncated at max_delay. 1-u ∈ (0, 1], so raw ≥ 1.
+                let raw = (1.0 - u).powf(-1.0 / alpha);
+                if raw >= max_delay as f64 {
+                    max_delay
+                } else {
+                    (raw as u64).max(1)
+                }
+            }
+        }
+    }
+}
+
+/// A per-period fault schedule: the scenario the fault layer applies may
+/// change from period to period, which is what turns a flat fault mix
+/// into a *workload* — load waves, flash crowds, churn storms.
+///
+/// A timeline is either **constant** (one [`Scenario`] for the whole
+/// horizon — exactly the pre-DSL engine, draw for draw) or **shaped**
+/// (one effective [`Scenario`] row per period `t ∈ 1..=d`). All three
+/// execution engines (sequential, span-native batched, live streaming)
+/// take the same timeline and consult it at the same `(user, period)`
+/// points, so the differential oracle's value-identity guarantee carries
+/// over unchanged.
+///
+/// Two rates are special because they are per-*client*, not per-report:
+///
+/// * `byzantine_frac` is drawn once per client before the horizon starts,
+///   so it cannot vary per period — [`FaultTimeline::validate`] rejects
+///   rows that disagree with the base;
+/// * `churn_prob` rows form a per-period *hazard*: the departure period is
+///   sampled by inverting the survival curve `Π_{s ≤ t}(1 - p_s)` with a
+///   single uniform draw.
+///
+/// Draw-consumption caveat: a shaped timeline always spends one churn
+/// draw per client (even with all hazards zero), while a constant
+/// scenario with `churn_prob == 0` spends none — so outcomes compare
+/// seed-for-seed *within* a timeline kind, not across kinds. Every
+/// engine agrees with every other engine on both kinds; that is the
+/// invariant the oracle pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTimeline {
+    base: Scenario,
+    rows: Option<Vec<Scenario>>,
+    delay_law: DelayLaw,
+}
+
+impl FaultTimeline {
+    /// The timeline that applies `base` every period — bit-identical to
+    /// running the pre-DSL engine on `base` directly.
+    pub fn constant(base: Scenario) -> Self {
+        FaultTimeline {
+            base,
+            rows: None,
+            delay_law: DelayLaw::Uniform,
+        }
+    }
+
+    /// A shaped timeline: `rows[t-1]` is the effective scenario during
+    /// period `t`. `base` still decides the per-client rates
+    /// (`byzantine_frac`); `rows` must agree with it there.
+    pub fn shaped(base: Scenario, rows: Vec<Scenario>) -> Self {
+        FaultTimeline {
+            base,
+            rows: Some(rows),
+            delay_law: DelayLaw::Uniform,
+        }
+    }
+
+    /// Replaces the straggler delay distribution (default
+    /// [`DelayLaw::Uniform`]).
+    pub fn with_delay_law(mut self, law: DelayLaw) -> Self {
+        self.delay_law = law;
+        self
+    }
+
+    /// The base scenario (the whole schedule when [`Self::is_constant`]).
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// Whether this timeline applies one scenario to every period.
+    pub fn is_constant(&self) -> bool {
+        self.rows.is_none()
+    }
+
+    /// The straggler delay distribution.
+    pub fn delay_law(&self) -> DelayLaw {
+        self.delay_law
+    }
+
+    /// The Byzantine client fraction — constant across the horizon
+    /// because each client's nature is drawn once, before period 1.
+    pub fn byzantine_frac(&self) -> f64 {
+        self.base.byzantine_frac
+    }
+
+    /// The effective scenario during period `t` (1-based).
+    #[inline]
+    pub fn at(&self, t: u64) -> &Scenario {
+        match &self.rows {
+            None => &self.base,
+            Some(rows) => &rows[(t - 1) as usize],
+        }
+    }
+
+    /// Samples the client's permanent-departure period from its private
+    /// fault stream (`u64::MAX` = never departs).
+    ///
+    /// Constant timelines delegate to the geometric sampler (zero draws
+    /// when the hazard is zero — the historical layout). Shaped timelines
+    /// invert the per-period survival curve with exactly one uniform
+    /// draw, so every engine consumes the identical stream position.
+    pub(crate) fn sample_churn(&self, frng: &mut StdRng) -> u64 {
+        match &self.rows {
+            None => crate::engine::sample_churn_period(frng, self.base.churn_prob),
+            Some(rows) => {
+                // T = min { t : v > Π_{s ≤ t}(1 - p_s) } with v = 1-u,
+                // matching the geometric inversion when all p_s are equal.
+                let v: f64 = 1.0 - frng.random::<f64>();
+                let mut survival = 1.0f64;
+                for (i, row) in rows.iter().enumerate() {
+                    survival *= 1.0 - row.churn_prob;
+                    if v > survival {
+                        return (i as u64) + 1;
+                    }
+                }
+                u64::MAX
+            }
+        }
+    }
+
+    /// Validates the whole schedule for a horizon of `d` periods.
+    ///
+    /// # Panics
+    /// Panics if the base or any row fails [`Scenario::validate`], if the
+    /// row count is not exactly `d`, if any row's `byzantine_frac`
+    /// disagrees with the base, or if the delay law is invalid.
+    pub fn validate(&self, d: u64) {
+        self.base.validate();
+        self.delay_law.validate();
+        if let Some(rows) = &self.rows {
+            assert_eq!(
+                rows.len(),
+                d as usize,
+                "shaped timeline must have exactly one row per period"
+            );
+            for (i, row) in rows.iter().enumerate() {
+                row.validate();
+                assert!(
+                    row.byzantine_frac == self.base.byzantine_frac,
+                    "byzantine_frac is per-client (drawn once before period 1) \
+                     and cannot vary per period: row {} = {}, base = {}",
+                    i + 1,
+                    row.byzantine_frac,
+                    self.base.byzantine_frac
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,943 @@
+//! The TOML front end for [`ScenarioSpec`]: a hand-rolled parser and
+//! emitter for the subset of TOML the spec schema needs.
+//!
+//! Supported syntax: `#` comments, `key = value` pairs with bare keys,
+//! `[table.path]` headers, `[[array.of.tables]]` headers, and scalar
+//! values — double-quoted single-line strings (`\"`, `\\`, `\n`, `\t`,
+//! `\r` escapes), integers, floats, booleans, and single-line arrays of
+//! scalars. That is the whole schema; anything else is a typed
+//! [`SpecError`] with the offending line, never a panic (property-tested
+//! against arbitrary byte soup).
+//!
+//! The emitter writes canonical key order and shortest-roundtrip float
+//! formatting, so `from_toml ∘ to_toml` is the identity on every valid
+//! spec — committed workload files can be regenerated from code without
+//! drift.
+
+use super::expect::{ExpectationSpec, FaultField};
+use super::{
+    ChaosSpec, FaultKnob, PopulationSpec, ProtocolSpec, ScenarioSpec, ShapeSpec, SpecError,
+    SpecErrorKind,
+};
+use crate::config::{DelayLaw, Scenario};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Value model
+// ---------------------------------------------------------------------------
+
+/// One parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Value {
+    Str(String),
+    Int(i128),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<Value>),
+    Table(Table),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+}
+
+/// A value plus the 1-based line it was defined on.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Entry {
+    pub line: u32,
+    pub value: Value,
+}
+
+/// An insertion-ordered table with unique keys.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Table {
+    entries: Vec<(String, Entry)>,
+}
+
+impl Table {
+    fn get_mut(&mut self, key: &str) -> Option<&mut Entry> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, e)| e)
+    }
+
+    fn insert(&mut self, key: String, entry: Entry) -> Result<(), SpecError> {
+        if self.entries.iter().any(|(k, _)| *k == key) {
+            return Err(syntax(format!("duplicate key `{key}`")).at_line(entry.line));
+        }
+        self.entries.push((key, entry));
+        Ok(())
+    }
+
+    fn take(&mut self, key: &str) -> Option<Entry> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+}
+
+fn syntax(msg: impl Into<String>) -> SpecError {
+    SpecError::new(SpecErrorKind::Syntax(msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Document parser
+// ---------------------------------------------------------------------------
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Splits a dotted header path like `chaos.kill` into components.
+fn parse_path(s: &str, line: u32) -> Result<Vec<String>, SpecError> {
+    let comps: Vec<String> = s.split('.').map(|c| c.trim().to_string()).collect();
+    for c in &comps {
+        if !is_bare_key(c) {
+            return Err(syntax(format!("invalid table path `{s}`")).at_line(line));
+        }
+    }
+    Ok(comps)
+}
+
+/// Navigates to (creating as needed) the table at `path`, descending
+/// into the last element of any array-of-tables on the way.
+fn ensure_table<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    line: u32,
+) -> Result<&'a mut Table, SpecError> {
+    let mut cur = root;
+    for comp in path {
+        if cur.get_mut(comp).is_none() {
+            cur.insert(
+                comp.clone(),
+                Entry {
+                    line,
+                    value: Value::Table(Table::default()),
+                },
+            )?;
+        }
+        let entry = cur.get_mut(comp).expect("just ensured");
+        cur = match &mut entry.value {
+            Value::Table(t) => t,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(syntax(format!("`{comp}` is not a table of tables")).at_line(line)),
+            },
+            other => {
+                return Err(
+                    syntax(format!("`{comp}` is a {}, not a table", other.type_name()))
+                        .at_line(line),
+                )
+            }
+        };
+    }
+    Ok(cur)
+}
+
+/// Appends a fresh table to the array-of-tables at `path`, creating it
+/// on first use, and returns the new element.
+fn push_array_table<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    line: u32,
+) -> Result<&'a mut Table, SpecError> {
+    let (last, parents) = path.split_last().expect("non-empty path");
+    let parent = ensure_table(root, parents, line)?;
+    match parent.get_mut(last) {
+        None => {
+            parent.insert(
+                last.clone(),
+                Entry {
+                    line,
+                    value: Value::Array(vec![Value::Table(Table::default())]),
+                },
+            )?;
+        }
+        Some(entry) => match &mut entry.value {
+            Value::Array(items) => items.push(Value::Table(Table::default())),
+            other => {
+                return Err(syntax(format!(
+                    "`{last}` is a {}, not an array of tables",
+                    other.type_name()
+                ))
+                .at_line(line))
+            }
+        },
+    }
+    match &mut parent.get_mut(last).expect("just inserted").value {
+        Value::Array(items) => match items.last_mut() {
+            Some(Value::Table(t)) => Ok(t),
+            _ => unreachable!("just pushed a table"),
+        },
+        _ => unreachable!("just checked array"),
+    }
+}
+
+/// Parses one scalar (or array-of-scalars) starting at `chars[i]`;
+/// returns the value and the index one past it.
+fn parse_value(chars: &[char], mut i: usize, line: u32) -> Result<(Value, usize), SpecError> {
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    if i >= chars.len() {
+        return Err(syntax("missing value").at_line(line));
+    }
+    match chars[i] {
+        '"' => {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= chars.len() {
+                    return Err(syntax("unterminated string").at_line(line));
+                }
+                match chars[i] {
+                    '"' => return Ok((Value::Str(s), i + 1)),
+                    '\\' => {
+                        i += 1;
+                        let esc = *chars
+                            .get(i)
+                            .ok_or_else(|| syntax("dangling escape").at_line(line))?;
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '"' => '"',
+                            '\\' => '\\',
+                            other => {
+                                return Err(
+                                    syntax(format!("unknown escape `\\{other}`")).at_line(line)
+                                )
+                            }
+                        });
+                        i += 1;
+                    }
+                    c => {
+                        s.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        '[' => {
+            let mut items = Vec::new();
+            i += 1;
+            loop {
+                while i < chars.len() && (chars[i].is_whitespace() || chars[i] == ',') {
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(syntax("unterminated array").at_line(line));
+                }
+                if chars[i] == ']' {
+                    return Ok((Value::Array(items), i + 1));
+                }
+                let (v, next) = parse_value(chars, i, line)?;
+                if matches!(v, Value::Array(_)) {
+                    return Err(syntax("nested arrays are not supported").at_line(line));
+                }
+                items.push(v);
+                i = next;
+            }
+        }
+        _ => {
+            let start = i;
+            while i < chars.len()
+                && !matches!(chars[i], ',' | ']' | '#')
+                && !chars[i].is_whitespace()
+            {
+                i += 1;
+            }
+            let token: String = chars[start..i].iter().collect();
+            match token.as_str() {
+                "true" => return Ok((Value::Bool(true), i)),
+                "false" => return Ok((Value::Bool(false), i)),
+                _ => {}
+            }
+            if token.contains('.') || token.contains('e') || token.contains('E') {
+                token
+                    .parse::<f64>()
+                    .map(|f| (Value::Float(f), i))
+                    .map_err(|_| syntax(format!("invalid float `{token}`")).at_line(line))
+            } else {
+                token
+                    .parse::<i128>()
+                    .map(|n| (Value::Int(n), i))
+                    .map_err(|_| syntax(format!("invalid value `{token}`")).at_line(line))
+            }
+        }
+    }
+}
+
+/// Asserts only whitespace or a `#` comment remains from `chars[i]`.
+fn expect_line_end(chars: &[char], mut i: usize, line: u32) -> Result<(), SpecError> {
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    if i < chars.len() && chars[i] != '#' {
+        let rest: String = chars[i..].iter().collect();
+        return Err(syntax(format!("trailing content `{rest}`")).at_line(line));
+    }
+    Ok(())
+}
+
+/// Parses a whole document into the root table.
+pub(crate) fn parse_document(text: &str) -> Result<Table, SpecError> {
+    let mut root = Table::default();
+    let mut current_path: Vec<String> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = (idx + 1) as u32;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(inner) = trimmed
+            .strip_prefix("[[")
+            .and_then(|s| strip_header_suffix(s, "]]"))
+        {
+            let path = parse_path(inner, line)?;
+            push_array_table(&mut root, &path, line)?;
+            current_path = path;
+            continue;
+        }
+        if let Some(inner) = trimmed
+            .strip_prefix('[')
+            .and_then(|s| strip_header_suffix(s, "]"))
+        {
+            let path = parse_path(inner, line)?;
+            ensure_table(&mut root, &path, line)?;
+            current_path = path;
+            continue;
+        }
+        let Some((key_part, value_part)) = trimmed.split_once('=') else {
+            return Err(syntax(format!("expected `key = value`, got `{trimmed}`")).at_line(line));
+        };
+        let key = key_part.trim();
+        if !is_bare_key(key) {
+            return Err(syntax(format!("invalid key `{key}`")).at_line(line));
+        }
+        let chars: Vec<char> = value_part.chars().collect();
+        let (value, next) = parse_value(&chars, 0, line)?;
+        expect_line_end(&chars, next, line)?;
+        let table = ensure_table(&mut root, &current_path, line)?;
+        table.insert(key.to_string(), Entry { line, value })?;
+    }
+    Ok(root)
+}
+
+/// Strips the closing bracket(s) and any trailing comment of a header.
+fn strip_header_suffix<'a>(s: &'a str, close: &str) -> Option<&'a str> {
+    let end = s.find(close)?;
+    let rest = s[end + close.len()..].trim();
+    if rest.is_empty() || rest.starts_with('#') {
+        Some(&s[..end])
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed extraction
+// ---------------------------------------------------------------------------
+
+/// A table being consumed: `take_*` removes recognised keys; `finish`
+/// rejects whatever is left as [`SpecErrorKind::UnknownField`].
+struct Ctx {
+    table: Table,
+    path: String,
+}
+
+impl Ctx {
+    fn new(table: Table, path: impl Into<String>) -> Self {
+        Ctx {
+            table,
+            path: path.into(),
+        }
+    }
+
+    fn field(&self, key: &str) -> String {
+        if self.path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{}.{key}", self.path)
+        }
+    }
+
+    fn require(&mut self, key: &str) -> Result<Entry, SpecError> {
+        self.table
+            .take(key)
+            .ok_or_else(|| SpecError::new(SpecErrorKind::MissingField).in_field(self.field(key)))
+    }
+
+    fn str_of(&self, key: &str, e: Entry) -> Result<(String, u32), SpecError> {
+        match e.value {
+            Value::Str(s) => Ok((s, e.line)),
+            other => Err(type_err("string", &other, e.line, self.field(key))),
+        }
+    }
+
+    fn f64_of(&self, key: &str, e: Entry) -> Result<(f64, u32), SpecError> {
+        match e.value {
+            Value::Float(f) => Ok((f, e.line)),
+            Value::Int(n) => Ok((n as f64, e.line)),
+            other => Err(type_err("number", &other, e.line, self.field(key))),
+        }
+    }
+
+    fn u64_of(&self, key: &str, e: Entry) -> Result<(u64, u32), SpecError> {
+        match e.value {
+            Value::Int(n) if (0..=u64::MAX as i128).contains(&n) => Ok((n as u64, e.line)),
+            Value::Int(n) => Err(SpecError::range(format!("{n} is not a u64"))
+                .in_field(self.field(key))
+                .at_line(e.line)),
+            other => Err(type_err("integer", &other, e.line, self.field(key))),
+        }
+    }
+
+    fn take_str(&mut self, key: &str) -> Result<Option<(String, u32)>, SpecError> {
+        match self.table.take(key) {
+            None => Ok(None),
+            Some(e) => self.str_of(key, e).map(Some),
+        }
+    }
+
+    fn take_f64(&mut self, key: &str) -> Result<Option<(f64, u32)>, SpecError> {
+        match self.table.take(key) {
+            None => Ok(None),
+            Some(e) => self.f64_of(key, e).map(Some),
+        }
+    }
+
+    fn take_u64(&mut self, key: &str) -> Result<Option<(u64, u32)>, SpecError> {
+        match self.table.take(key) {
+            None => Ok(None),
+            Some(e) => self.u64_of(key, e).map(Some),
+        }
+    }
+
+    fn req_str(&mut self, key: &str) -> Result<(String, u32), SpecError> {
+        let e = self.require(key)?;
+        self.str_of(key, e)
+    }
+
+    fn req_f64(&mut self, key: &str) -> Result<(f64, u32), SpecError> {
+        let e = self.require(key)?;
+        self.f64_of(key, e)
+    }
+
+    fn req_u64(&mut self, key: &str) -> Result<(u64, u32), SpecError> {
+        let e = self.require(key)?;
+        self.u64_of(key, e)
+    }
+
+    /// An optional array of non-negative integers.
+    fn take_u64_array(&mut self, key: &str) -> Result<Vec<u64>, SpecError> {
+        let Some(e) = self.table.take(key) else {
+            return Ok(Vec::new());
+        };
+        let line = e.line;
+        let Value::Array(items) = e.value else {
+            return Err(type_err("array", &e.value, line, self.field(key)));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                Value::Int(n) if (0..=u64::MAX as i128).contains(&n) => out.push(n as u64),
+                other => {
+                    return Err(type_err(
+                        "non-negative integer",
+                        &other,
+                        line,
+                        self.field(key),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// An optional array of strings.
+    fn take_str_array(&mut self, key: &str) -> Result<Option<(Vec<String>, u32)>, SpecError> {
+        let Some(e) = self.table.take(key) else {
+            return Ok(None);
+        };
+        let line = e.line;
+        let Value::Array(items) = e.value else {
+            return Err(type_err("array", &e.value, line, self.field(key)));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                Value::Str(s) => out.push(s),
+                other => return Err(type_err("string", &other, line, self.field(key))),
+            }
+        }
+        Ok(Some((out, line)))
+    }
+
+    /// An optional sub-table (from a `[header]`).
+    fn take_table(&mut self, key: &str) -> Result<Option<Ctx>, SpecError> {
+        let Some(e) = self.table.take(key) else {
+            return Ok(None);
+        };
+        match e.value {
+            Value::Table(t) => Ok(Some(Ctx::new(t, self.field(key)))),
+            other => Err(type_err("table", &other, e.line, self.field(key))),
+        }
+    }
+
+    /// An optional array of tables (from `[[header]]`s).
+    fn take_table_array(&mut self, key: &str) -> Result<Vec<(Ctx, u32)>, SpecError> {
+        let Some(e) = self.table.take(key) else {
+            return Ok(Vec::new());
+        };
+        let line = e.line;
+        let Value::Array(items) = e.value else {
+            return Err(type_err("array of tables", &e.value, line, self.field(key)));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.into_iter().enumerate() {
+            match item {
+                Value::Table(t) => {
+                    out.push((Ctx::new(t, format!("{}[{i}]", self.field(key))), line))
+                }
+                other => {
+                    return Err(type_err("table", &other, line, self.field(key)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rejects any keys the schema did not consume.
+    fn finish(self) -> Result<(), SpecError> {
+        if let Some((key, entry)) = self.table.entries.first() {
+            return Err(SpecError::new(SpecErrorKind::UnknownField)
+                .in_field(self.field(key))
+                .at_line(entry.line));
+        }
+        Ok(())
+    }
+}
+
+fn type_err(expected: &'static str, found: &Value, line: u32, field: String) -> SpecError {
+    SpecError::new(SpecErrorKind::Type {
+        expected,
+        found: found.type_name().to_string(),
+    })
+    .in_field(field)
+    .at_line(line)
+}
+
+// ---------------------------------------------------------------------------
+// Spec schema
+// ---------------------------------------------------------------------------
+
+/// Parses a [`ScenarioSpec`] from TOML text.
+pub(crate) fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
+    let root = parse_document(text)?;
+    let mut ctx = Ctx::new(root, "");
+
+    let (name, _) = ctx.req_str("name")?;
+    let summary = ctx.take_str("summary")?.map(|(s, _)| s).unwrap_or_default();
+
+    let protocol = {
+        let mut p = ctx
+            .take_table("protocol")?
+            .ok_or_else(|| SpecError::new(SpecErrorKind::MissingField).in_field("protocol"))?;
+        let (n, nline) = p.req_u64("n")?;
+        let (d, _) = p.req_u64("d")?;
+        let (k, kline) = p.req_u64("k")?;
+        let epsilon = p.take_f64("epsilon")?.map(|(v, _)| v).unwrap_or(1.0);
+        let beta = p.take_f64("beta")?.map(|(v, _)| v).unwrap_or(0.05);
+        let seed = p.take_u64("seed")?.map(|(v, _)| v).unwrap_or(42);
+        p.finish()?;
+        let n = usize::try_from(n).map_err(|_| {
+            SpecError::range("n too large".to_string())
+                .in_field("protocol.n")
+                .at_line(nline)
+        })?;
+        let k = usize::try_from(k).map_err(|_| {
+            SpecError::range("k too large".to_string())
+                .in_field("protocol.k")
+                .at_line(kline)
+        })?;
+        ProtocolSpec {
+            n,
+            d,
+            k,
+            epsilon,
+            beta,
+            seed,
+        }
+    };
+
+    let population = match ctx.take_table("population")? {
+        None => PopulationSpec::Uniform { density: 0.8 },
+        Some(mut p) => {
+            let (kind, kline) = p.req_str("kind")?;
+            let pop = match kind.as_str() {
+                "uniform" => PopulationSpec::Uniform {
+                    density: p.take_f64("density")?.map(|(v, _)| v).unwrap_or(0.8),
+                },
+                "bursty" => PopulationSpec::Bursty {
+                    burst_len: p.req_u64("burst_len")?.0,
+                },
+                "periodic" => PopulationSpec::Periodic {
+                    period: p.req_u64("period")?.0,
+                },
+                "static" => PopulationSpec::Static {
+                    p_one: p.req_f64("p_one")?.0,
+                },
+                "wave-trend" => PopulationSpec::WaveTrend {
+                    low: p.req_f64("low")?.0,
+                    high: p.req_f64("high")?.0,
+                    wave_period: p.req_u64("wave_period")?.0,
+                },
+                other => {
+                    return Err(SpecError::range(format!(
+                    "unknown population kind `{other}` (uniform|bursty|periodic|static|wave-trend)"
+                ))
+                    .in_field("population.kind")
+                    .at_line(kline))
+                }
+            };
+            p.finish()?;
+            pop
+        }
+    };
+
+    let (faults, delay_law) = match ctx.take_table("faults")? {
+        None => (Scenario::honest(), DelayLaw::Uniform),
+        Some(mut f) => {
+            let mut scenario = Scenario::honest();
+            scenario.drop_prob = f.take_f64("dropout")?.map(|(v, _)| v).unwrap_or(0.0);
+            scenario.churn_prob = f.take_f64("churn")?.map(|(v, _)| v).unwrap_or(0.0);
+            scenario.straggle_prob = f.take_f64("straggle")?.map(|(v, _)| v).unwrap_or(0.0);
+            scenario.duplicate_prob = f.take_f64("duplicate")?.map(|(v, _)| v).unwrap_or(0.0);
+            scenario.byzantine_frac = f.take_f64("byzantine")?.map(|(v, _)| v).unwrap_or(0.0);
+            scenario.malformed_prob = f.take_f64("malformed")?.map(|(v, _)| v).unwrap_or(0.0);
+            scenario.max_delay = f.take_u64("max_delay")?.map(|(v, _)| v).unwrap_or(1);
+            let law = match f.take_str("delay_law")? {
+                None => DelayLaw::Uniform,
+                Some((law, lline)) => match law.as_str() {
+                    "uniform" => DelayLaw::Uniform,
+                    "zipf" => DelayLaw::Zipf {
+                        alpha: f.req_f64("zipf_alpha")?.0,
+                    },
+                    other => {
+                        return Err(SpecError::range(format!(
+                            "unknown delay law `{other}` (uniform|zipf)"
+                        ))
+                        .in_field("faults.delay_law")
+                        .at_line(lline))
+                    }
+                },
+            };
+            f.finish()?;
+            (scenario, law)
+        }
+    };
+
+    let mut shapes = Vec::new();
+    for (mut s, sline) in ctx.take_table_array("shape")? {
+        let (kind, kline) = s.req_str("kind")?;
+        let knob_of = |s: &mut Ctx| -> Result<FaultKnob, SpecError> {
+            let (knob, kline) = s.req_str("knob")?;
+            FaultKnob::parse(&knob).ok_or_else(|| {
+                SpecError::range(format!(
+                    "unknown fault knob `{knob}` (dropout|churn|straggle|duplicate|malformed)"
+                ))
+                .in_field(s.field("knob"))
+                .at_line(kline)
+            })
+        };
+        let shape = match kind.as_str() {
+            "wave" => ShapeSpec::Wave {
+                knob: knob_of(&mut s)?,
+                amplitude: s.req_f64("amplitude")?.0,
+                period: s.req_u64("period")?.0,
+                phase: s.take_f64("phase")?.map(|(v, _)| v).unwrap_or(0.0),
+            },
+            "pulse" => ShapeSpec::Pulse {
+                knob: knob_of(&mut s)?,
+                from: s.req_u64("from")?.0,
+                until: s.req_u64("until")?.0,
+                scale: s.req_f64("scale")?.0,
+            },
+            "ramp" => ShapeSpec::Ramp {
+                knob: knob_of(&mut s)?,
+                to: s.req_f64("to")?.0,
+            },
+            other => {
+                return Err(SpecError::range(format!(
+                    "unknown shape kind `{other}` (wave|pulse|ramp)"
+                ))
+                .in_field(s.field("kind"))
+                .at_line(kline))
+            }
+        };
+        let _ = sline;
+        s.finish()?;
+        shapes.push(shape);
+    }
+
+    let chaos = match ctx.take_table("chaos")? {
+        None => ChaosSpec::default(),
+        Some(mut c) => {
+            let mut kills = Vec::new();
+            for (mut k, _) in c.take_table_array("kill")? {
+                let worker = k.req_u64("worker")?.0 as usize;
+                let period = k.req_u64("period")?.0;
+                k.finish()?;
+                kills.push((worker, period));
+            }
+            let mid_restarts = c.take_u64_array("mid_restarts")?;
+            let between_restarts = c.take_u64_array("between_restarts")?;
+            c.finish()?;
+            ChaosSpec {
+                kills,
+                mid_restarts,
+                between_restarts,
+            }
+        }
+    };
+
+    let expectation = {
+        let mut e = ctx
+            .take_table("expectation")?
+            .ok_or_else(|| SpecError::new(SpecErrorKind::MissingField).in_field("expectation"))?;
+        let (kind, kline) = e.req_str("kind")?;
+        let require_of = |e: &mut Ctx| -> Result<Vec<FaultField>, SpecError> {
+            let Some((names, rline)) = e.take_str_array("require")? else {
+                return Ok(Vec::new());
+            };
+            let mut out = Vec::with_capacity(names.len());
+            for name in names {
+                out.push(FaultField::parse(&name).ok_or_else(|| {
+                    SpecError::range(format!("unknown fault field `{name}`"))
+                        .in_field(e.field("require"))
+                        .at_line(rline)
+                })?);
+            }
+            Ok(out)
+        };
+        let expectation = match kind.as_str() {
+            "exact-honest" => ExpectationSpec::ExactHonest,
+            "envelope" => ExpectationSpec::Envelope {
+                z: e.req_f64("z")?.0,
+                require: require_of(&mut e)?,
+            },
+            "duplicates-free" => ExpectationSpec::DuplicatesFree,
+            "chaos-recovery" => ExpectationSpec::ChaosRecovery {
+                z: e.req_f64("z")?.0,
+                require: require_of(&mut e)?,
+            },
+            other => {
+                return Err(SpecError::range(format!(
+                    "unknown expectation kind `{other}` \
+                     (exact-honest|envelope|duplicates-free|chaos-recovery)"
+                ))
+                .in_field("expectation.kind")
+                .at_line(kline))
+            }
+        };
+        e.finish()?;
+        expectation
+    };
+
+    ctx.finish()?;
+    Ok(ScenarioSpec {
+        name,
+        summary,
+        protocol,
+        population,
+        faults,
+        delay_law,
+        shapes,
+        chaos,
+        expectation,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+fn emit_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn emit_kv_str(out: &mut String, key: &str, s: &str) {
+    let _ = write!(out, "{key} = ");
+    emit_str(out, s);
+    out.push('\n');
+}
+
+/// Emits a [`ScenarioSpec`] as canonical TOML.
+pub(crate) fn emit_spec(spec: &ScenarioSpec) -> String {
+    let mut out = String::new();
+    emit_kv_str(&mut out, "name", &spec.name);
+    emit_kv_str(&mut out, "summary", &spec.summary);
+
+    let p = &spec.protocol;
+    let _ = write!(
+        out,
+        "\n[protocol]\nn = {}\nd = {}\nk = {}\nepsilon = {:?}\nbeta = {:?}\nseed = {}\n",
+        p.n, p.d, p.k, p.epsilon, p.beta, p.seed
+    );
+
+    out.push_str("\n[population]\n");
+    match spec.population {
+        PopulationSpec::Uniform { density } => {
+            let _ = write!(out, "kind = \"uniform\"\ndensity = {density:?}\n");
+        }
+        PopulationSpec::Bursty { burst_len } => {
+            let _ = write!(out, "kind = \"bursty\"\nburst_len = {burst_len}\n");
+        }
+        PopulationSpec::Periodic { period } => {
+            let _ = write!(out, "kind = \"periodic\"\nperiod = {period}\n");
+        }
+        PopulationSpec::Static { p_one } => {
+            let _ = write!(out, "kind = \"static\"\np_one = {p_one:?}\n");
+        }
+        PopulationSpec::WaveTrend {
+            low,
+            high,
+            wave_period,
+        } => {
+            let _ = write!(
+                out,
+                "kind = \"wave-trend\"\nlow = {low:?}\nhigh = {high:?}\nwave_period = {wave_period}\n"
+            );
+        }
+    }
+
+    let f = &spec.faults;
+    let _ = write!(
+        out,
+        "\n[faults]\ndropout = {:?}\nchurn = {:?}\nstraggle = {:?}\nduplicate = {:?}\n\
+         byzantine = {:?}\nmalformed = {:?}\nmax_delay = {}\n",
+        f.drop_prob,
+        f.churn_prob,
+        f.straggle_prob,
+        f.duplicate_prob,
+        f.byzantine_frac,
+        f.malformed_prob,
+        f.max_delay
+    );
+    match spec.delay_law {
+        DelayLaw::Uniform => out.push_str("delay_law = \"uniform\"\n"),
+        DelayLaw::Zipf { alpha } => {
+            let _ = write!(out, "delay_law = \"zipf\"\nzipf_alpha = {alpha:?}\n");
+        }
+    }
+
+    for shape in &spec.shapes {
+        out.push_str("\n[[shape]]\n");
+        match *shape {
+            ShapeSpec::Wave {
+                knob,
+                amplitude,
+                period,
+                phase,
+            } => {
+                let _ = write!(
+                    out,
+                    "kind = \"wave\"\nknob = \"{}\"\namplitude = {amplitude:?}\nperiod = {period}\nphase = {phase:?}\n",
+                    knob.name()
+                );
+            }
+            ShapeSpec::Pulse {
+                knob,
+                from,
+                until,
+                scale,
+            } => {
+                let _ = write!(
+                    out,
+                    "kind = \"pulse\"\nknob = \"{}\"\nfrom = {from}\nuntil = {until}\nscale = {scale:?}\n",
+                    knob.name()
+                );
+            }
+            ShapeSpec::Ramp { knob, to } => {
+                let _ = write!(
+                    out,
+                    "kind = \"ramp\"\nknob = \"{}\"\nto = {to:?}\n",
+                    knob.name()
+                );
+            }
+        }
+    }
+
+    if !spec.chaos.is_empty() {
+        out.push_str("\n[chaos]\n");
+        if !spec.chaos.mid_restarts.is_empty() {
+            let list: Vec<String> = spec.chaos.mid_restarts.iter().map(u64::to_string).collect();
+            let _ = writeln!(out, "mid_restarts = [{}]", list.join(", "));
+        }
+        if !spec.chaos.between_restarts.is_empty() {
+            let list: Vec<String> = spec
+                .chaos
+                .between_restarts
+                .iter()
+                .map(u64::to_string)
+                .collect();
+            let _ = writeln!(out, "between_restarts = [{}]", list.join(", "));
+        }
+        for &(worker, period) in &spec.chaos.kills {
+            let _ = write!(
+                out,
+                "\n[[chaos.kill]]\nworker = {worker}\nperiod = {period}\n"
+            );
+        }
+    }
+
+    out.push_str("\n[expectation]\n");
+    match &spec.expectation {
+        ExpectationSpec::ExactHonest => out.push_str("kind = \"exact-honest\"\n"),
+        ExpectationSpec::DuplicatesFree => out.push_str("kind = \"duplicates-free\"\n"),
+        ExpectationSpec::Envelope { z, require } => {
+            let _ = write!(out, "kind = \"envelope\"\nz = {z:?}\n");
+            emit_require(&mut out, require);
+        }
+        ExpectationSpec::ChaosRecovery { z, require } => {
+            let _ = write!(out, "kind = \"chaos-recovery\"\nz = {z:?}\n");
+            emit_require(&mut out, require);
+        }
+    }
+    out
+}
+
+fn emit_require(out: &mut String, require: &[FaultField]) {
+    if require.is_empty() {
+        return;
+    }
+    let names: Vec<String> = require
+        .iter()
+        .map(|f| format!("\"{}\"", f.name()))
+        .collect();
+    let _ = writeln!(out, "require = [{}]", names.join(", "));
+}

@@ -37,7 +37,7 @@
 //!    the duplicate it would have been). Every outcome field is
 //!    identical for any worker count.
 
-use crate::config::Scenario;
+use crate::config::{FaultTimeline, Scenario};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rtf_core::accumulator::AccumulatorKind;
@@ -233,27 +233,37 @@ pub fn run_scenario_schema(
     backend: AccumulatorKind,
     schema: SeedSchema,
 ) -> ScenarioOutcome {
-    scenario.validate();
-    assert_eq!(population.n(), params.n(), "population/params n mismatch");
-    assert_eq!(population.d(), params.d(), "population/params d mismatch");
-    population.assert_k_sparse(params.k());
-    match mode {
-        ExecMode::Sequential => {
-            run_scenario_sequential_impl(params, population, seed, scenario, backend, schema).0
-        }
-        ExecMode::Parallel(w) => {
-            run_scenario_batched_impl(
-                params,
-                population,
-                seed,
-                scenario,
-                w.max(1),
-                backend,
-                schema,
-            )
-            .0
-        }
-    }
+    run_scenario_timeline(
+        params,
+        population,
+        seed,
+        &FaultTimeline::constant(*scenario),
+        mode,
+        backend,
+        schema,
+    )
+}
+
+/// Runs a [`FaultTimeline`] — a possibly per-period fault schedule —
+/// through the fault-injected engine. The timeline generalisation of
+/// [`run_scenario_schema`]: `FaultTimeline::constant(s)` reproduces the
+/// scenario path bit for bit, while shaped timelines apply a different
+/// effective [`Scenario`] each period (load waves, flash crowds, churn
+/// storms — the DSL's workload layer compiles to exactly this call).
+///
+/// Every outcome field is value-for-value identical across execution
+/// modes, worker counts, backends, and the live runner
+/// ([`crate::live::run_scenario_live_timeline`]).
+pub fn run_scenario_timeline(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    timeline: &FaultTimeline,
+    mode: ExecMode,
+    backend: AccumulatorKind,
+    schema: SeedSchema,
+) -> ScenarioOutcome {
+    run_scenario_timeline_digest(params, population, seed, timeline, mode, backend, schema).0
 }
 
 /// [`run_scenario_schema`] additionally returning the **residual
@@ -274,14 +284,39 @@ pub fn run_scenario_schema_digest(
     backend: AccumulatorKind,
     schema: SeedSchema,
 ) -> (ScenarioOutcome, u64) {
-    scenario.validate();
+    run_scenario_timeline_digest(
+        params,
+        population,
+        seed,
+        &FaultTimeline::constant(*scenario),
+        mode,
+        backend,
+        schema,
+    )
+}
+
+/// [`run_scenario_timeline`] additionally returning the residual
+/// fault-stream digest (see [`run_scenario_schema_digest`] — the digest
+/// contract is identical for shaped timelines, because the per-period
+/// schedule changes *which* coins are flipped, never who flips them).
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_timeline_digest(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    timeline: &FaultTimeline,
+    mode: ExecMode,
+    backend: AccumulatorKind,
+    schema: SeedSchema,
+) -> (ScenarioOutcome, u64) {
+    timeline.validate(params.d());
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
     match mode {
         ExecMode::Sequential => {
             let (out, _, digest) =
-                run_scenario_sequential_impl(params, population, seed, scenario, backend, schema);
+                run_scenario_sequential_impl(params, population, seed, timeline, backend, schema);
             (out, digest)
         }
         ExecMode::Parallel(w) => {
@@ -289,7 +324,7 @@ pub fn run_scenario_schema_digest(
                 params,
                 population,
                 seed,
-                scenario,
+                timeline,
                 w.max(1),
                 backend,
                 schema,
@@ -309,7 +344,7 @@ fn run_scenario_sequential_impl(
     params: &ProtocolParams,
     population: &Population,
     seed: u64,
-    scenario: &Scenario,
+    timeline: &FaultTimeline,
     backend: AccumulatorKind,
     schema: SeedSchema,
 ) -> (ScenarioOutcome, ScenarioStageTimings, u64) {
@@ -348,8 +383,8 @@ fn run_scenario_sequential_impl(
         );
 
         let mut frng = fault_root.child(u as u64).rng();
-        let byzantine = frng.random_bool(scenario.byzantine_frac);
-        let churn_at = sample_churn_period(&mut frng, scenario.churn_prob);
+        let byzantine = frng.random_bool(timeline.byzantine_frac());
+        let churn_at = timeline.sample_churn(&mut frng);
         if churn_at <= d {
             faults.churned_clients += 1;
         }
@@ -396,7 +431,7 @@ fn run_scenario_sequential_impl(
                     t,
                     true,
                     &mut slot.frng,
-                    scenario,
+                    timeline,
                     &mut faults,
                     &mut pending,
                     d,
@@ -414,7 +449,7 @@ fn run_scenario_sequential_impl(
                 t,
                 false,
                 &mut slot.frng,
-                scenario,
+                timeline,
                 &mut faults,
                 &mut pending,
                 d,
@@ -505,7 +540,8 @@ pub fn run_scenario_batched_timed(
     backend: AccumulatorKind,
     schema: SeedSchema,
 ) -> (ScenarioOutcome, ScenarioStageTimings) {
-    scenario.validate();
+    let timeline = FaultTimeline::constant(*scenario);
+    timeline.validate(params.d());
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
@@ -513,7 +549,7 @@ pub fn run_scenario_batched_timed(
         params,
         population,
         seed,
-        scenario,
+        &timeline,
         workers.max(1),
         backend,
         schema,
@@ -533,12 +569,13 @@ pub fn run_scenario_sequential_timed(
     backend: AccumulatorKind,
     schema: SeedSchema,
 ) -> (ScenarioOutcome, ScenarioStageTimings) {
-    scenario.validate();
+    let timeline = FaultTimeline::constant(*scenario);
+    timeline.validate(params.d());
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
     let (out, timings, _) =
-        run_scenario_sequential_impl(params, population, seed, scenario, backend, schema);
+        run_scenario_sequential_impl(params, population, seed, &timeline, backend, schema);
     (out, timings)
 }
 
@@ -636,7 +673,7 @@ fn run_scenario_batched_impl(
     params: &ProtocolParams,
     population: &Population,
     seed: u64,
-    scenario: &Scenario,
+    timeline: &FaultTimeline,
     workers: usize,
     backend: AccumulatorKind,
     schema: SeedSchema,
@@ -710,8 +747,8 @@ fn run_scenario_batched_impl(
             let lane = lanes[local];
             let stride = 1u64 << h;
             let mut frng = fault_root.child(u as u64).rng();
-            let byzantine = frng.random_bool(scenario.byzantine_frac);
-            let churn_at = sample_churn_period(&mut frng, scenario.churn_prob);
+            let byzantine = frng.random_bool(timeline.byzantine_frac());
+            let churn_at = timeline.sample_churn(&mut frng);
             if churn_at <= d {
                 faults.churned_clients += 1;
             }
@@ -729,7 +766,7 @@ fn run_scenario_batched_impl(
                         u as u32,
                         true,
                         &mut frng,
-                        scenario,
+                        timeline,
                         &mut faults,
                         &mut pending,
                         d,
@@ -740,7 +777,7 @@ fn run_scenario_batched_impl(
                 let mut b = stride;
                 while b <= d && b < churn_at {
                     let s = (b / stride - 1) as usize;
-                    let routing = route(b, &mut frng, scenario, &mut faults, d);
+                    let routing = route(b, &mut frng, timeline, &mut faults, d);
                     if routing.malformed {
                         // Same accounting as `dispatch_frame`: each
                         // delivered copy is counted where its decode
@@ -1025,10 +1062,14 @@ struct Routing {
 fn route(
     t: u64,
     frng: &mut StdRng,
-    scenario: &Scenario,
+    timeline: &FaultTimeline,
     faults: &mut FaultCounts,
     d: u64,
 ) -> Routing {
+    // The effective rates are the emission period's row — this is the
+    // single point where a shaped timeline perturbs the fault layer, and
+    // both engines call it at the same (user, period) points.
+    let scenario = timeline.at(t);
     // The corruption coin exists only when the scenario asks for it —
     // `malformed_prob == 0.0` must leave every other scenario's fault
     // stream untouched, draw for draw.
@@ -1043,7 +1084,7 @@ fn route(
     }
     let mut deliver = t;
     if frng.random_bool(scenario.straggle_prob) {
-        let delta = frng.random_range(1..=scenario.max_delay);
+        let delta = timeline.delay_law().sample(frng, scenario.max_delay);
         faults.delayed += 1;
         deliver = t + delta;
     }
@@ -1079,12 +1120,12 @@ fn dispatch(
     t: u64,
     byzantine: bool,
     frng: &mut StdRng,
-    scenario: &Scenario,
+    timeline: &FaultTimeline,
     faults: &mut FaultCounts,
     pending: &mut [Vec<InFlight>],
     d: u64,
 ) {
-    let routing = route(t, frng, scenario, faults, d);
+    let routing = route(t, frng, timeline, faults, d);
     let frame = if routing.deliver.is_some() || routing.duplicate.is_some() {
         let full = msg.encode();
         if routing.malformed {
@@ -1122,12 +1163,12 @@ pub(crate) fn dispatch_frame(
     emitter: u32,
     byzantine: bool,
     frng: &mut StdRng,
-    scenario: &Scenario,
+    timeline: &FaultTimeline,
     faults: &mut FaultCounts,
     pending: &mut [FrameBatch],
     d: u64,
 ) {
-    let routing = route(t, frng, scenario, faults, d);
+    let routing = route(t, frng, timeline, faults, d);
     if routing.malformed {
         // The sequential engine queues the corrupted bytes and counts
         // each delivered copy at the drain's failed `try_decode`; the
@@ -1156,6 +1197,7 @@ pub(crate) fn dispatch_frame(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DelayLaw;
     use rtf_streams::generator::UniformChanges;
 
     fn setup(n: usize, d: u64, k: usize, seed: u64) -> (ProtocolParams, Population) {
@@ -1358,5 +1400,157 @@ mod tests {
             / n as f64;
         // E[T] = 1/p = 4; Monte-Carlo tolerance.
         assert!((mean - 4.0).abs() < 0.2, "mean churn period {mean}");
+    }
+
+    #[test]
+    fn constant_timeline_is_the_scenario_path_bit_for_bit() {
+        let (params, pop) = setup(130, 32, 3, 68);
+        let scenario = Scenario::honest()
+            .with_dropout(0.05)
+            .with_stragglers(0.15, 3)
+            .with_duplicates(0.1)
+            .with_byzantine(0.15);
+        let timeline = FaultTimeline::constant(scenario);
+        for mode in [ExecMode::Sequential, ExecMode::Parallel(3)] {
+            let (a, da) = run_scenario_schema_digest(
+                &params,
+                &pop,
+                19,
+                &scenario,
+                mode,
+                AccumulatorKind::Dense,
+                SeedSchema::V1Std,
+            );
+            let (b, db) = run_scenario_timeline_digest(
+                &params,
+                &pop,
+                19,
+                &timeline,
+                mode,
+                AccumulatorKind::Dense,
+                SeedSchema::V1Std,
+            );
+            assert_eq!(a.estimates, b.estimates);
+            assert_eq!(a.delivery, b.delivery);
+            assert_eq!(a.faults, b.faults);
+            assert_eq!(da, db, "same draws, same residual digest");
+        }
+    }
+
+    #[test]
+    fn shaped_timeline_is_worker_count_invariant() {
+        // A pulse of dropout + duplicates mid-horizon over a Byzantine
+        // base, with per-period churn hazards concentrated in a storm
+        // window and a zipf delay tail: every axis the timeline adds,
+        // exercised at once, must stay worker-count invariant including
+        // the residual digest.
+        let (params, pop) = setup(140, 32, 3, 72);
+        let base = Scenario::honest().with_byzantine(0.1);
+        let rows: Vec<Scenario> = (1..=32u64)
+            .map(|t| {
+                let mut row = base;
+                if (12..=20).contains(&t) {
+                    row = row.with_dropout(0.3).with_duplicates(0.25);
+                }
+                if (8..=10).contains(&t) {
+                    row = row.with_churn(0.05);
+                }
+                row.with_stragglers(0.2, 6)
+            })
+            .collect();
+        let timeline =
+            FaultTimeline::shaped(base, rows).with_delay_law(DelayLaw::Zipf { alpha: 1.5 });
+        timeline.validate(params.d());
+        let (seq, dseq) = run_scenario_timeline_digest(
+            &params,
+            &pop,
+            23,
+            &timeline,
+            ExecMode::Sequential,
+            AccumulatorKind::Dense,
+            SeedSchema::V1Std,
+        );
+        assert!(seq.faults.dropped > 0, "the pulse must fire");
+        assert!(seq.faults.churned_clients > 0, "the churn storm must fire");
+        assert!(seq.faults.delayed > 0, "the zipf stragglers must fire");
+        for w in [1usize, 2, 3, 8] {
+            let (par, dpar) = run_scenario_timeline_digest(
+                &params,
+                &pop,
+                23,
+                &timeline,
+                ExecMode::Parallel(w),
+                AccumulatorKind::Dense,
+                SeedSchema::V1Std,
+            );
+            assert_eq!(par.estimates, seq.estimates, "{w} workers");
+            assert_eq!(par.delivery, seq.delivery, "{w} workers");
+            assert_eq!(par.wire, seq.wire, "{w} workers");
+            assert_eq!(par.faults, seq.faults, "{w} workers");
+            assert_eq!(
+                par.byzantine_accepted_by_period, seq.byzantine_accepted_by_period,
+                "{w} workers"
+            );
+            assert_eq!(dpar, dseq, "{w} workers: residual digest");
+        }
+    }
+
+    #[test]
+    fn shaped_quiet_periods_inject_nothing() {
+        // A pulse confined to periods 5..=8 must leave every other
+        // period's traffic untouched: all drops happen inside the window.
+        let (params, pop) = setup(200, 16, 2, 73);
+        let base = Scenario::honest();
+        let rows: Vec<Scenario> = (1..=16u64)
+            .map(|t| {
+                if (5..=8).contains(&t) {
+                    base.with_dropout(1.0)
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let timeline = FaultTimeline::shaped(base, rows);
+        let out = run_scenario_timeline(
+            &params,
+            &pop,
+            31,
+            &timeline,
+            ExecMode::Sequential,
+            AccumulatorKind::Dense,
+            SeedSchema::V1Std,
+        );
+        assert!(out.faults.dropped > 0);
+        for (i, row) in out.delivery.iter().enumerate() {
+            let t = (i + 1) as u64;
+            if (5..=8).contains(&t) {
+                assert_eq!(row.accepted, 0, "period {t} is inside the blackout");
+            } else {
+                assert_eq!(row.missing(), 0, "period {t} is outside the pulse");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_delay_law_draws_once_and_clamps() {
+        let mut rng = SeedSequence::new(101).rng();
+        let law = DelayLaw::Zipf { alpha: 1.0 };
+        for _ in 0..10_000 {
+            let delta = law.sample(&mut rng, 5);
+            assert!((1..=5).contains(&delta), "delta {delta} out of range");
+        }
+        // Heavy tail: with alpha=1 over a large cap, the mean should be
+        // well above the uniform law's midpoint near the origin.
+        let mut ones = 0usize;
+        for _ in 0..10_000 {
+            if law.sample(&mut rng, 1_000) == 1 {
+                ones += 1;
+            }
+        }
+        // P(delta = 1) = 1 - 2^{-alpha} = 0.5 for alpha=1.
+        assert!(
+            (4_000..=6_000).contains(&ones),
+            "P(delta=1) ~ 0.5, got {ones}"
+        );
     }
 }

@@ -30,29 +30,43 @@
 //!   worker kills, mid-period whole-service snapshot/restarts, and
 //!   between-period restarts; [`chaos::assert_chaos_recovery`] proves
 //!   every plan recovers bit-identically on both engines and that every
-//!   configured fault actually fired.
+//!   configured fault actually fired;
+//! * [`dsl`] — the scenario-authoring layer: [`ScenarioSpec`], a fluent
+//!   builder and TOML front end composing protocol, population, shaped
+//!   fault timeline, chaos plan, and a registered (never vacuous)
+//!   expectation; the named workload library under `workloads/*.toml`
+//!   ([`dsl::resolve_workload`]); and the spec-level oracle
+//!   [`dsl::verify_workload`] (sequential ≡ batched ≡ live on all four
+//!   backends, expectation asserted to fire). See
+//!   `docs/authoring-scenarios.md` and `docs/workload-catalog.md`.
 //!
 //! Entry points: [`run_scenario`] for one fault-injected execution,
 //! [`oracle::assert_exact_agreement`] /
-//! [`oracle::measure_aggregate_agreement`] for differential checks.
+//! [`oracle::measure_aggregate_agreement`] for differential checks,
+//! [`dsl::verify_workload`] for a declarative spec end to end.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod chaos;
 pub mod config;
+pub mod dsl;
 pub mod engine;
 pub mod live;
 pub mod oracle;
 
 pub use chaos::{assert_chaos_recovery, ChaosPlan};
-pub use config::Scenario;
+pub use config::{DelayLaw, FaultTimeline, Scenario};
+pub use dsl::{ExpectationSpec, ScenarioSpec, SpecError};
 pub use engine::{
     run_scenario, run_scenario_batched_timed, run_scenario_schema, run_scenario_schema_digest,
-    run_scenario_sequential_timed, run_scenario_with, run_scenario_with_backend, FaultCounts,
-    ScenarioOutcome, ScenarioStageTimings,
+    run_scenario_sequential_timed, run_scenario_timeline, run_scenario_timeline_digest,
+    run_scenario_with, run_scenario_with_backend, FaultCounts, ScenarioOutcome,
+    ScenarioStageTimings,
 };
-pub use live::{run_scenario_live, run_scenario_live_schema, run_scenario_live_with};
+pub use live::{
+    run_scenario_live, run_scenario_live_schema, run_scenario_live_timeline, run_scenario_live_with,
+};
 pub use oracle::{
     assert_backend_agreement, assert_exact_agreement, assert_live_agreement, assert_mode_agreement,
     assert_schema_agreement, faulty_envelope, measure_aggregate_agreement,

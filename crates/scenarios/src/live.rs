@@ -29,10 +29,10 @@
 //! reference for deployment semantics, and both are pinned to the same
 //! sequential oracle.
 
-use crate::config::Scenario;
+use crate::config::{FaultTimeline, Scenario};
 use crate::engine::{
-    composed_tables, dispatch_frame, fabricate_report, sample_churn_period, ClientSlot,
-    FaultCounts, ScenarioOutcome, FAULT_STREAM,
+    composed_tables, dispatch_frame, fabricate_report, ClientSlot, FaultCounts, ScenarioOutcome,
+    FAULT_STREAM,
 };
 use rand::Rng;
 use rtf_core::accumulator::AccumulatorKind;
@@ -107,7 +107,37 @@ pub fn run_scenario_live_schema(
     backend: AccumulatorKind,
     schema: SeedSchema,
 ) -> (ScenarioOutcome, IngestStats) {
-    scenario.validate();
+    run_scenario_live_timeline(
+        params,
+        population,
+        seed,
+        &FaultTimeline::constant(*scenario),
+        config,
+        backend,
+        schema,
+    )
+}
+
+/// Runs a [`FaultTimeline`] — a possibly per-period fault schedule —
+/// through the streaming ingestion service. The timeline generalisation
+/// of [`run_scenario_live_schema`]: `FaultTimeline::constant(s)`
+/// reproduces the scenario path bit for bit, while shaped timelines
+/// apply a different effective scenario each period. Every outcome
+/// field is value-for-value identical to
+/// [`run_scenario_timeline`](crate::engine::run_scenario_timeline) on
+/// the same timeline, for every worker count, mailbox capacity, chunk
+/// size, and chaos plan.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_live_timeline(
+    params: &ProtocolParams,
+    population: &Population,
+    seed: u64,
+    timeline: &FaultTimeline,
+    config: &LiveConfig,
+    backend: AccumulatorKind,
+    schema: SeedSchema,
+) -> (ScenarioOutcome, IngestStats) {
+    timeline.validate(params.d());
     assert_eq!(population.n(), params.n(), "population/params n mismatch");
     assert_eq!(population.d(), params.d(), "population/params d mismatch");
     population.assert_k_sparse(params.k());
@@ -148,8 +178,8 @@ pub fn run_scenario_live_schema(
             fastseed::client_key(&node),
         );
         let mut frng = fault_root.child(u as u64).rng();
-        let byzantine = frng.random_bool(scenario.byzantine_frac);
-        let churn_at = sample_churn_period(&mut frng, scenario.churn_prob);
+        let byzantine = frng.random_bool(timeline.byzantine_frac());
+        let churn_at = timeline.sample_churn(&mut frng);
         if churn_at <= d {
             faults.churned_clients += 1;
         }
@@ -192,7 +222,7 @@ pub fn run_scenario_live_schema(
                     u as u32,
                     true,
                     &mut slot.frng,
-                    scenario,
+                    timeline,
                     &mut faults,
                     &mut pending,
                     d,
@@ -211,7 +241,7 @@ pub fn run_scenario_live_schema(
                 u as u32,
                 false,
                 &mut slot.frng,
-                scenario,
+                timeline,
                 &mut faults,
                 &mut pending,
                 d,
@@ -367,6 +397,51 @@ mod tests {
             assert_outcomes_equal(&live, &seq, &format!("restart at w={workers}"));
             assert_eq!(stats.restarts, 2, "w={workers}: both restarts fired");
             assert_eq!(stats.recoveries, 1, "w={workers}: the kill fired");
+        }
+    }
+
+    #[test]
+    fn live_matches_sequential_on_a_shaped_timeline() {
+        use crate::config::DelayLaw;
+        use crate::engine::run_scenario_timeline;
+
+        let (params, pop) = setup(120, 32, 3, 74);
+        let base = Scenario::honest().with_byzantine(0.1);
+        let rows: Vec<Scenario> = (1..=32u64)
+            .map(|t| {
+                let mut row = base;
+                if (10..=18).contains(&t) {
+                    row = row.with_dropout(0.25).with_duplicates(0.2);
+                }
+                row.with_stragglers(0.15, 5)
+            })
+            .collect();
+        let timeline =
+            FaultTimeline::shaped(base, rows).with_delay_law(DelayLaw::Zipf { alpha: 2.0 });
+        let seq = run_scenario_timeline(
+            &params,
+            &pop,
+            29,
+            &timeline,
+            rtf_runtime::ExecMode::Sequential,
+            AccumulatorKind::Dense,
+            SeedSchema::V1Std,
+        );
+        assert!(seq.faults.dropped > 0 && seq.faults.delayed > 0);
+        for workers in [1usize, 2, 8] {
+            let cfg = LiveConfig::new(workers)
+                .with_mailbox_cap(2)
+                .with_chunk_rows(7);
+            let (live, _) = run_scenario_live_timeline(
+                &params,
+                &pop,
+                29,
+                &timeline,
+                &cfg,
+                AccumulatorKind::Dense,
+                SeedSchema::V1Std,
+            );
+            assert_outcomes_equal(&live, &seq, &format!("shaped, {workers} workers"));
         }
     }
 }

@@ -73,6 +73,22 @@ pub struct ExactAgreement {
 /// honest scenario engine; shared per-user randomness (group sizes,
 /// report counts) also for the aggregate sampler.
 ///
+/// # Examples
+///
+/// ```
+/// use rtf_core::params::ProtocolParams;
+/// use rtf_primitives::seeding::SeedSequence;
+/// use rtf_scenarios::oracle::assert_exact_agreement;
+/// use rtf_streams::generator::UniformChanges;
+/// use rtf_streams::population::Population;
+///
+/// let params = ProtocolParams::new(40, 8, 2, 1.0, 0.05).unwrap();
+/// let mut rng = SeedSequence::new(7).rng();
+/// let population = Population::generate(&UniformChanges::new(8, 2, 0.8), 40, &mut rng);
+/// let agreed = assert_exact_agreement(&params, &population, 7);
+/// assert_eq!(agreed.estimates.len(), 8); // one estimate per period
+/// ```
+///
 /// # Panics
 /// Panics with the first diverging period/value if any path disagrees.
 pub fn assert_exact_agreement(

@@ -17,7 +17,8 @@
 //! * **Parallel(w)** — the batched pipeline: users are partitioned into
 //!   `w` contiguous shards, each worker runs its shard's client state
 //!   machines locally, appending reports to columnar
-//!   [`ReportBatch`]es (no per-report allocation) folded into a
+//!   [`ReportBatch`](rtf_runtime::ReportBatch)es (no per-report
+//!   allocation) folded into a
 //!   mergeable shard accumulator per period; the server absorbs shard
 //!   accumulators in shard-index order. Because per-user randomness
 //!   derives from `SeedSequence(seed).child(user)` and report sums are

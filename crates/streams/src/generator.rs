@@ -12,6 +12,8 @@
 //! * [`AdversarialAligned`] — every user's changes inside the *same* dyadic
 //!   block, concentrating error on a few partial sums;
 //! * [`TrendingPopulation`] — users track a global trend curve `p(t)`;
+//! * [`WaveTrend`] — a data-parameterized sinusoidal trend (the
+//!   TOML-representable sibling of [`TrendingPopulation`]);
 //! * [`StaticPopulation`] — the `k = 0`/`k = 1` regime of users who never
 //!   change after an initial draw.
 
@@ -268,6 +270,80 @@ impl<F: Fn(u64) -> f64> StreamGenerator for TrendingPopulation<F> {
     }
 }
 
+/// A data-parameterized sinusoidal trend: the population-level probability
+/// of holding value 1 oscillates between `low` and `high` with period
+/// `wave_period`.
+///
+/// This is [`TrendingPopulation`] with the fixed curve
+/// `p(t) = mid + amp · sin(2πt / wave_period)` where `mid = (low+high)/2`
+/// and `amp = (high-low)/2`. Unlike the closure-based generator it is
+/// plain data, so a scenario spec (`rtf_scenarios::dsl`) can name it in a
+/// TOML file and round-trip it losslessly.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveTrend {
+    d: u64,
+    k: usize,
+    low: f64,
+    high: f64,
+    wave_period: u64,
+}
+
+impl WaveTrend {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ low ≤ high ≤ 1`, `wave_period ≥ 1`,
+    /// and `1 ≤ k ≤ d`.
+    pub fn new(d: u64, k: usize, low: f64, high: f64, wave_period: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high) && low <= high,
+            "wave bounds must satisfy 0 ≤ low ≤ high ≤ 1, got [{low}, {high}]"
+        );
+        assert!(wave_period >= 1, "wave_period must be ≥ 1");
+        assert!(k >= 1, "trending users need k ≥ 1");
+        assert!(k as u64 <= d, "cannot change {k} times in {d} periods");
+        WaveTrend {
+            d,
+            k,
+            low,
+            high,
+            wave_period,
+        }
+    }
+
+    /// The trend curve value at period `t`.
+    pub fn curve(&self, t: u64) -> f64 {
+        let mid = (self.low + self.high) / 2.0;
+        let amp = (self.high - self.low) / 2.0;
+        let phase = 2.0 * std::f64::consts::PI * t as f64 / self.wave_period as f64;
+        (mid + amp * phase.sin()).clamp(0.0, 1.0)
+    }
+}
+
+impl StreamGenerator for WaveTrend {
+    fn d(&self) -> u64 {
+        self.d
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+    fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> BoolStream {
+        // Same opportunity/segment scheme as TrendingPopulation, so the
+        // k-sparsity bound holds by construction.
+        let opportunities = uniform_change_times(self.d, self.k, rng);
+        let mut change_times = Vec::new();
+        let mut current = false;
+        for &t in &opportunities {
+            let next = rng.random::<f64>() < self.curve(t);
+            if next != current {
+                change_times.push(t);
+                current = next;
+            }
+        }
+        BoolStream::from_change_times(self.d, change_times)
+    }
+}
+
 /// Users draw an initial value once and never change it (at most one change
 /// at `t = 1`) — the regime where longitudinal tracking is cheapest and a
 /// sanity baseline for `k = 1`.
@@ -332,6 +408,7 @@ mod tests {
         check_sparsity(&AdversarialAligned::new(64, 5, 3, 2), 300, 4);
         check_sparsity(&TrendingPopulation::new(64, 5, |t| t as f64 / 64.0), 300, 5);
         check_sparsity(&StaticPopulation::new(64, 0.3), 300, 6);
+        check_sparsity(&WaveTrend::new(64, 5, 0.1, 0.9, 16), 300, 7);
     }
 
     #[test]
@@ -416,6 +493,28 @@ mod tests {
             let s = g.generate(&mut rng);
             assert_eq!(s.value_at(1), s.value_at(32));
         }
+    }
+
+    #[test]
+    fn wave_trend_matches_its_closure_twin() {
+        // WaveTrend is TrendingPopulation with a fixed curve; drawn with
+        // the same RNG stream they must produce identical streams.
+        let wave = WaveTrend::new(64, 6, 0.2, 0.8, 12);
+        let twin = TrendingPopulation::new(64, 6, |t| wave.curve(t));
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        for _ in 0..200 {
+            assert_eq!(
+                wave.generate(&mut a).change_times(),
+                twin.generate(&mut b).change_times()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wave bounds")]
+    fn wave_trend_rejects_inverted_bounds() {
+        let _ = WaveTrend::new(64, 5, 0.9, 0.1, 8);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
 //! * range strategies for the integer and float primitives,
 //!   [`strategy::Strategy::prop_map`], and
-//!   [`collection`](crate::collection) strategies (`vec`, `btree_set`,
+//!   [`collection`] strategies (`vec`, `btree_set`,
 //!   `btree_map`).
 //!
 //! # Differences from upstream
